@@ -1,0 +1,78 @@
+//! E10 — the impossibility substrate.
+//!
+//! Cost of building iterated barycentric subdivisions, verifying
+//! Sperner's lemma on random labelings, and the exhaustive violation
+//! search on concrete 2-process protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsim_protocols::racing::racing_system;
+use rsim_smr::explore::Limits;
+use rsim_smr::value::Value;
+use rsim_tasks::agreement::consensus;
+use rsim_tasks::sperner::{verify_sperner, Complex, Labeling};
+use rsim_tasks::violation::search_exhaustive;
+use std::hint::black_box;
+
+fn bench_subdivision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_subdivision");
+    for &(dim, depth) in &[(1usize, 4usize), (2, 2), (2, 3), (3, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dim{dim}_depth{depth}")),
+            &(dim, depth),
+            |b, &(dim, depth)| {
+                b.iter(|| black_box(Complex::standard(dim).subdivide(depth)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sperner_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_sperner_verify");
+    for &depth in &[1usize, 2, 3] {
+        let complex = Complex::standard(2).subdivide(depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &complex,
+            |b, complex| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    let labeling = Labeling::random_sperner(complex, &mut rng);
+                    black_box(verify_sperner(complex, &labeling).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_violation_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_exhaustive_search");
+    group.sample_size(10);
+    group.bench_function("racing_n2_m1", |b| {
+        let inputs = [Value::Int(1), Value::Int(2)];
+        b.iter(|| {
+            let sys = racing_system(1, &inputs);
+            let v = search_exhaustive(
+                &sys,
+                &inputs,
+                &consensus(),
+                Limits { max_depth: 40, max_configs: 500_000 },
+            )
+            .unwrap();
+            assert!(v.is_some());
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_subdivision,
+    bench_sperner_verification,
+    bench_exhaustive_violation_search
+);
+criterion_main!(benches);

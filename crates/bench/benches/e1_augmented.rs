@@ -1,0 +1,142 @@
+//! E1/E2/E3 — the augmented snapshot object (§3).
+//!
+//! Measures the cost of `Scan` and `Block-Update` (model mode, solo and
+//! contended), the §3.3 specification checker, and the thread-mode
+//! twin. Alongside timing, the `Criterion` parameters sweep `f` and `m`
+//! so the scaling of the 6-step / `2k+3`-step operations is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsim_smr::value::Value;
+use rsim_snapshot::client::AugOp;
+use rsim_snapshot::real::RealSystem;
+use rsim_snapshot::spec;
+use rsim_snapshot::thread_mode::SharedAug;
+use std::hint::black_box;
+
+fn random_run(f: usize, m: usize, ops_per_proc: usize, seed: u64) -> RealSystem {
+    let mut rs = RealSystem::new(f, m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = vec![ops_per_proc; f];
+    let mut counter = 0i64;
+    loop {
+        let live: Vec<usize> = (0..f)
+            .filter(|&p| remaining[p] > 0 || !rs.is_idle(p))
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let pid = live[rng.gen_range(0..live.len())];
+        if rs.is_idle(pid) {
+            remaining[pid] -= 1;
+            counter += 1;
+            let op = if rng.gen_bool(0.5) {
+                AugOp::Scan
+            } else {
+                AugOp::BlockUpdate {
+                    components: vec![(counter as usize) % m],
+                    values: vec![Value::Int(counter)],
+                }
+            };
+            rs.begin(pid, op);
+        }
+        rs.step(pid);
+    }
+    rs
+}
+
+fn bench_solo_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_solo_ops");
+    for &m in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("block_update", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rs = RealSystem::new(2, m);
+                rs.begin(0, AugOp::BlockUpdate {
+                    components: vec![0],
+                    values: vec![Value::Int(1)],
+                });
+                black_box(rs.run_to_completion(0))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rs = RealSystem::new(2, m);
+                rs.begin(0, AugOp::Scan);
+                black_box(rs.run_to_completion(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_contended_run");
+    for &(f, m) in &[(2usize, 2usize), (4, 2), (4, 4), (6, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("f{f}_m{m}")),
+            &(f, m),
+            |b, &(f, m)| {
+                b.iter(|| black_box(random_run(f, m, 6, 42)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spec_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_spec_check");
+    for &(f, m) in &[(3usize, 2usize), (4, 3)] {
+        let rs = random_run(f, m, 6, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("f{f}_m{m}")),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    let report = spec::check(rs, m);
+                    assert!(report.is_ok());
+                    black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_thread_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_thread_mode");
+    group.bench_function("4_threads_200_ops", |b| {
+        b.iter(|| {
+            let aug = SharedAug::new(4, 4);
+            std::thread::scope(|s| {
+                for i in 0..4usize {
+                    let ai = std::sync::Arc::clone(&aug);
+                    s.spawn(move || {
+                        for round in 0..50 {
+                            if round % 2 == 0 {
+                                let _ = ai.block_update(
+                                    i,
+                                    &[round % 4],
+                                    &[Value::Int(round as i64)],
+                                );
+                            } else {
+                                let _ = ai.scan(i);
+                            }
+                        }
+                    });
+                }
+            });
+            black_box(aug)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solo_ops,
+    bench_contended_runs,
+    bench_spec_checker,
+    bench_thread_mode
+);
+criterion_main!(benches);

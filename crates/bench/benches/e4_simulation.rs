@@ -1,0 +1,115 @@
+//! E4/E5 — the revisionist simulation and the Lemma 26/27 replay.
+//!
+//! Wall time of full simulation runs (round-robin and random
+//! schedules) across (n, m, f), of the σ̄ reconstruction, and of the
+//! step-by-step replay validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsim_core::replay;
+use rsim_core::simulation::{Simulation, SimulationConfig};
+use rsim_protocols::racing::PhasedRacing;
+use rsim_smr::value::Value;
+use std::hint::black_box;
+
+fn build(n: usize, m: usize, f: usize) -> Simulation<PhasedRacing> {
+    let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+    let config = SimulationConfig::new(n, m, f, 0);
+    Simulation::new(config, inputs, move |i| {
+        PhasedRacing::new(m, Value::Int(i as i64 + 1))
+    })
+    .unwrap()
+}
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_simulation_run");
+    for &(n, m, f) in &[(4usize, 2usize, 2usize), (6, 2, 3), (6, 3, 2), (8, 2, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}_f{f}")),
+            &(n, m, f),
+            |b, &(n, m, f)| {
+                b.iter(|| {
+                    let mut sim = build(n, m, f);
+                    sim.run_round_robin(10_000_000).unwrap();
+                    assert!(sim.all_terminated());
+                    black_box(sim.outputs())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_simulation_random");
+    group.bench_function("n6_m2_f3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = build(6, 2, 3);
+            sim.run_random(seed, 10_000_000).unwrap();
+            assert!(sim.all_terminated());
+            black_box(sim.outputs())
+        })
+    });
+    group.finish();
+}
+
+fn bench_reconstruct_and_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_replay");
+    let mut sim = build(6, 2, 3);
+    sim.run_random(3, 10_000_000).unwrap();
+    group.bench_function("reconstruct_n6_m2_f3", |b| {
+        b.iter(|| black_box(replay::reconstruct(&sim).unwrap()))
+    });
+    group.bench_function("validate_n6_m2_f3", |b| {
+        b.iter(|| {
+            let report = replay::validate(&sim, |i| {
+                PhasedRacing::new(2, Value::Int(i as i64 + 1))
+            })
+            .unwrap();
+            assert!(report.is_ok());
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bg_baseline(c: &mut Criterion) {
+    use rsim_core::bg::BgSimulation;
+    let mut group = c.benchmark_group("e11_bg_baseline");
+    group.bench_function("bg_n4_f2_all_live", |b| {
+        b.iter(|| {
+            let mut bg = BgSimulation::new(
+                4,
+                vec![Value::Int(1), Value::Int(2)],
+                |v| PhasedRacing::new(2, v.clone()),
+                100_000,
+            );
+            for _ in 0..100 {
+                for i in 0..2 {
+                    bg.step(i).unwrap();
+                }
+            }
+            let outs = bg.outputs();
+            assert!(outs.iter().all(Option::is_some));
+            black_box(outs)
+        })
+    });
+    group.bench_function("revisionist_n4_f2", |b| {
+        b.iter(|| {
+            let mut sim = build(4, 2, 2);
+            sim.run_round_robin(10_000_000).unwrap();
+            black_box(sim.outputs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_runs,
+    bench_random_schedule,
+    bench_reconstruct_and_replay,
+    bench_bg_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E6 — the k-set agreement protocols and the violation search.
+//!
+//! Solo decision latency of phased racing and ladder consensus across
+//! component counts; contended runs under the obstruction adversary;
+//! randomized violation search below the Corollary 33 bound; bound
+//! formula evaluation across the whole grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsim_core::bounds;
+use rsim_protocols::ladder::ladder_system;
+use rsim_protocols::racing::racing_system;
+use rsim_smr::process::ProcessId;
+use rsim_smr::sched::Obstruction;
+use rsim_smr::value::Value;
+use rsim_tasks::agreement::consensus;
+use rsim_tasks::violation::search_random;
+use std::hint::black_box;
+
+fn ints(n: usize) -> Vec<Value> {
+    (1..=n as i64).map(Value::Int).collect()
+}
+
+fn bench_solo_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_solo_decide");
+    for &m in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("racing", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sys = racing_system(m, &ints(m));
+                black_box(sys.run_solo(ProcessId(0), 1_000_000).unwrap())
+            })
+        });
+    }
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ladder", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = ladder_system(&ints(n), 8);
+                black_box(sys.run_solo(ProcessId(0), 1_000_000).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_contended");
+    group.sample_size(20);
+    for &(n, m) in &[(3usize, 3usize), (4, 4), (4, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("racing_n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sys = racing_system(m, &ints(n));
+                    let mut sched = Obstruction::new(1, 50, 300, seed);
+                    sys.run(&mut sched, 1_000_000).unwrap();
+                    assert!(sys.all_terminated());
+                    black_box(sys.outputs())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_violation_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_violation_search");
+    group.sample_size(10);
+    group.bench_function("racing_n3_m2_below_bound", |b| {
+        let inputs = ints(3);
+        b.iter(|| {
+            let v = search_random(
+                &|| racing_system(2, &ints(3)),
+                &inputs,
+                &consensus(),
+                2_000,
+                2_000,
+                7,
+            );
+            assert!(v.is_some());
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bound_formulas(c: &mut Criterion) {
+    c.bench_function("e6_bound_grid_n64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in 2..=64 {
+                for k in 1..n {
+                    for x in 1..=k {
+                        acc = acc.wrapping_add(bounds::kset_space_lower_bound(n, k, x));
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_solo_decisions,
+    bench_contended_agreement,
+    bench_violation_search,
+    bench_bound_formulas
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E7 — ε-approximate agreement: step complexity vs log(1/ε).
+//!
+//! Solo and contended runs of the midpoint protocol across ε, matching
+//! the Θ(log 1/ε) shape against the ½·log₃(1/ε) lower bound of
+//! Corollary 34; plus the compressed variant used in the reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsim_protocols::approx::{
+    approx_system, compressed_approx_system, rounds_for_epsilon,
+};
+use rsim_smr::process::ProcessId;
+use rsim_smr::sched::Random;
+use rsim_smr::value::Dyadic;
+use std::hint::black_box;
+
+fn bench_solo_epsilon_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_solo_steps");
+    for &e in &[4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(e), &e, |b, &e| {
+            b.iter(|| {
+                let mut sys = approx_system(
+                    &[Dyadic::zero(), Dyadic::one()],
+                    rounds_for_epsilon(e),
+                );
+                black_box(sys.run_solo(ProcessId(0), 1_000_000).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_contended");
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let inputs: Vec<Dyadic> = (0..n)
+                .map(|i| if i % 2 == 0 { Dyadic::zero() } else { Dyadic::one() })
+                .collect();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sys = approx_system(&inputs, rounds_for_epsilon(8));
+                sys.run(&mut Random::seeded(seed), 1_000_000).unwrap();
+                assert!(sys.all_terminated());
+                black_box(sys.outputs())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_compressed");
+    for &m in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            let inputs =
+                vec![Dyadic::zero(), Dyadic::one(), Dyadic::one(), Dyadic::zero()];
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sys =
+                    compressed_approx_system(&inputs, m, rounds_for_epsilon(8));
+                sys.run(&mut Random::seeded(seed), 1_000_000).unwrap();
+                black_box(sys.outputs())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_epsilon_sweep, bench_contended, bench_compressed);
+criterion_main!(benches);

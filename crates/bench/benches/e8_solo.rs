@@ -1,0 +1,63 @@
+//! E8 — the Theorem 35 determinization.
+//!
+//! Cost of the shortest-solo-path search (the conversion's inner loop)
+//! and of full determinized solo/contended runs, across component
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsim_smr::process::ProcessId;
+use rsim_smr::sched::Random;
+use rsim_smr::value::Value;
+use rsim_solo::convert::{determinized_system, shortest_solo_path};
+use rsim_solo::machine::{EpState, NondetMachine, RandomizedRacing};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_solo_path_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_solo_path");
+    for &m in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let machine = RandomizedRacing::new(m);
+            let start = EpState::initial(machine.initial(&Value::Int(1)), m);
+            b.iter(|| {
+                black_box(shortest_solo_path(&machine, &start, 1_000_000).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_determinized_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_determinized_run");
+    for &m in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("solo", m), &m, |b, &m| {
+            let machine = Arc::new(RandomizedRacing::new(m));
+            b.iter(|| {
+                let mut sys = determinized_system(
+                    Arc::clone(&machine),
+                    &[Value::Int(1)],
+                    1_000_000,
+                );
+                black_box(sys.run_solo(ProcessId(0), 10_000).unwrap())
+            })
+        });
+    }
+    group.bench_function("contended_m2_3procs", |b| {
+        let machine = Arc::new(RandomizedRacing::new(2));
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut sys = determinized_system(
+                Arc::clone(&machine),
+                &[Value::Int(1), Value::Int(2), Value::Int(3)],
+                1_000_000,
+            );
+            sys.run(&mut Random::seeded(seed), 100_000).unwrap();
+            black_box(sys.outputs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_path_search, bench_determinized_runs);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! The space auditor: the paper's theorem as a practical tool.
+//!
+//! Given a claimed x-obstruction-free k-set agreement protocol over `m`
+//! snapshot components, [`audit_kset`] renders the verdict of
+//! Corollary 33:
+//!
+//! * `m ≥ ⌊(n−x)/(k+1−x)⌋ + 1` — the claim is *consistent* with the
+//!   lower bound (which says nothing about correctness);
+//! * `m` below the bound — the claim is **impossible**: the protocol
+//!   cannot be a correct x-obstruction-free solution. The auditor then
+//!   hunts for concrete evidence by running the revisionist simulation
+//!   over many schedules and reporting the first extracted wait-free
+//!   execution whose outputs violate the task.
+//!
+//! This is how a downstream user consumes the reproduction: point the
+//! auditor at a protocol family and a parameter point, get back either
+//! "consistent" or a counterexample seed.
+
+use crate::bounds;
+use crate::simulation::{Simulation, SimulationConfig};
+use rsim_smr::error::ModelError;
+use rsim_smr::process::SnapshotProtocol;
+use rsim_smr::value::Value;
+use rsim_tasks::agreement::KSetAgreement;
+use rsim_tasks::task::ColorlessTask;
+
+/// Concrete evidence of impossibility: an extracted violating run.
+#[derive(Clone, Debug)]
+pub struct ViolationEvidence {
+    /// The random-schedule seed that produced the violation.
+    pub seed: u64,
+    /// The simulators' (wait-free) outputs.
+    pub outputs: Vec<Value>,
+    /// H-steps the run took.
+    pub h_steps: usize,
+}
+
+/// The auditor's verdict.
+#[derive(Clone, Debug)]
+pub enum AuditVerdict {
+    /// `m` meets the Corollary 33 bound: the space claim is consistent
+    /// with the lower bound.
+    Consistent {
+        /// The claimed component count.
+        m: usize,
+        /// The Corollary 33 bound.
+        bound: usize,
+    },
+    /// `m` is below the bound: no correct protocol exists at this
+    /// space. If the extraction found a violating schedule within the
+    /// search budget, it is attached.
+    Impossible {
+        /// The claimed component count.
+        m: usize,
+        /// The Corollary 33 bound.
+        bound: usize,
+        /// Extracted counterexample, if one was found.
+        evidence: Option<ViolationEvidence>,
+        /// Schedules searched.
+        schedules_tried: u64,
+    },
+}
+
+impl AuditVerdict {
+    /// Did the audit find the claim impossible?
+    pub fn is_impossible(&self) -> bool {
+        matches!(self, AuditVerdict::Impossible { .. })
+    }
+}
+
+/// Audits a claimed x-obstruction-free k-set agreement protocol family
+/// over `m` components for `n` processes. `make_protocol(i)` builds a
+/// simulated process holding simulator `i`'s input `inputs[i]`
+/// (`inputs.len()` must be `k + 1`).
+///
+/// # Errors
+///
+/// Propagates simulation errors (e.g. the protocol not being
+/// obstruction-free within the solo budget — itself a finding).
+///
+/// # Panics
+///
+/// Panics if the parameters violate `1 ≤ x ≤ k < n` or
+/// `inputs.len() != k + 1`.
+pub fn audit_kset<P: SnapshotProtocol>(
+    n: usize,
+    k: usize,
+    x: usize,
+    m: usize,
+    inputs: &[Value],
+    make_protocol: impl Fn(usize) -> P + Copy,
+    schedules: u64,
+) -> Result<AuditVerdict, ModelError> {
+    assert!(1 <= x && x <= k && k < n, "need 1 <= x <= k < n");
+    assert_eq!(inputs.len(), k + 1, "the reduction uses f = k + 1 simulators");
+    let bound = bounds::kset_space_lower_bound(n, k, x);
+    if m >= bound {
+        return Ok(AuditVerdict::Consistent { m, bound });
+    }
+    let task = KSetAgreement::new(k);
+    let config = SimulationConfig::new(n, m, k + 1, x);
+    debug_assert!(config.is_feasible(), "m < bound implies feasibility");
+    for seed in 0..schedules {
+        let mut sim = Simulation::new(config, inputs.to_vec(), make_protocol)?;
+        sim.run_random(seed, 100_000_000)?;
+        if !sim.all_terminated() {
+            continue;
+        }
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if task.validate(inputs, &outs).is_err() {
+            return Ok(AuditVerdict::Impossible {
+                m,
+                bound,
+                evidence: Some(ViolationEvidence {
+                    seed,
+                    outputs: outs,
+                    h_steps: sim.real().log().len(),
+                }),
+                schedules_tried: seed + 1,
+            });
+        }
+    }
+    Ok(AuditVerdict::Impossible { m, bound, evidence: None, schedules_tried: schedules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_protocols::racing::PhasedRacing;
+
+    #[test]
+    fn audit_accepts_space_at_the_bound() {
+        // Consensus (k = 1, x = 1) among n = 4 with m = 4 = the bound.
+        let inputs = [Value::Int(1), Value::Int(2)];
+        let verdict = audit_kset(
+            4,
+            1,
+            1,
+            4,
+            &inputs,
+            |i| PhasedRacing::new(4, Value::Int([1, 2][i])),
+            10,
+        )
+        .unwrap();
+        assert!(matches!(
+            verdict,
+            AuditVerdict::Consistent { m: 4, bound: 4 }
+        ));
+    }
+
+    #[test]
+    fn audit_finds_evidence_below_the_bound() {
+        let inputs = [Value::Int(1), Value::Int(2)];
+        let verdict = audit_kset(
+            4,
+            1,
+            1,
+            2,
+            &inputs,
+            |i| PhasedRacing::new(2, Value::Int([1, 2][i])),
+            300,
+        )
+        .unwrap();
+        match verdict {
+            AuditVerdict::Impossible { m: 2, bound: 4, evidence: Some(ev), .. } => {
+                assert_eq!(ev.outputs.len(), 2);
+                assert_ne!(ev.outputs[0], ev.outputs[1]);
+            }
+            other => panic!("expected evidence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_kset_with_direct_simulators() {
+        // 2-set agreement, x = 2 (two direct simulators): n = 7, bound
+        // ⌊5/1⌋+1 = 6; audit m = 2 < 6 — feasibility: (3-2)*2+2 = 4 ≤ 7.
+        let inputs = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        let verdict = audit_kset(
+            7,
+            2,
+            2,
+            2,
+            &inputs,
+            |i| PhasedRacing::new(2, Value::Int([1, 2, 3][i])),
+            30,
+        )
+        .unwrap();
+        // Below the bound (whether or not evidence shows up within 30
+        // schedules, the verdict is Impossible).
+        assert!(verdict.is_impossible());
+    }
+}

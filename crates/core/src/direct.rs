@@ -1,0 +1,136 @@
+//! Direct simulators (paper §4.1, Algorithm 5).
+//!
+//! A direct simulator `q_i` simulates a single process `p_{i,1}`
+//! step-by-step: an `M.Scan` for each of its scans, a one-component
+//! `M.Block-Update` for each of its updates (the returned view is
+//! ignored). When the simulated process outputs, the simulator outputs
+//! the same value.
+
+use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
+use rsim_smr::value::Value;
+use rsim_snapshot::client::{AugOp, AugOutcome};
+
+/// Driver phase of a simulated process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LocalPhase {
+    /// The process's next step is a scan.
+    ReadyToScan,
+    /// The process is poised to update `(component, value)`.
+    Poised(usize, Value),
+    /// The process has output.
+    Done(Value),
+}
+
+/// A direct simulator for one simulated process.
+#[derive(Clone, Debug)]
+pub struct DirectSimulator<P> {
+    process: P,
+    phase: LocalPhase,
+    output: Option<Value>,
+    scans: usize,
+    block_updates: usize,
+}
+
+impl<P: SnapshotProtocol> DirectSimulator<P> {
+    /// Creates a direct simulator for `process` (initially poised to
+    /// scan, per Assumption 1).
+    pub fn new(process: P) -> Self {
+        DirectSimulator {
+            process,
+            phase: LocalPhase::ReadyToScan,
+            output: None,
+            scans: 0,
+            block_updates: 0,
+        }
+    }
+
+    /// The simulator's output, if it has terminated.
+    pub fn output(&self) -> Option<&Value> {
+        self.output.as_ref()
+    }
+
+    /// The simulated process's current driver phase.
+    pub fn phase(&self) -> &LocalPhase {
+        &self.phase
+    }
+
+    /// `M.Scan`s applied so far.
+    pub fn scan_count(&self) -> usize {
+        self.scans
+    }
+
+    /// `M.Block-Update`s applied so far.
+    pub fn block_update_count(&self) -> usize {
+        self.block_updates
+    }
+
+    /// The next `M` operation to apply, or `None` if terminated.
+    pub fn next_op(&mut self) -> Option<AugOp> {
+        if self.output.is_some() {
+            return None;
+        }
+        match &self.phase {
+            LocalPhase::ReadyToScan => Some(AugOp::Scan),
+            LocalPhase::Poised(c, v) => Some(AugOp::BlockUpdate {
+                components: vec![*c],
+                values: vec![v.clone()],
+            }),
+            LocalPhase::Done(_) => None,
+        }
+    }
+
+    /// Absorbs the outcome of the operation issued by
+    /// [`DirectSimulator::next_op`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an outcome that does not match the issued operation.
+    pub fn on_outcome(&mut self, outcome: &AugOutcome) {
+        match (outcome, &self.phase) {
+            (AugOutcome::Scan(scan), LocalPhase::ReadyToScan) => {
+                self.scans += 1;
+                match self.process.on_scan(&scan.view) {
+                    ProtocolStep::Update(c, v) => {
+                        self.phase = LocalPhase::Poised(c, v);
+                    }
+                    ProtocolStep::Output(y) => {
+                        self.phase = LocalPhase::Done(y.clone());
+                        self.output = Some(y);
+                    }
+                }
+            }
+            (AugOutcome::BlockUpdate(_), LocalPhase::Poised(..)) => {
+                self.block_updates += 1;
+                self.phase = LocalPhase::ReadyToScan;
+            }
+            (outcome, phase) => {
+                panic!("direct simulator got {outcome:?} in phase {phase:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_protocols::racing::PhasedRacing;
+    use rsim_snapshot::real::RealSystem;
+
+    #[test]
+    fn direct_simulator_solo_run_decides() {
+        let mut rs = RealSystem::new(1, 2);
+        let mut sim = DirectSimulator::new(PhasedRacing::new(2, Value::Int(7)));
+        let mut guard = 0;
+        while sim.output().is_none() {
+            let op = sim.next_op().expect("not terminated");
+            rs.begin(0, op);
+            let outcome = rs.run_to_completion(0);
+            sim.on_outcome(&outcome);
+            guard += 1;
+            assert!(guard < 100, "did not terminate");
+        }
+        assert_eq!(sim.output(), Some(&Value::Int(7)));
+        // Alternates scan / block-update, ends with a scan.
+        assert_eq!(sim.scan_count(), sim.block_update_count() + 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! `rsim-core`: the paper's contribution — the revisionist simulation
+//! (paper §4) and its quantitative consequences.
+//!
+//! * [`bounds`] — Theorem 21 / Corollary 33 / Corollary 34 formulas,
+//!   the `a(r)`/`b(i)` Block-Update budgets, and the partition
+//!   feasibility predicate that *is* the space bound.
+//! * [`direct`] — direct simulators (Algorithm 5).
+//! * [`covering`] — covering simulators with the resumable
+//!   `Construct(r)` recursion and revision of the past
+//!   (Algorithms 6–7).
+//! * [`simulation`] — the full f-simulator driver over the augmented
+//!   snapshot real system.
+//! * [`replay`] — the Lemma 26/27 validator: rebuilds the simulated
+//!   execution (hidden revision steps included) from the real trace
+//!   and replays it step-by-step against fresh protocol instances.
+//! * [`stats`] — sweep aggregation: wait-freedom, replay validity,
+//!   budget adherence and violation frequency over schedule batches
+//!   (the experiments-report backend).
+//! * [`decomposition`] — the §4.3 block decomposition
+//!   `α₁γ₁β₁⋯α_{ℓ+1}` as an explicit validated artifact.
+//! * [`threaded`] — the same simulators on real OS threads over the
+//!   thread-shared augmented snapshot (the OS scheduler as adversary).
+//! * [`bg`] — the BG simulation baseline \[15\]: safe-agreement boxes
+//!   and the blocking behaviour the revisionist simulation avoids.
+//! * [`audit`] — the theorem as a tool: audit a protocol's space claim
+//!   against Corollary 33 and extract counterexample evidence.
+//!
+//! # Example: the Corollary 33 reduction, live
+//!
+//! ```
+//! use rsim_core::bounds::kset_space_lower_bound;
+//! use rsim_core::simulation::{Simulation, SimulationConfig};
+//! use rsim_protocols::racing::PhasedRacing;
+//! use rsim_smr::value::Value;
+//!
+//! // Obstruction-free consensus among n = 4 processes needs 4
+//! // registers; a protocol on m = 2 < 4 can be simulated wait-free by
+//! // f = 2 processes.
+//! assert_eq!(kset_space_lower_bound(4, 1, 1), 4);
+//! let config = SimulationConfig::new(4, 2, 2, 0);
+//! let inputs = vec![Value::Int(1), Value::Int(2)];
+//! let mut sim = Simulation::new(config, inputs, |i| {
+//!     PhasedRacing::new(2, Value::Int([1, 2][i]))
+//! }).unwrap();
+//! sim.run_round_robin(1_000_000).unwrap();
+//! assert!(sim.all_terminated());
+//! ```
+
+pub mod audit;
+pub mod bg;
+pub mod bounds;
+pub mod covering;
+pub mod decomposition;
+pub mod direct;
+pub mod replay;
+pub mod simulation;
+pub mod stats;
+pub mod threaded;
+
+pub use bounds::{kset_space_lower_bound, kset_space_upper_bound};
+pub use covering::{CoveringSimulator, RevisionRecord};
+pub use direct::DirectSimulator;
+pub use simulation::{Simulation, SimulationConfig};

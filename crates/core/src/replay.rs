@@ -1,0 +1,395 @@
+//! The Lemma 26/27 validator: rebuild the simulated execution from the
+//! real trace and replay it against fresh protocol instances.
+//!
+//! Lemma 26 asserts that for every real execution there is a legal
+//! execution σ of Π whose steps are
+//! `α₁ ζ₁ γ₁ β₁ ⋯ α_ℓ ζ_ℓ γ_ℓ β_ℓ α_{ℓ+1}`: the linearized simulated
+//! steps, with each revision's hidden solo execution ζ_t spliced in at
+//! the point `T` whose contents the atomic Block-Update `B_t` returned.
+//! Lemma 27 appends, for each covering simulator that completed
+//! `Construct(m)`, its full block update β followed by `p_{i,1}`'s
+//! terminating solo execution ξ.
+//!
+//! [`validate`] performs the construction *and then executes it*: a
+//! fresh copy of every simulated process is driven through exactly
+//! those steps against a fresh copy of `M`. Every step must be the
+//! process's actual next step (scans must return what the process will
+//! act on; updates must match what it is poised to write), and each
+//! simulator's output must equal the output of exactly one of its
+//! simulated processes. This is a machine check of the paper's central
+//! invariant.
+
+use crate::covering::RevisionRecord;
+use crate::simulation::Simulation;
+use rsim_smr::error::ModelError;
+use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
+use rsim_smr::value::Value;
+use rsim_snapshot::client::AugOutcome;
+use rsim_snapshot::spec::{atomic_windows, linearize, LinOp};
+use rsim_snapshot::timestamp::Timestamp;
+use std::collections::HashMap;
+
+/// One step of the reconstructed simulated execution σ̄.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimStep {
+    /// The simulator owning the acting process.
+    pub sim: usize,
+    /// 1-based index of the acting process within its simulator.
+    pub local: usize,
+    /// The step.
+    pub kind: StepKind,
+}
+
+/// A simulated process step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// An `M.scan`.
+    Scan,
+    /// An `M.update(component, value)`.
+    Update(usize, Value),
+}
+
+/// Outcome of the replay.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Total steps of the reconstructed execution σ̄.
+    pub steps: usize,
+    /// Steps contributed by revisions (the ζ_t) and Algorithm 7 tails.
+    pub hidden_steps: usize,
+    /// Per-simulator: the replayed output of its deciding process.
+    pub outputs: Vec<Value>,
+    /// All validation errors (empty means Lemma 26/27 hold for this
+    /// run).
+    pub errors: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Did the replay validate?
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Expands a revision (or ξ tail) into its step sequence:
+/// `Scan, U(c₁,v₁), Scan, U(c₂,v₂), …, Scan`.
+fn solo_steps(sim: usize, local: usize, hidden: &[(usize, Value)]) -> Vec<SimStep> {
+    let mut steps = Vec::with_capacity(2 * hidden.len() + 1);
+    for (c, v) in hidden {
+        steps.push(SimStep { sim, local, kind: StepKind::Scan });
+        steps.push(SimStep { sim, local, kind: StepKind::Update(*c, v.clone()) });
+    }
+    steps.push(SimStep { sim, local, kind: StepKind::Scan });
+    steps
+}
+
+/// Rebuilds the simulated execution σ̄ of Lemmas 26/27 from a finished
+/// simulation. Returns `(steps, hidden_count)` where `hidden_count` is
+/// the number of steps contributed by revisions and Algorithm 7 tails.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ReplayMismatch`] if the run is not finished,
+/// contains incomplete Block-Updates, or an atomic Block-Update has no
+/// valid window (a specification violation).
+pub fn reconstruct<P: SnapshotProtocol>(
+    sim: &Simulation<P>,
+) -> Result<(Vec<SimStep>, usize), ModelError> {
+    if !sim.all_terminated() {
+        return Err(ModelError::ReplayMismatch(
+            "simulation has not terminated".into(),
+        ));
+    }
+    let real = sim.real();
+    let m = sim.config().m;
+    let f = sim.config().f;
+    let lin = linearize(real);
+    // Reject incomplete Block-Updates (cannot happen in a finished run).
+    for op in &lin {
+        if matches!(op, LinOp::Update { op_index: None, .. }) {
+            return Err(ModelError::ReplayMismatch(
+                "linearization contains an incomplete Block-Update".into(),
+            ));
+        }
+    }
+    let windows = atomic_windows(real, m, &lin).ok_or_else(|| {
+        ModelError::ReplayMismatch("no valid window for an atomic Block-Update".into())
+    })?;
+    // Map timestamp -> (simulator, revision record).
+    let mut revisions: HashMap<&Timestamp, (usize, &RevisionRecord)> = HashMap::new();
+    for i in 0..f {
+        for rev in sim.revisions(i) {
+            revisions.insert(&rev.ts, (i, rev));
+        }
+    }
+    // Insertions: lin position -> ζ steps (ordered by window end).
+    let mut insertions: HashMap<usize, Vec<SimStep>> = HashMap::new();
+    let mut hidden_count = 0;
+    let mut ordered = windows.clone();
+    ordered.sort_by_key(|w| w.z);
+    for w in &ordered {
+        if let Some((i, rev)) = revisions.get(&w.ts) {
+            let steps = solo_steps(*i, rev.local_index, &rev.hidden);
+            hidden_count += steps.len();
+            insertions.entry(w.t).or_default().extend(steps);
+        }
+    }
+    // Map each Block-Update op_index to its component->local mapping.
+    let mut bu_locals: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        if let AugOutcome::BlockUpdate(b) = &rec.outcome {
+            let map = b
+                .components
+                .iter()
+                .enumerate()
+                .map(|(g, &c)| (c, g + 1))
+                .collect();
+            bu_locals.insert(op_index, map);
+        }
+    }
+    // Walk the linearization with insertions.
+    let mut steps = Vec::new();
+    for (pos, op) in lin.iter().enumerate() {
+        if let Some(extra) = insertions.remove(&pos) {
+            steps.extend(extra);
+        }
+        match op {
+            LinOp::Scan { pid, .. } => {
+                steps.push(SimStep { sim: *pid, local: 1, kind: StepKind::Scan });
+            }
+            LinOp::Update { pid, component, value, op_index, .. } => {
+                let oi = op_index.expect("checked above");
+                let local = bu_locals[&oi][component];
+                steps.push(SimStep {
+                    sim: *pid,
+                    local,
+                    kind: StepKind::Update(*component, value.clone()),
+                });
+            }
+        }
+    }
+    if let Some(extra) = insertions.remove(&lin.len()) {
+        steps.extend(extra);
+    }
+    debug_assert!(insertions.is_empty(), "insertion past the execution end");
+    // Lemma 27 tails.
+    for i in 0..f {
+        if let Some(fb) = sim.final_block(i) {
+            for (g, (&c, v)) in
+                fb.block.components.iter().zip(&fb.block.values).enumerate()
+            {
+                steps.push(SimStep {
+                    sim: i,
+                    local: g + 1,
+                    kind: StepKind::Update(c, v.clone()),
+                });
+                hidden_count += 1;
+            }
+            let xi = solo_steps(i, 1, &fb.xi_hidden);
+            hidden_count += xi.len();
+            steps.extend(xi);
+        }
+    }
+    Ok((steps, hidden_count))
+}
+
+/// Reconstructs σ̄ and replays it against fresh protocol instances,
+/// checking every step and the simulators' outputs (Lemmas 26 and 27).
+///
+/// `make_protocol(i)` must construct the same initial processes the
+/// simulation was built with.
+///
+/// # Errors
+///
+/// Propagates [`reconstruct`] errors; validation failures are reported
+/// in the returned [`ReplayReport::errors`] instead.
+pub fn validate<P: SnapshotProtocol>(
+    sim: &Simulation<P>,
+    make_protocol: impl Fn(usize) -> P,
+) -> Result<ReplayReport, ModelError> {
+    let (steps, hidden_steps) = reconstruct(sim)?;
+    let f = sim.config().f;
+    let m = sim.config().m;
+    let mut errors = Vec::new();
+
+    #[derive(Debug)]
+    enum Phase {
+        Ready,
+        Poised(usize, Value),
+        Done(Value),
+    }
+    // Fresh processes: covering simulators own m, direct own 1.
+    let mut procs: Vec<Vec<P>> = (0..f)
+        .map(|i| {
+            let count = if sim.is_covering(i) { m } else { 1 };
+            (0..count).map(|_| make_protocol(i)).collect()
+        })
+        .collect();
+    let mut phases: Vec<Vec<Phase>> = procs
+        .iter()
+        .map(|row| row.iter().map(|_| Phase::Ready).collect())
+        .collect();
+    let mut contents = vec![Value::Nil; m];
+
+    for (idx, step) in steps.iter().enumerate() {
+        let g = step.local - 1;
+        match (&step.kind, &phases[step.sim][g]) {
+            (StepKind::Scan, Phase::Ready) => {
+                match procs[step.sim][g].on_scan(&contents) {
+                    ProtocolStep::Update(c, v) => {
+                        phases[step.sim][g] = Phase::Poised(c, v);
+                    }
+                    ProtocolStep::Output(y) => {
+                        phases[step.sim][g] = Phase::Done(y);
+                    }
+                }
+            }
+            (StepKind::Update(c, v), Phase::Poised(pc, pv)) => {
+                if c != pc || v != pv {
+                    errors.push(format!(
+                        "step {idx}: process ({}, {}) poised to update \
+                         ({pc}, {pv:?}) but σ̄ says ({c}, {v:?})",
+                        step.sim, step.local
+                    ));
+                }
+                contents[*c] = v.clone();
+                phases[step.sim][g] = Phase::Ready;
+            }
+            (kind, phase) => {
+                errors.push(format!(
+                    "step {idx}: process ({}, {}) in phase {phase:?} cannot \
+                     take step {kind:?}",
+                    step.sim, step.local
+                ));
+                // Keep going for more diagnostics.
+                if let StepKind::Update(c, v) = kind {
+                    contents[*c] = v.clone();
+                    phases[step.sim][g] = Phase::Ready;
+                }
+            }
+        }
+    }
+
+    // Lemma 27: exactly one process per simulator outputs, with the
+    // simulator's value.
+    let mut outputs = Vec::new();
+    for i in 0..f {
+        let done: Vec<&Value> = phases[i]
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Done(y) => Some(y),
+                _ => None,
+            })
+            .collect();
+        let sim_out = sim.output(i).expect("terminated");
+        if done.len() != 1 {
+            errors.push(format!(
+                "simulator {i}: {} simulated processes output (expected 1)",
+                done.len()
+            ));
+        }
+        match done.first() {
+            Some(y) if **y == *sim_out => outputs.push((*y).clone()),
+            Some(y) => {
+                errors.push(format!(
+                    "simulator {i} output {sim_out:?} but its simulated \
+                     process output {y:?}"
+                ));
+                outputs.push((*y).clone());
+            }
+            None => outputs.push(sim_out.clone()),
+        }
+    }
+
+    Ok(ReplayReport { steps: steps.len(), hidden_steps, outputs, errors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimulationConfig;
+    use rsim_protocols::racing::PhasedRacing;
+
+    fn consensus_sim(n: usize, m: usize, inputs: &[i64]) -> Simulation<PhasedRacing> {
+        let f = inputs.len();
+        let vals: Vec<Value> = inputs.iter().map(|&v| Value::Int(v)).collect();
+        let config = SimulationConfig::new(n, m, f, 0);
+        Simulation::new(config, vals.clone(), move |i| {
+            PhasedRacing::new(m, vals[i].clone())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn replay_validates_round_robin_run() {
+        let mut sim = consensus_sim(4, 2, &[1, 2]);
+        sim.run_round_robin(2_000_000).unwrap();
+        let report =
+            validate(&sim, |i| PhasedRacing::new(2, Value::Int([1, 2][i]))).unwrap();
+        assert!(report.is_ok(), "errors: {:#?}", report.errors);
+        assert_eq!(report.outputs.len(), 2);
+    }
+
+    #[test]
+    fn replay_validates_many_random_runs() {
+        for seed in 0..30 {
+            let mut sim = consensus_sim(4, 2, &[1, 2]);
+            sim.run_random(seed, 2_000_000).unwrap();
+            assert!(sim.all_terminated(), "seed {seed}");
+            let report = validate(&sim, |i| {
+                PhasedRacing::new(2, Value::Int([1, 2][i]))
+            })
+            .unwrap();
+            assert!(report.is_ok(), "seed {seed}: {:#?}", report.errors);
+        }
+    }
+
+    #[test]
+    fn replay_counts_hidden_steps_when_revisions_happen() {
+        let mut any_hidden = false;
+        for seed in 0..20 {
+            let mut sim = consensus_sim(6, 2, &[1, 2, 3]);
+            sim.run_random(seed, 4_000_000).unwrap();
+            let report = validate(&sim, |i| {
+                PhasedRacing::new(2, Value::Int([1, 2, 3][i]))
+            })
+            .unwrap();
+            assert!(report.is_ok(), "seed {seed}: {:#?}", report.errors);
+            if report.hidden_steps > 0 {
+                any_hidden = true;
+            }
+        }
+        assert!(any_hidden, "no run exercised hidden steps");
+    }
+
+    #[test]
+    fn replay_is_not_vacuous_wrong_protocol_fails() {
+        // Vacuity guard: replaying against the WRONG protocol family
+        // (different inputs) must produce mismatches.
+        let mut sim = consensus_sim(4, 2, &[1, 2]);
+        sim.run_round_robin(2_000_000).unwrap();
+        let report = validate(&sim, |_| PhasedRacing::new(2, Value::Int(77)))
+            .unwrap();
+        assert!(
+            !report.is_ok(),
+            "replaying a different protocol must not validate"
+        );
+    }
+
+    #[test]
+    fn replay_rejects_unfinished_runs() {
+        let sim = consensus_sim(4, 2, &[1, 2]);
+        assert!(matches!(
+            reconstruct(&sim),
+            Err(ModelError::ReplayMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn reconstruction_is_deterministic() {
+        let mut sim = consensus_sim(4, 2, &[1, 2]);
+        sim.run_round_robin(2_000_000).unwrap();
+        let a = reconstruct(&sim).unwrap();
+        let b = reconstruct(&sim).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,435 @@
+//! The full revisionist simulation: `f` real processes simulate an
+//! n-process protocol Π over an m-component snapshot (paper §4, the
+//! setting of Theorem 21 and Figure 1).
+//!
+//! Covering simulators take the *low* identifiers `0..f−d` (the paper
+//! requires covering simulators below direct ones so that Theorem 20's
+//! yield asymmetry feeds their atomic Block-Updates), each owning `m`
+//! simulated processes; the `d` direct simulators own one each. The
+//! partition needs `(f−d)·m + d ≤ n` simulated processes — the
+//! feasibility predicate that *is* the space bound
+//! ([`crate::bounds::simulation_feasible`]).
+
+use crate::bounds;
+use crate::covering::CoveringSimulator;
+use crate::direct::DirectSimulator;
+use rsim_smr::error::ModelError;
+use rsim_smr::process::SnapshotProtocol;
+use rsim_smr::value::Value;
+use rsim_snapshot::real::RealSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimulationConfig {
+    /// Simulated processes available (the protocol Π is an n-process
+    /// protocol).
+    pub n: usize,
+    /// Components of the simulated snapshot `M` (Π's space use).
+    pub m: usize,
+    /// Real processes (simulators).
+    pub f: usize,
+    /// Direct simulators (the paper's `d`; `d = x` in the
+    /// x-obstruction-free case, `d = 0` in the obstruction-free case).
+    pub d: usize,
+    /// Budget for each local solo simulation.
+    pub solo_budget: usize,
+}
+
+impl SimulationConfig {
+    /// A config with a default solo budget.
+    pub fn new(n: usize, m: usize, f: usize, d: usize) -> Self {
+        SimulationConfig { n, m, f, d, solo_budget: 100_000 }
+    }
+
+    /// Is the partition of simulated processes possible?
+    pub fn is_feasible(&self) -> bool {
+        bounds::simulation_feasible(self.n, self.m, self.f, self.d)
+    }
+}
+
+enum Sim<P> {
+    Covering(CoveringSimulator<P>),
+    Direct(DirectSimulator<P>),
+}
+
+/// The simulation driver: the real system plus `f` simulators.
+pub struct Simulation<P> {
+    config: SimulationConfig,
+    real: RealSystem,
+    sims: Vec<Sim<P>>,
+    in_flight: Vec<bool>,
+    inputs: Vec<Value>,
+}
+
+impl<P: SnapshotProtocol> Simulation<P> {
+    /// Builds a simulation. `make_protocol(i)` constructs a simulated
+    /// process with real process `q_i`'s input; `inputs[i]` is that
+    /// input (used for task validation and the replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadId`] if the partition is infeasible
+    /// (`(f−d)·m + d > n`) — the situation that *is* the lower bound —
+    /// or the inputs don't match `f`.
+    pub fn new(
+        config: SimulationConfig,
+        inputs: Vec<Value>,
+        make_protocol: impl Fn(usize) -> P,
+    ) -> Result<Self, ModelError> {
+        if !config.is_feasible() {
+            return Err(ModelError::BadId(format!(
+                "infeasible partition: ({} - {})*{} + {} > {} — m >= the space bound",
+                config.f, config.d, config.m, config.d, config.n
+            )));
+        }
+        if inputs.len() != config.f {
+            return Err(ModelError::BadId(format!(
+                "need {} inputs, got {}",
+                config.f,
+                inputs.len()
+            )));
+        }
+        let covering_count = config.f - config.d;
+        let mut sims = Vec::with_capacity(config.f);
+        for i in 0..config.f {
+            if i < covering_count {
+                let procs: Vec<P> =
+                    (0..config.m).map(|_| make_protocol(i)).collect();
+                sims.push(Sim::Covering(CoveringSimulator::new(
+                    procs,
+                    config.solo_budget,
+                )));
+            } else {
+                sims.push(Sim::Direct(DirectSimulator::new(make_protocol(i))));
+            }
+        }
+        Ok(Simulation {
+            real: RealSystem::new(config.f, config.m),
+            sims,
+            in_flight: vec![false; config.f],
+            inputs,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The simulators' inputs.
+    pub fn inputs(&self) -> &[Value] {
+        &self.inputs
+    }
+
+    /// The underlying real system (event and operation logs).
+    pub fn real(&self) -> &RealSystem {
+        &self.real
+    }
+
+    /// Simulator `i`'s output, if terminated.
+    pub fn output(&self, i: usize) -> Option<&Value> {
+        match &self.sims[i] {
+            Sim::Covering(c) => c.output(),
+            Sim::Direct(d) => d.output(),
+        }
+    }
+
+    /// Outputs of all simulators.
+    pub fn outputs(&self) -> Vec<Option<Value>> {
+        (0..self.config.f).map(|i| self.output(i).cloned()).collect()
+    }
+
+    /// Have all simulators terminated?
+    pub fn all_terminated(&self) -> bool {
+        (0..self.config.f).all(|i| self.output(i).is_some())
+    }
+
+    /// The covering simulator `i` (panics if `i` is direct).
+    pub fn covering(&self, i: usize) -> &CoveringSimulator<P> {
+        match &self.sims[i] {
+            Sim::Covering(c) => c,
+            Sim::Direct(_) => panic!("simulator {i} is direct"),
+        }
+    }
+
+    /// Is simulator `i` a covering simulator?
+    pub fn is_covering(&self, i: usize) -> bool {
+        matches!(self.sims[i], Sim::Covering(_))
+    }
+
+    /// The revisions logged by simulator `i` (empty for direct
+    /// simulators).
+    pub fn revisions(&self, i: usize) -> &[crate::covering::RevisionRecord] {
+        match &self.sims[i] {
+            Sim::Covering(c) => c.revisions(),
+            Sim::Direct(_) => &[],
+        }
+    }
+
+    /// The Algorithm 7 tail of simulator `i`, if any.
+    pub fn final_block(&self, i: usize) -> Option<&crate::covering::FinalBlock> {
+        match &self.sims[i] {
+            Sim::Covering(c) => c.final_block(),
+            Sim::Direct(_) => None,
+        }
+    }
+
+    /// `(scans, block_updates)` applied by simulator `i`.
+    pub fn op_counts(&self, i: usize) -> (usize, usize) {
+        match &self.sims[i] {
+            Sim::Covering(c) => (c.scan_count(), c.block_update_count()),
+            Sim::Direct(d) => (d.scan_count(), d.block_update_count()),
+        }
+    }
+
+    /// Performs one atomic H-step for simulator `i` (beginning its next
+    /// `M` operation if idle). Returns `false` if the simulator has
+    /// terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed local simulation (protocol not
+    /// obstruction-free within the solo budget).
+    pub fn step(&mut self, i: usize) -> Result<bool, ModelError> {
+        if self.output(i).is_some() && !self.in_flight[i] {
+            return Ok(false);
+        }
+        if !self.in_flight[i] {
+            let op = match &mut self.sims[i] {
+                Sim::Covering(c) => c.next_op()?,
+                Sim::Direct(d) => Ok::<_, ModelError>(d.next_op())?,
+            };
+            match op {
+                Some(op) => {
+                    self.real.begin(i, op);
+                    self.in_flight[i] = true;
+                }
+                None => return Ok(false), // terminated without an op
+            }
+        }
+        if let Some(outcome) = self.real.step(i) {
+            self.in_flight[i] = false;
+            match &mut self.sims[i] {
+                Sim::Covering(c) => c.on_outcome(&outcome),
+                Sim::Direct(d) => d.on_outcome(&outcome),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs simulators round-robin until all terminate or `max_h_steps`
+    /// elapse. Returns the number of H-steps taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::step`] errors.
+    pub fn run_round_robin(&mut self, max_h_steps: usize) -> Result<usize, ModelError> {
+        let mut steps = 0;
+        let mut made_progress = true;
+        while steps < max_h_steps && made_progress && !self.all_terminated() {
+            made_progress = false;
+            for i in 0..self.config.f {
+                if steps >= max_h_steps {
+                    break;
+                }
+                if self.step(i)? {
+                    made_progress = true;
+                    steps += 1;
+                }
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs simulators under a seeded random schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::step`] errors.
+    pub fn run_random(&mut self, seed: u64, max_h_steps: usize) -> Result<usize, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = 0;
+        while steps < max_h_steps && !self.all_terminated() {
+            let live: Vec<usize> = (0..self.config.f)
+                .filter(|&i| self.output(i).is_none() || self.in_flight[i])
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let i = live[rng.gen_range(0..live.len())];
+            if self.step(i)? {
+                steps += 1;
+            }
+        }
+        Ok(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_protocols::racing::PhasedRacing;
+    use rsim_tasks::agreement::consensus;
+    use rsim_tasks::task::ColorlessTask;
+
+    fn consensus_sim(
+        n: usize,
+        m: usize,
+        inputs: &[i64],
+    ) -> Simulation<PhasedRacing> {
+        let f = inputs.len();
+        let vals: Vec<Value> = inputs.iter().map(|&v| Value::Int(v)).collect();
+        let config = SimulationConfig::new(n, m, f, 0);
+        Simulation::new(config, vals.clone(), move |i| {
+            PhasedRacing::new(m, vals[i].clone())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn infeasible_partition_is_rejected() {
+        // n = 4, m = 2, f = 2, d = 0 needs 4 processes: feasible.
+        assert!(SimulationConfig::new(4, 2, 2, 0).is_feasible());
+        // m = 3 needs 6 > 4: infeasible — the lower bound in action
+        // (bound for n=4 consensus is 4; wait, here f=2 ⇒ bound ⌊4/2⌋+1 = 3).
+        assert!(!SimulationConfig::new(4, 3, 2, 0).is_feasible());
+        let config = SimulationConfig::new(4, 3, 2, 0);
+        let r = Simulation::new(config, vec![Value::Int(1), Value::Int(2)], |_| {
+            PhasedRacing::new(3, Value::Int(0))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn two_covering_simulators_terminate_round_robin() {
+        // n = 4 simulated processes, m = 2 components, f = 2 covering
+        // simulators: the reduction of Corollary 33 for consensus.
+        let mut sim = consensus_sim(4, 2, &[1, 2]);
+        sim.run_round_robin(1_000_000).unwrap();
+        assert!(sim.all_terminated(), "simulation must be wait-free");
+        // Validity: outputs are inputs of some simulator.
+        for out in sim.outputs() {
+            let out = out.unwrap();
+            assert!(out == Value::Int(1) || out == Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn equal_inputs_force_agreement_through_simulation() {
+        // With both simulators holding input 5, any correct-validity Π
+        // makes every simulated process output 5; so must the
+        // simulators (Lemma 27).
+        for seed in 0..10 {
+            let mut sim = consensus_sim(4, 2, &[5, 5]);
+            sim.run_random(seed, 1_000_000).unwrap();
+            assert!(sim.all_terminated());
+            let outs: Vec<Value> =
+                sim.outputs().into_iter().map(Option::unwrap).collect();
+            consensus()
+                .validate(&[Value::Int(5), Value::Int(5)], &outs)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn random_schedules_terminate_and_are_wait_free() {
+        for seed in 0..20 {
+            let mut sim = consensus_sim(4, 2, &[1, 2]);
+            let steps = sim.run_random(seed, 2_000_000).unwrap();
+            assert!(sim.all_terminated(), "seed {seed}: not terminated");
+            // Lemma 31-flavored sanity: H-steps are far below the
+            // crude bound.
+            assert!(steps < 2_000_000);
+        }
+    }
+
+    #[test]
+    fn block_update_counts_respect_lemma_30() {
+        for seed in 0..10 {
+            let mut sim = consensus_sim(4, 2, &[1, 2]);
+            sim.run_random(seed, 2_000_000).unwrap();
+            for i in 0..2 {
+                let (_, bus) = sim.op_counts(i);
+                let bound = crate::bounds::b_bound(2, i + 1);
+                assert!(
+                    (bus as u128) <= bound,
+                    "seed {seed}: simulator {i} applied {bus} > b({}) = {bound}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_direct_and_covering_simulators() {
+        // f = 3, d = 1: two covering + one direct simulator
+        // (x-obstruction-free case with x = 1).
+        let n = 5;
+        let m = 2;
+        let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let config = SimulationConfig::new(n, m, 3, 1);
+        assert!(config.is_feasible()); // 2*2 + 1 = 5 <= 5
+        let mut sim = Simulation::new(config, inputs, move |i| {
+            PhasedRacing::new(m, Value::Int([1, 2, 3][i]))
+        })
+        .unwrap();
+        sim.run_round_robin(2_000_000).unwrap();
+        assert!(sim.all_terminated());
+    }
+
+    #[test]
+    fn m_equals_one_simulators_take_a_single_scan() {
+        // The m = 1 corner: Construct(1) is the whole construction, so
+        // a covering simulator applies exactly one M.Scan and zero
+        // M.Block-Updates (b(i) = 0), locally simulates the 1-component
+        // block + solo run, and outputs its own input — the 1-register
+        // impossibility [21] in miniature: both simulators decide their
+        // own values.
+        let config = SimulationConfig::new(2, 1, 2, 0);
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let mut sim = Simulation::new(config, inputs, |i| {
+            PhasedRacing::new(1, Value::Int([1, 2][i]))
+        })
+        .unwrap();
+        sim.run_round_robin(1_000).unwrap();
+        assert!(sim.all_terminated());
+        for i in 0..2 {
+            let (scans, bus) = sim.op_counts(i);
+            assert_eq!(scans, 1, "simulator {i}");
+            assert_eq!(bus, 0, "simulator {i}");
+        }
+        assert_eq!(sim.output(0), Some(&Value::Int(1)));
+        assert_eq!(sim.output(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn reduction_extracts_disagreement_below_the_bound() {
+        // The punchline of Theorem 21: Π (phased racing) on m = 2
+        // components among n = 4 processes is obstruction-free, so two
+        // simulators solve "consensus" wait-free — but wait-free
+        // 2-process consensus is impossible, and indeed some schedule
+        // makes the outputs disagree.
+        let mut found = false;
+        for seed in 0..200 {
+            let mut sim = consensus_sim(4, 2, &[1, 2]);
+            sim.run_random(seed, 2_000_000).unwrap();
+            assert!(sim.all_terminated());
+            let outs: Vec<Value> =
+                sim.outputs().into_iter().map(Option::unwrap).collect();
+            if consensus()
+                .validate(&[Value::Int(1), Value::Int(2)], &outs)
+                .is_err()
+            {
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "expected some schedule to extract a consensus violation"
+        );
+    }
+}

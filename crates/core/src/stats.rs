@@ -1,0 +1,196 @@
+//! Sweep statistics: the repository's "figure generator".
+//!
+//! [`sweep`] runs a batch of simulations over random schedules and
+//! aggregates everything the experiments report: wait-freedom, replay
+//! validity, Block-Update counts against the Lemma 30 budgets, H-step
+//! totals against the Lemma 31 bound, task-violation frequency
+//! (the Theorem 21 contradiction), and revision statistics.
+
+use crate::bounds;
+use crate::replay;
+use crate::simulation::{Simulation, SimulationConfig};
+use rsim_smr::error::ModelError;
+use rsim_smr::process::SnapshotProtocol;
+use rsim_smr::value::Value;
+use rsim_tasks::task::ColorlessTask;
+
+/// Aggregated results of one sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The configuration swept.
+    pub config: SimulationConfig,
+    /// Schedules run.
+    pub runs: usize,
+    /// Runs in which every simulator terminated (must equal `runs`:
+    /// the simulation is wait-free).
+    pub wait_free: usize,
+    /// Runs whose Lemma 26/27 replay validated.
+    pub replay_ok: usize,
+    /// Per-simulator maximum of applied Block-Updates.
+    pub max_block_updates: Vec<usize>,
+    /// The Lemma 30 budgets `b(i)` those maxima must respect.
+    pub budgets: Vec<u128>,
+    /// Maximum H-steps over the runs.
+    pub max_h_steps: usize,
+    /// Mean H-steps over the runs.
+    pub mean_h_steps: f64,
+    /// Runs whose simulator outputs violated the task — the observable
+    /// contradiction of Theorem 21.
+    pub task_violations: usize,
+    /// Total revisions of the past across all runs.
+    pub revisions: usize,
+    /// Total hidden (revision + tail) steps across all replays.
+    pub hidden_steps: usize,
+}
+
+impl SweepPoint {
+    /// Do all measured counts respect the analytic budgets?
+    pub fn budgets_hold(&self) -> bool {
+        self.max_block_updates
+            .iter()
+            .zip(&self.budgets)
+            .all(|(&measured, &budget)| measured as u128 <= budget)
+    }
+
+    /// One table row: `n m f | runs wf replay viol | maxH meanH`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>3} {:>3} {:>3} | {:>4} {:>4} {:>6} {:>5} | {:>7} {:>8.1} | {}",
+            self.config.n,
+            self.config.m,
+            self.config.f,
+            self.runs,
+            self.wait_free,
+            self.replay_ok,
+            self.task_violations,
+            self.max_h_steps,
+            self.mean_h_steps,
+            self.max_block_updates
+                .iter()
+                .zip(&self.budgets)
+                .map(|(m, b)| format!("{m}≤{b}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Runs `seeds` random-schedule simulations of `config` with processes
+/// built by `make_protocol`, validating against `task`, and aggregates
+/// the results.
+///
+/// # Errors
+///
+/// Propagates construction/step errors (infeasible partitions, solo
+/// budget exhaustion).
+pub fn sweep<P: SnapshotProtocol>(
+    config: SimulationConfig,
+    inputs: &[Value],
+    make_protocol: impl Fn(usize) -> P + Copy,
+    task: &dyn ColorlessTask,
+    seeds: std::ops::Range<u64>,
+    max_h_steps: usize,
+) -> Result<SweepPoint, ModelError> {
+    let f = config.f;
+    let mut point = SweepPoint {
+        config,
+        runs: 0,
+        wait_free: 0,
+        replay_ok: 0,
+        max_block_updates: vec![0; f],
+        budgets: (1..=f).map(|i| bounds::b_bound(config.m, i)).collect(),
+        max_h_steps: 0,
+        mean_h_steps: 0.0,
+        task_violations: 0,
+        revisions: 0,
+        hidden_steps: 0,
+    };
+    let mut total_h = 0usize;
+    for seed in seeds {
+        let mut sim = Simulation::new(config, inputs.to_vec(), make_protocol)?;
+        sim.run_random(seed, max_h_steps)?;
+        point.runs += 1;
+        if !sim.all_terminated() {
+            continue;
+        }
+        point.wait_free += 1;
+        // Proposition 24: each simulator alternates Scan and
+        // Block-Update, ending with a Scan (or a revision/local tail).
+        for i in 0..f {
+            let (scans, bus) = sim.op_counts(i);
+            debug_assert!(
+                scans == bus || scans == bus + 1,
+                "Proposition 24 violated: {scans} scans vs {bus} block-updates"
+            );
+        }
+        let h = sim.real().log().len();
+        total_h += h;
+        point.max_h_steps = point.max_h_steps.max(h);
+        for i in 0..f {
+            let (_, bus) = sim.op_counts(i);
+            point.max_block_updates[i] = point.max_block_updates[i].max(bus);
+            point.revisions += sim.revisions(i).len();
+        }
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if task.validate(inputs, &outs).is_err() {
+            point.task_violations += 1;
+        }
+        if let Ok(report) = replay::validate(&sim, make_protocol) {
+            if report.is_ok() {
+                point.replay_ok += 1;
+                point.hidden_steps += report.hidden_steps;
+            }
+        }
+    }
+    if point.wait_free > 0 {
+        point.mean_h_steps = total_h as f64 / point.wait_free as f64;
+    }
+    Ok(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_protocols::racing::PhasedRacing;
+    use rsim_tasks::agreement::consensus;
+
+    #[test]
+    fn sweep_aggregates_consistently() {
+        let config = SimulationConfig::new(4, 2, 2, 0);
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let point = sweep(
+            config,
+            &inputs,
+            |i| PhasedRacing::new(2, Value::Int([1, 2][i])),
+            &consensus(),
+            0..30,
+            2_000_000,
+        )
+        .unwrap();
+        assert_eq!(point.runs, 30);
+        assert_eq!(point.wait_free, 30, "wait-freedom");
+        assert_eq!(point.replay_ok, 30, "replay validity");
+        assert!(point.budgets_hold(), "{:?}", point);
+        assert!(point.max_h_steps >= point.mean_h_steps as usize);
+        assert!(!point.row().is_empty());
+    }
+
+    #[test]
+    fn sweep_counts_violations_below_bound() {
+        let config = SimulationConfig::new(4, 2, 2, 0);
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let point = sweep(
+            config,
+            &inputs,
+            |i| PhasedRacing::new(2, Value::Int([1, 2][i])),
+            &consensus(),
+            0..120,
+            2_000_000,
+        )
+        .unwrap();
+        assert!(
+            point.task_violations > 0,
+            "expected extracted consensus violations below the bound"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The simulation on real OS threads.
+//!
+//! The model-mode [`crate::simulation::Simulation`] gives the adversary
+//! full control of the H-step schedule; this module runs the *same*
+//! simulator state machines with one OS thread per simulator over the
+//! thread-shared augmented snapshot
+//! ([`rsim_snapshot::thread_mode::SharedAug`]). The OS scheduler is the
+//! adversary.
+//!
+//! Because the simulation is wait-free (Lemma 31/32), every thread
+//! terminates no matter how the OS schedules them — `run_threaded`
+//! simply joins all threads and returns the outputs.
+
+use crate::covering::CoveringSimulator;
+use crate::direct::DirectSimulator;
+use crate::simulation::SimulationConfig;
+use rsim_smr::error::ModelError;
+use rsim_smr::process::SnapshotProtocol;
+use rsim_smr::value::Value;
+use rsim_snapshot::thread_mode::SharedAug;
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedOutcome {
+    /// Output of each simulator.
+    pub outputs: Vec<Value>,
+    /// `(scans, block_updates)` applied by each simulator.
+    pub op_counts: Vec<(usize, usize)>,
+    /// Revisions performed by each simulator.
+    pub revisions: Vec<usize>,
+}
+
+/// Runs the revisionist simulation with one OS thread per simulator.
+///
+/// `make_protocol(i)` builds a simulated process with simulator `i`'s
+/// input, exactly as in [`crate::simulation::Simulation::new`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadId`] if the partition is infeasible.
+///
+/// # Panics
+///
+/// Panics if a simulator thread panics (a protocol violation).
+pub fn run_threaded<P>(
+    config: SimulationConfig,
+    make_protocol: impl Fn(usize) -> P + Send + Sync,
+) -> Result<ThreadedOutcome, ModelError>
+where
+    P: SnapshotProtocol + Send + 'static,
+{
+    if !config.is_feasible() {
+        return Err(ModelError::BadId(format!(
+            "infeasible partition: ({} - {})*{} + {} > {}",
+            config.f, config.d, config.m, config.d, config.n
+        )));
+    }
+    let aug = SharedAug::new(config.f, config.m);
+    let covering_count = config.f - config.d;
+    let mut results: Vec<Option<(Value, (usize, usize), usize)>> =
+        (0..config.f).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..config.f {
+            let aug = std::sync::Arc::clone(&aug);
+            let make = &make_protocol;
+            handles.push(scope.spawn(move || {
+                if i < covering_count {
+                    let procs: Vec<P> = (0..config.m).map(|_| make(i)).collect();
+                    let mut sim = CoveringSimulator::new(procs, config.solo_budget);
+                    loop {
+                        match sim.next_op().expect("solo budget exhausted") {
+                            Some(op) => {
+                                let outcome = aug.apply(i, op);
+                                sim.on_outcome(&outcome);
+                            }
+                            None => break,
+                        }
+                    }
+                    (
+                        sim.output().expect("terminated").clone(),
+                        (sim.scan_count(), sim.block_update_count()),
+                        sim.revisions().len(),
+                    )
+                } else {
+                    let mut sim = DirectSimulator::new(make(i));
+                    loop {
+                        match sim.next_op() {
+                            Some(op) => {
+                                let outcome = aug.apply(i, op);
+                                sim.on_outcome(&outcome);
+                            }
+                            None => break,
+                        }
+                    }
+                    (
+                        sim.output().expect("terminated").clone(),
+                        (sim.scan_count(), sim.block_update_count()),
+                        0,
+                    )
+                }
+            }));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            results[i] = Some(handle.join().expect("simulator thread panicked"));
+        }
+    });
+
+    let mut outputs = Vec::new();
+    let mut op_counts = Vec::new();
+    let mut revisions = Vec::new();
+    for r in results {
+        let (out, counts, revs) = r.expect("all threads joined");
+        outputs.push(out);
+        op_counts.push(counts);
+        revisions.push(revs);
+    }
+    Ok(ThreadedOutcome { outputs, op_counts, revisions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use rsim_protocols::racing::PhasedRacing;
+    use rsim_tasks::agreement::consensus;
+    use rsim_tasks::task::ColorlessTask;
+
+    #[test]
+    fn threaded_simulation_terminates_and_is_valid() {
+        // Real threads, real contention: wait-freedom means this joins.
+        for round in 0..20 {
+            let config = SimulationConfig::new(4, 2, 2, 0);
+            let outcome = run_threaded(config, |i| {
+                PhasedRacing::new(2, Value::Int([1, 2][i]))
+            })
+            .unwrap();
+            assert_eq!(outcome.outputs.len(), 2);
+            for out in &outcome.outputs {
+                assert!(
+                    *out == Value::Int(1) || *out == Value::Int(2),
+                    "round {round}: invalid output {out:?}"
+                );
+            }
+            // Budgets hold under the OS scheduler too.
+            for (i, &(_, bus)) in outcome.op_counts.iter().enumerate() {
+                assert!((bus as u128) <= bounds::b_bound(2, i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_equal_inputs_agree() {
+        for _ in 0..10 {
+            let config = SimulationConfig::new(4, 2, 2, 0);
+            let outcome =
+                run_threaded(config, |_| PhasedRacing::new(2, Value::Int(9))).unwrap();
+            let inputs = [Value::Int(9), Value::Int(9)];
+            consensus().validate(&inputs, &outcome.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn threaded_mixed_direct_and_covering() {
+        let config = SimulationConfig::new(5, 2, 3, 1);
+        let outcome = run_threaded(config, |i| {
+            PhasedRacing::new(2, Value::Int([1, 2, 3][i]))
+        })
+        .unwrap();
+        assert_eq!(outcome.outputs.len(), 3);
+    }
+
+    #[test]
+    fn threaded_rejects_infeasible_partitions() {
+        let config = SimulationConfig::new(4, 3, 2, 0);
+        assert!(run_threaded(config, |_| PhasedRacing::new(3, Value::Int(1))).is_err());
+    }
+}

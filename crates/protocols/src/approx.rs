@@ -1,0 +1,315 @@
+//! Wait-free ε-approximate agreement (paper §2 task; used by
+//! Corollary 34).
+//!
+//! [`MidpointApprox`] is the classic round-based midpoint protocol over
+//! an n-component snapshot where process `i` writes component `i`
+//! (cf. the n-register upper bound of Attiya–Lynch–Shavit \[9\]):
+//!
+//! * round `r`: write `(r, v)` to your component, then scan;
+//! * if some entry is at a later round, *jump*: adopt its `(round,
+//!   value)` (jump-copied values never leave the frontier interval);
+//! * otherwise move to round `r + 1` with the midpoint of the values
+//!   you saw at round `r` (your own included — you wrote before
+//!   scanning, so round-r views are totally ordered by inclusion and
+//!   the round-r+1 range is at most half the round-r range);
+//! * after `R = ⌈log₂(D/ε)⌉` rounds, output.
+//!
+//! For 2 processes this takes `2R + O(1)` steps — the upper-bound shape
+//! matching the `½·log₃(1/ε)` step lower bound \[36\] that Corollary 34
+//! consumes.
+//!
+//! [`MidpointApprox::compressed`] maps `n` processes onto `m < n`
+//! components (process `i` writes component `i mod m`). It stays
+//! wait-free (rounds are bounded) but processes can clobber each other,
+//! so ε-agreement can fail — the under-provisioned Π̃ used to exercise
+//! the Theorem 21(1) reduction.
+
+use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
+use rsim_smr::value::{Dyadic, Value};
+
+fn encode(round: u32, v: Dyadic) -> Value {
+    Value::pair(Value::Int(round as i64), Value::Dyadic(v))
+}
+
+fn parse(entry: &Value) -> Option<(u32, Dyadic)> {
+    let (r, v) = entry.as_pair()?;
+    Some((r.as_int()? as u32, v.as_dyadic()?))
+}
+
+/// Number of rounds needed to shrink range `1` (inputs in `[0, 1]`)
+/// below `ε = 2^{-eps_exp}`: one halving per round.
+pub fn rounds_for_epsilon(eps_exp: u32) -> u32 {
+    eps_exp
+}
+
+/// The round-based midpoint protocol for one process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MidpointApprox {
+    /// The component this process writes.
+    slot: usize,
+    /// Total number of snapshot components.
+    m: usize,
+    /// Current round (1-based).
+    round: u32,
+    /// Current estimate.
+    value: Dyadic,
+    /// Rounds to run before outputting.
+    rounds: u32,
+    /// Whether the current round's write has been issued.
+    written: bool,
+}
+
+impl MidpointApprox {
+    /// The standard protocol: process `i` of `n`, own component, input
+    /// `input`, running `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn new(i: usize, n: usize, input: Dyadic, rounds: u32) -> Self {
+        assert!(i < n);
+        MidpointApprox { slot: i, m: n, round: 1, value: input, rounds, written: false }
+    }
+
+    /// The compressed variant: `n` processes share `m` components,
+    /// process `i` writing component `i mod m`. Wait-free but only
+    /// ε-correct when `m ≥ n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn compressed(i: usize, m: usize, input: Dyadic, rounds: u32) -> Self {
+        assert!(m >= 1);
+        MidpointApprox { slot: i % m, m, round: 1, value: input, rounds, written: false }
+    }
+
+    /// The process's current estimate.
+    pub fn estimate(&self) -> Dyadic {
+        self.value
+    }
+
+    /// The process's current round.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+}
+
+impl SnapshotProtocol for MidpointApprox {
+    fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+        debug_assert_eq!(view.len(), self.m);
+        if !self.written {
+            self.written = true;
+            return ProtocolStep::Update(self.slot, encode(self.round, self.value));
+        }
+        let entries: Vec<(u32, Dyadic)> =
+            view.iter().filter_map(parse).collect();
+        let max_round = entries.iter().map(|(r, _)| *r).max().unwrap_or(0);
+        if max_round > self.round {
+            // Jump to the frontier, copying a frontier value.
+            let (r, v) = entries
+                .iter()
+                .filter(|(r, _)| *r == max_round)
+                .max_by_key(|(_, v)| *v)
+                .copied()
+                .expect("nonempty frontier");
+            self.round = r;
+            self.value = v;
+        } else {
+            // Midpoint of the round-r values seen (own value included —
+            // in compressed mode our entry may have been clobbered, so
+            // add it explicitly).
+            let mut lo = self.value;
+            let mut hi = self.value;
+            for (r, v) in &entries {
+                if *r == self.round {
+                    lo = lo.min(*v);
+                    hi = hi.max(*v);
+                }
+            }
+            self.value = lo.midpoint(hi);
+            self.round += 1;
+        }
+        if self.round > self.rounds {
+            return ProtocolStep::Output(Value::Dyadic(self.value));
+        }
+        ProtocolStep::Update(self.slot, encode(self.round, self.value))
+    }
+
+    fn components(&self) -> usize {
+        self.m
+    }
+}
+
+/// Builds the standard n-process system (one component per process).
+pub fn approx_system(inputs: &[Dyadic], rounds: u32) -> rsim_smr::system::System {
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, SnapshotProcess};
+    let n = inputs.len();
+    let processes = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &input)| {
+            Box::new(SnapshotProcess::new(
+                MidpointApprox::new(i, n, input, rounds),
+                ObjectId(0),
+            )) as Box<dyn Process>
+        })
+        .collect();
+    rsim_smr::system::System::new(vec![Object::snapshot(n)], processes)
+}
+
+/// Builds the compressed system: `n = inputs.len()` processes over `m`
+/// components.
+pub fn compressed_approx_system(
+    inputs: &[Dyadic],
+    m: usize,
+    rounds: u32,
+) -> rsim_smr::system::System {
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, SnapshotProcess};
+    let processes = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &input)| {
+            Box::new(SnapshotProcess::new(
+                MidpointApprox::compressed(i, m, input, rounds),
+                ObjectId(0),
+            )) as Box<dyn Process>
+        })
+        .collect();
+    rsim_smr::system::System::new(vec![Object::snapshot(m)], processes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::explore::{Explorer, Limits};
+    use rsim_smr::process::ProcessId;
+    use rsim_smr::sched::Random;
+    use rsim_tasks::agreement::ApproximateAgreement;
+    use rsim_tasks::task::ColorlessTask;
+    use rsim_tasks::violation::{check_wait_freedom, search_random};
+
+    fn zero_one() -> Vec<Dyadic> {
+        vec![Dyadic::zero(), Dyadic::one()]
+    }
+
+    fn as_values(inputs: &[Dyadic]) -> Vec<Value> {
+        inputs.iter().map(|&d| Value::Dyadic(d)).collect()
+    }
+
+    #[test]
+    fn solo_outputs_own_input() {
+        let mut sys = approx_system(&zero_one(), 4);
+        let out = sys.run_solo(ProcessId(0), 100).unwrap();
+        assert_eq!(out, Value::Dyadic(Dyadic::zero()));
+    }
+
+    #[test]
+    fn two_process_outputs_within_epsilon() {
+        let eps_exp = 4; // ε = 1/16
+        let task = ApproximateAgreement::new(Dyadic::two_to_minus(eps_exp));
+        let inputs = zero_one();
+        let rounds = rounds_for_epsilon(eps_exp);
+        let factory = move || approx_system(&zero_one(), rounds);
+        let v = search_random(&factory, &as_values(&inputs), &task, 400, 2_000, 5);
+        assert!(v.is_none(), "violation: {v:?}");
+    }
+
+    #[test]
+    fn two_process_exhaustive_small_epsilon() {
+        let eps_exp = 2; // ε = 1/4
+        let task = ApproximateAgreement::new(Dyadic::two_to_minus(eps_exp));
+        let inputs = zero_one();
+        let sys = approx_system(&inputs, rounds_for_epsilon(eps_exp));
+        let explorer = Explorer::new(Limits { max_depth: 30, max_configs: 2_000_000 });
+        let (outputs, report) = explorer.terminal_outputs(&sys).unwrap();
+        assert!(!report.truncated, "exploration truncated");
+        for outs in outputs {
+            task.validate(&as_values(&inputs), &outs)
+                .unwrap_or_else(|e| panic!("{e} (outputs {outs:?})"));
+        }
+    }
+
+    #[test]
+    fn n3_random_within_epsilon() {
+        let eps_exp = 5;
+        let task = ApproximateAgreement::new(Dyadic::two_to_minus(eps_exp));
+        let inputs = vec![Dyadic::zero(), Dyadic::new(1, 1), Dyadic::one()];
+        let rounds = rounds_for_epsilon(eps_exp);
+        let inputs2 = inputs.clone();
+        let factory = move || approx_system(&inputs2, rounds);
+        let v = search_random(&factory, &as_values(&inputs), &task, 300, 4_000, 9);
+        assert!(v.is_none(), "violation: {v:?}");
+    }
+
+    #[test]
+    fn wait_free_under_contention() {
+        // Bounded rounds ⇒ wait-freedom: no process exceeds ~2R + 3
+        // steps, under any schedule.
+        let rounds = rounds_for_epsilon(6);
+        let factory = move || approx_system(&zero_one(), rounds);
+        let budget = (2 * rounds + 6) as usize;
+        assert!(check_wait_freedom(&factory, 100, budget, 1).is_none());
+    }
+
+    #[test]
+    fn step_complexity_scales_with_log_epsilon() {
+        // Solo step count ≈ 2R + 2: the log₂(1/ε) upper-bound shape of
+        // Corollary 34's comparison.
+        for eps_exp in [2u32, 4, 8, 16] {
+            let rounds = rounds_for_epsilon(eps_exp);
+            let mut sys = approx_system(&zero_one(), rounds);
+            sys.run_solo(ProcessId(0), 10_000).unwrap();
+            let steps = sys.trace().len();
+            // Per round: one update + one scan; plus the initial scan.
+            assert_eq!(steps, (2 * rounds + 1) as usize);
+        }
+    }
+
+    #[test]
+    fn compressed_variant_is_wait_free_even_when_broken() {
+        let rounds = rounds_for_epsilon(6);
+        let inputs = vec![Dyadic::zero(), Dyadic::one(), Dyadic::one(), Dyadic::zero()];
+        let inputs2 = inputs.clone();
+        let factory = move || compressed_approx_system(&inputs2, 2, rounds);
+        let budget = (2 * rounds + 6) as usize;
+        assert!(check_wait_freedom(&factory, 100, budget, 2).is_none());
+    }
+
+    #[test]
+    fn outputs_stay_in_input_range() {
+        // Range validity: outputs within [min, max] of inputs, even in
+        // the compressed variant (values are only midpoints/copies).
+        let task = ApproximateAgreement::new(Dyadic::one());
+        let inputs = vec![Dyadic::new(1, 2), Dyadic::new(3, 2)];
+        let inputs2 = inputs.clone();
+        let factory = move || compressed_approx_system(&inputs2, 1, 4);
+        let v = search_random(&factory, &as_values(&inputs), &task, 200, 2_000, 13);
+        assert!(v.is_none(), "violation: {v:?}");
+    }
+
+    #[test]
+    fn convergence_is_monotone_in_rounds() {
+        // With more rounds, the worst observed output spread shrinks.
+        let mut spreads = Vec::new();
+        for rounds in [1u32, 3, 6] {
+            let mut worst = Dyadic::zero();
+            for seed in 0..50 {
+                let mut sys = approx_system(&zero_one(), rounds);
+                sys.run(&mut Random::seeded(seed), 100_000).unwrap();
+                let outs: Vec<Dyadic> = sys
+                    .outputs()
+                    .into_iter()
+                    .map(|o| o.unwrap().as_dyadic().unwrap())
+                    .collect();
+                let spread =
+                    *outs.iter().max().unwrap() - *outs.iter().min().unwrap();
+                worst = worst.max(spread);
+            }
+            spreads.push(worst);
+        }
+        assert!(spreads[0] >= spreads[1] && spreads[1] >= spreads[2]);
+        assert!(spreads[2] <= Dyadic::two_to_minus(6));
+    }
+}

@@ -1,0 +1,132 @@
+//! The contrarian protocol: obstruction-free but **not**
+//! 2-obstruction-free.
+//!
+//! Each process holds a bit. After a scan of the single component:
+//!
+//! * ⊥ → write my bit;
+//! * my own bit → output it;
+//! * the other bit → overwrite with mine.
+//!
+//! Solo, a process writes its bit and then reads it back: termination
+//! in 3 steps (obstruction-freedom). But two processes with different
+//! bits running in strict alternation overwrite each other forever —
+//! the protocol is not 2-obstruction-free.
+//!
+//! Its role in the reproduction is Lemma 32's hypothesis: the
+//! x-obstruction-free case of Theorem 21 (with `d = x` direct
+//! simulators) *needs* Π to be x-obstruction-free — feeding the
+//! contrarian protocol to a simulation with two direct simulators
+//! produces a live-locked pair of direct simulators, while covering
+//! simulators still terminate (the tests demonstrate both).
+
+use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
+use rsim_smr::value::Value;
+
+/// The contrarian protocol for one process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Contrarian {
+    bit: bool,
+}
+
+impl Contrarian {
+    /// Creates the protocol with the given input bit.
+    pub fn new(bit: bool) -> Self {
+        Contrarian { bit }
+    }
+
+    /// The process's current bit.
+    pub fn bit(&self) -> bool {
+        self.bit
+    }
+}
+
+impl SnapshotProtocol for Contrarian {
+    fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+        debug_assert_eq!(view.len(), 1);
+        match view[0].as_bool() {
+            None => ProtocolStep::Update(0, Value::Bool(self.bit)),
+            Some(b) if b == self.bit => ProtocolStep::Output(Value::Bool(self.bit)),
+            Some(_) => ProtocolStep::Update(0, Value::Bool(self.bit)),
+        }
+    }
+
+    fn components(&self) -> usize {
+        1
+    }
+}
+
+/// Builds an n-process contrarian system over one component.
+pub fn contrarian_system(bits: &[bool]) -> rsim_smr::system::System {
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, SnapshotProcess};
+    let processes = bits
+        .iter()
+        .map(|&b| {
+            Box::new(SnapshotProcess::new(Contrarian::new(b), ObjectId(0)))
+                as Box<dyn Process>
+        })
+        .collect();
+    rsim_smr::system::System::new(vec![Object::snapshot(1)], processes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::explore::{Explorer, Limits};
+    use rsim_smr::process::ProcessId;
+    use rsim_smr::sched::Fixed;
+
+    #[test]
+    fn solo_terminates_in_three_steps() {
+        let mut sys = contrarian_system(&[true, false]);
+        let out = sys.run_solo(ProcessId(0), 10).unwrap();
+        assert_eq!(out, Value::Bool(true));
+        assert_eq!(sys.trace().len(), 3); // scan, write, scan
+    }
+
+    #[test]
+    fn obstruction_freedom_holds_everywhere() {
+        let sys = contrarian_system(&[true, false]);
+        let explorer = Explorer::new(Limits { max_depth: 12, max_configs: 50_000 });
+        let report = explorer.check_solo_termination(&sys, 10).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn alternation_livelocks_two_processes() {
+        // Strict alternation: neither process ever terminates —
+        // the protocol is not 2-obstruction-free.
+        let mut sys = contrarian_system(&[true, false]);
+        // Operation-level alternation (2 steps each: scan+write):
+        // p p q q p p q q … — each process scans the other's bit and
+        // overwrites it, forever.
+        let schedule: Vec<ProcessId> =
+            (0..400).map(|i| ProcessId((i / 2) % 2)).collect();
+        sys.run(&mut Fixed::new(schedule), 1_000).unwrap();
+        assert!(!sys.is_terminated(ProcessId(0)));
+        assert!(!sys.is_terminated(ProcessId(1)));
+    }
+
+    #[test]
+    fn group_termination_check_detects_the_livelock() {
+        // The x = 2 group-termination checker finds the violation that
+        // the x = 1 checker (above) does not.
+        let sys = contrarian_system(&[true, false]);
+        let explorer = Explorer::new(Limits { max_depth: 6, max_configs: 10_000 });
+        let report = explorer.check_group_termination(&sys, 2, 60).unwrap();
+        assert!(
+            !report.is_clean(),
+            "expected a 2-obstruction-freedom violation"
+        );
+    }
+
+    #[test]
+    fn equal_bits_always_terminate() {
+        // With equal inputs there is no disagreement to ping-pong on.
+        let mut sys = contrarian_system(&[true, true]);
+        let schedule: Vec<ProcessId> =
+            (0..100).map(|i| ProcessId(i % 2)).collect();
+        sys.run(&mut Fixed::new(schedule), 1_000).unwrap();
+        assert!(sys.all_terminated());
+    }
+}

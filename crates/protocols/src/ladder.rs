@@ -1,0 +1,277 @@
+//! Provably correct obstruction-free consensus: a ladder of
+//! adopt-commit objects (Gafni's round-based framework).
+//!
+//! [`PhasedRacing`](crate::racing::PhasedRacing) chases the paper's
+//! *space-optimal* upper bound and is (measurably) fragile at the
+//! optimum. This module is the opposite trade: a consensus protocol
+//! whose agreement is easy to prove and that the exhaustive explorer
+//! verifies outright, at the cost of `2·n·R` snapshot components for
+//! `R` rounds.
+//!
+//! Round `r` is one **adopt–commit** object made of two single-writer
+//! rows (`A_r[i]`, `B_r[i]` for each process `i`):
+//!
+//! 1. write `A_r[i] ← v`; scan;
+//! 2. if every non-⊥ `A_r` entry equals `v`, write `B_r[i] ← (true, v)`,
+//!    else `B_r[i] ← (false, v)`; scan;
+//! 3. if all non-⊥ `B_r` entries are `(true, v)` → **commit** `v`
+//!    (decide); else if some entry is `(true, w)` → adopt `w`; else
+//!    adopt the smallest `B_r` value. Continue to round `r + 1`.
+//!
+//! *Safety*: if a process commits `v` at round `r`, every other process
+//! leaves round `r` with `v` (it saw a `(true, v)` entry, and no
+//! `(true, w ≠ v)` entry can exist because two processes writing
+//! `true` must both have seen only their own value in `A_r`, which
+//! atomic snapshots forbid for distinct values). So all later rounds
+//! are univalent and everyone decides `v`.
+//!
+//! *Obstruction-freedom*: a process running solo from any reachable
+//! configuration reaches a round beyond every other process's round
+//! within `R` and commits there alone. Rounds are capped at `R`; a
+//! process that exhausts the ladder spins (tests and experiments size
+//! `R` generously — contention churns rounds only while the adversary
+//! keeps interleaving, and each churn consumes a schedule step).
+
+use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
+use rsim_smr::value::Value;
+
+/// Phase within a round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// About to write `A_r[i]` (after the pending scan).
+    WriteA,
+    /// About to write `B_r[i]` (the scan decides true/false).
+    WriteB,
+    /// About to evaluate `B_r` (the scan decides commit/adopt).
+    ReadB,
+}
+
+/// Ladder consensus protocol state for one process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LadderConsensus {
+    /// This process's index (owns `A_r[i]`, `B_r[i]`).
+    i: usize,
+    /// Number of processes.
+    n: usize,
+    /// Maximum rounds.
+    rounds: usize,
+    /// Current round (0-based).
+    r: usize,
+    /// Current value.
+    v: Value,
+    stage: Stage,
+}
+
+impl LadderConsensus {
+    /// Creates the protocol for process `i` of `n` with `rounds` ladder
+    /// rounds and the given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n` or `rounds == 0`.
+    pub fn new(i: usize, n: usize, rounds: usize, input: Value) -> Self {
+        assert!(i < n);
+        assert!(rounds >= 1);
+        LadderConsensus { i, n, rounds, r: 0, v: input, stage: Stage::WriteA }
+    }
+
+    /// Total snapshot components used: `2·n·rounds`.
+    pub fn total_components(n: usize, rounds: usize) -> usize {
+        2 * n * rounds
+    }
+
+    fn a_slot(&self, r: usize, i: usize) -> usize {
+        2 * self.n * r + i
+    }
+
+    fn b_slot(&self, r: usize, i: usize) -> usize {
+        2 * self.n * r + self.n + i
+    }
+
+    fn a_row<'a>(&self, view: &'a [Value], r: usize) -> Vec<&'a Value> {
+        (0..self.n).map(|i| &view[self.a_slot(r, i)]).collect()
+    }
+
+    fn b_row<'a>(&self, view: &'a [Value], r: usize) -> Vec<&'a Value> {
+        (0..self.n).map(|i| &view[self.b_slot(r, i)]).collect()
+    }
+}
+
+impl SnapshotProtocol for LadderConsensus {
+    fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+        debug_assert_eq!(view.len(), Self::total_components(self.n, self.rounds));
+        match self.stage {
+            Stage::WriteA => {
+                self.stage = Stage::WriteB;
+                ProtocolStep::Update(self.a_slot(self.r, self.i), self.v.clone())
+            }
+            Stage::WriteB => {
+                // The scan shows A_r including our own write.
+                let unanimous = self
+                    .a_row(view, self.r)
+                    .into_iter()
+                    .filter(|e| !e.is_nil())
+                    .all(|e| *e == self.v);
+                self.stage = Stage::ReadB;
+                let flag = Value::pair(Value::Bool(unanimous), self.v.clone());
+                ProtocolStep::Update(self.b_slot(self.r, self.i), flag)
+            }
+            Stage::ReadB => {
+                let entries: Vec<(bool, &Value)> = self
+                    .b_row(view, self.r)
+                    .into_iter()
+                    .filter_map(|e| {
+                        let (flag, v) = e.as_pair()?;
+                        Some((flag.as_bool()?, v))
+                    })
+                    .collect();
+                let all_commit_mine =
+                    entries.iter().all(|(f, v)| *f && **v == self.v);
+                if all_commit_mine && !entries.is_empty() {
+                    return ProtocolStep::Output(self.v.clone());
+                }
+                if let Some((_, w)) = entries.iter().find(|(f, _)| *f) {
+                    self.v = (*w).clone();
+                } else if let Some((_, w)) =
+                    entries.iter().min_by_key(|(_, v)| (*v).clone())
+                {
+                    self.v = (*w).clone();
+                }
+                if self.r + 1 < self.rounds {
+                    self.r += 1;
+                    self.stage = Stage::WriteA;
+                    ProtocolStep::Update(self.a_slot(self.r, self.i), self.v.clone())
+                } else {
+                    // Ladder exhausted: spin harmlessly on our own A
+                    // slot (experiments size `rounds` so this is
+                    // unreachable).
+                    ProtocolStep::Update(self.a_slot(self.r, self.i), self.v.clone())
+                }
+            }
+        }
+    }
+
+    fn components(&self) -> usize {
+        Self::total_components(self.n, self.rounds)
+    }
+}
+
+/// Builds an n-process ladder-consensus system with `rounds` rounds.
+pub fn ladder_system(inputs: &[Value], rounds: usize) -> rsim_smr::system::System {
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, SnapshotProcess};
+    let n = inputs.len();
+    let processes: Vec<Box<dyn Process>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            Box::new(SnapshotProcess::new(
+                LadderConsensus::new(i, n, rounds, input.clone()),
+                ObjectId(0),
+            )) as Box<dyn Process>
+        })
+        .collect();
+    rsim_smr::system::System::new(
+        vec![Object::snapshot(LadderConsensus::total_components(n, rounds))],
+        processes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::explore::{Explorer, Limits};
+    use rsim_smr::process::ProcessId;
+    use rsim_smr::sched::{Obstruction, Random};
+    use rsim_tasks::agreement::consensus;
+    use rsim_tasks::task::ColorlessTask;
+    use rsim_tasks::violation::{search_exhaustive, search_random};
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn solo_decides_in_one_round() {
+        let mut sys = ladder_system(&ints(&[5, 9]), 4);
+        let out = sys.run_solo(ProcessId(0), 100).unwrap();
+        assert_eq!(out, Value::Int(5));
+        // 3 scans + 2 updates... exactly: scan,updA,scan,updB,scan → 5
+        // steps? The ReadB scan outputs without a further update: the
+        // trace holds scan/updA/scan/updB/scan+output-on-poll: 6 steps
+        // is the upper bound.
+        assert!(sys.trace().len() <= 6);
+    }
+
+    #[test]
+    fn exhaustive_agreement_n2() {
+        let inputs = ints(&[1, 2]);
+        let sys = ladder_system(&inputs, 3);
+        let v = search_exhaustive(
+            &sys,
+            &inputs,
+            &consensus(),
+            Limits { max_depth: 40, max_configs: 2_000_000 },
+        )
+        .unwrap();
+        assert!(v.is_none(), "violation found: {v:?}");
+    }
+
+    #[test]
+    fn exhaustive_solo_termination_n2() {
+        let sys = ladder_system(&ints(&[1, 2]), 4);
+        let explorer = Explorer::new(Limits { max_depth: 20, max_configs: 200_000 });
+        let report = explorer.check_solo_termination(&sys, 60).unwrap();
+        assert!(report.is_clean(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn random_agreement_n4() {
+        let inputs = ints(&[1, 2, 3, 4]);
+        let factory = || ladder_system(&ints(&[1, 2, 3, 4]), 16);
+        let v = search_random(&factory, &inputs, &consensus(), 300, 5_000, 21);
+        assert!(v.is_none(), "violation: {v:?}");
+    }
+
+    #[test]
+    fn terminates_under_obstruction_adversary() {
+        for seed in 0..10 {
+            let mut sys = ladder_system(&ints(&[1, 2, 3]), 64);
+            let mut sched = Obstruction::new(1, 40, 200, seed);
+            sys.run(&mut sched, 500_000).unwrap();
+            assert!(sys.all_terminated(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_runs_terminate_with_agreement() {
+        let inputs = ints(&[7, 8, 9]);
+        for seed in 0..20 {
+            let mut sys = ladder_system(&inputs, 64);
+            sys.run(&mut Random::seeded(seed), 200_000).unwrap();
+            if sys.all_terminated() {
+                let outs: Vec<Value> =
+                    sys.outputs().into_iter().map(Option::unwrap).collect();
+                consensus().validate(&inputs, &outs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn equal_inputs_commit_in_first_round() {
+        let inputs = ints(&[3, 3, 3]);
+        let mut sys = ladder_system(&inputs, 2);
+        sys.run(&mut Random::seeded(5), 100_000).unwrap();
+        assert!(sys.all_terminated());
+        for out in sys.outputs() {
+            assert_eq!(out, Some(Value::Int(3)));
+        }
+    }
+
+    #[test]
+    fn space_cost_formula() {
+        assert_eq!(LadderConsensus::total_components(3, 10), 60);
+        let sys = ladder_system(&ints(&[1, 2]), 5);
+        assert_eq!(sys.space_complexity(), 20);
+    }
+}

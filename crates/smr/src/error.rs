@@ -1,0 +1,68 @@
+//! Error types for the shared-memory runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the runtime model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// An operation was applied to an object of the wrong type or with an
+    /// out-of-range component index.
+    BadOperation(String),
+    /// A process that already produced its output was asked to step.
+    ProcessTerminated(usize),
+    /// A process id or object id was out of range.
+    BadId(String),
+    /// A single-writer restriction was violated (process tried to update
+    /// a component it does not own).
+    WriterViolation { process: usize, component: usize },
+    /// An execution exceeded its step budget without reaching the
+    /// expected condition (e.g. a "solo terminating" run did not
+    /// terminate).
+    BudgetExhausted { budget: usize, context: String },
+    /// A replayed step was not the process's next step (Lemma 26
+    /// validation failure).
+    ReplayMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadOperation(msg) => write!(f, "bad operation: {msg}"),
+            ModelError::ProcessTerminated(pid) => {
+                write!(f, "process {pid} has already terminated")
+            }
+            ModelError::BadId(msg) => write!(f, "bad identifier: {msg}"),
+            ModelError::WriterViolation { process, component } => write!(
+                f,
+                "process {process} is not the owner of single-writer component {component}"
+            ),
+            ModelError::BudgetExhausted { budget, context } => {
+                write!(f, "step budget {budget} exhausted: {context}")
+            }
+            ModelError::ReplayMismatch(msg) => write!(f, "replay mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            ModelError::BadOperation("x".into()),
+            ModelError::ProcessTerminated(3),
+            ModelError::BadId("y".into()),
+            ModelError::WriterViolation { process: 1, component: 2 },
+            ModelError::BudgetExhausted { budget: 10, context: "solo".into() },
+            ModelError::ReplayMismatch("z".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Operation histories: invocation/response records for implemented
+//! (non-atomic) objects.
+//!
+//! An *implementation* of an object (paper §2) executes each high-level
+//! operation as a sequence of base-object steps. Correctness is
+//! linearizability: every history must admit linearization points within
+//! each operation's execution interval. [`History`] records the
+//! intervals; [`crate::linearizability`] searches for a witness.
+
+use crate::object::{Operation, Response};
+
+/// Identifier of a high-level operation within a history.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub usize);
+
+/// One high-level operation's interval in a history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpRecord {
+    /// Operation identifier (dense, in invocation order).
+    pub id: OpId,
+    /// The invoking process.
+    pub pid: usize,
+    /// The sequential-level operation (what was invoked).
+    pub op: Operation,
+    /// The response, if the operation completed.
+    pub resp: Option<Response>,
+    /// Logical time of the invocation.
+    pub invoked_at: usize,
+    /// Logical time of the response, if any.
+    pub responded_at: Option<usize>,
+}
+
+impl OpRecord {
+    /// Does this operation's interval end before `other`'s begins?
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.responded_at {
+            Some(r) => r < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// A history of high-level operations with real-time intervals.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_smr::history::History;
+/// use rsim_smr::object::{ObjectId, Operation, Response};
+/// use rsim_smr::value::Value;
+///
+/// let mut h = History::new();
+/// let w = h.invoke(0, Operation::Write { obj: ObjectId(0), value: Value::Int(1) });
+/// h.respond(w, Response::Ack);
+/// let r = h.invoke(1, Operation::Read { obj: ObjectId(0) });
+/// h.respond(r, Response::Value(Value::Int(1)));
+/// assert_eq!(h.records().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<OpRecord>,
+    clock: usize,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records the invocation of `op` by process `pid`; returns its id.
+    pub fn invoke(&mut self, pid: usize, op: Operation) -> OpId {
+        let id = OpId(self.records.len());
+        self.clock += 1;
+        self.records.push(OpRecord {
+            id,
+            pid,
+            op,
+            resp: None,
+            invoked_at: self.clock,
+            responded_at: None,
+        });
+        id
+    }
+
+    /// Records the response of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already responded.
+    pub fn respond(&mut self, id: OpId, resp: Response) {
+        self.clock += 1;
+        let rec = &mut self.records[id.0];
+        assert!(rec.responded_at.is_none(), "operation {id:?} already responded");
+        rec.resp = Some(resp);
+        rec.responded_at = Some(self.clock);
+    }
+
+    /// All records, in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of completed operations.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.resp.is_some()).count()
+    }
+
+    /// Number of pending (incomplete) operations.
+    pub fn pending(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+    use crate::value::Value;
+
+    fn read() -> Operation {
+        Operation::Read { obj: ObjectId(0) }
+    }
+
+    #[test]
+    fn intervals_order_correctly() {
+        let mut h = History::new();
+        let a = h.invoke(0, read());
+        h.respond(a, Response::Value(Value::Nil));
+        let b = h.invoke(1, read());
+        h.respond(b, Response::Value(Value::Nil));
+        let recs = h.records();
+        assert!(recs[0].precedes(&recs[1]));
+        assert!(!recs[1].precedes(&recs[0]));
+    }
+
+    #[test]
+    fn concurrent_ops_do_not_precede() {
+        let mut h = History::new();
+        let a = h.invoke(0, read());
+        let b = h.invoke(1, read());
+        h.respond(a, Response::Value(Value::Nil));
+        h.respond(b, Response::Value(Value::Nil));
+        let recs = h.records();
+        assert!(!recs[0].precedes(&recs[1]));
+        assert!(!recs[1].precedes(&recs[0]));
+    }
+
+    #[test]
+    fn pending_ops_counted() {
+        let mut h = History::new();
+        let a = h.invoke(0, read());
+        let _b = h.invoke(1, read());
+        h.respond(a, Response::Value(Value::Nil));
+        assert_eq!(h.completed(), 1);
+        assert_eq!(h.pending(), 1);
+    }
+}

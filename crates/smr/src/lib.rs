@@ -1,0 +1,70 @@
+//! `rsim-smr`: the asynchronous shared-memory runtime underlying the
+//! Revisionist Simulations reproduction.
+//!
+//! This crate models the system of paper §2 ("Preliminaries"):
+//!
+//! * [`value`] — the dynamic value domain (⊥, integers, exact dyadic
+//!   rationals, pairs, tuples).
+//! * [`object`] — base objects (registers, m-component snapshots,
+//!   max-registers, fetch&increment, swap, CAS) with their sequential
+//!   specifications.
+//! * [`process`] — deterministic process state machines; the
+//!   Assumption 1 protocol shape ([`process::SnapshotProtocol`]) and its
+//!   adapter; local solo simulation used by covering simulators.
+//! * [`system`] — configurations, atomic steps, executions, traces,
+//!   single-writer restrictions, indistinguishability.
+//! * [`sched`] — adversarial schedulers (round-robin, random, solo,
+//!   fixed, x-obstruction, crash).
+//! * [`explore`] — bounded exhaustive model checking: all interleavings
+//!   of small systems, solo/group termination checks.
+//! * [`history`] / [`linearizability`] — operation histories and a
+//!   Wing–Gong linearizability checker for implemented objects.
+//! * [`trace`] — per-process column diagrams and summaries of
+//!   executions.
+//!
+//! # Example: run two processes under an adversarial scheduler
+//!
+//! ```
+//! use rsim_smr::object::{Object, ObjectId};
+//! use rsim_smr::process::{Process, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+//! use rsim_smr::sched::Random;
+//! use rsim_smr::system::System;
+//! use rsim_smr::value::Value;
+//!
+//! #[derive(Clone, Debug)]
+//! struct WriteOnce { input: i64, wrote: bool }
+//!
+//! impl SnapshotProtocol for WriteOnce {
+//!     fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+//!         if self.wrote { ProtocolStep::Output(view[0].clone()) }
+//!         else { self.wrote = true; ProtocolStep::Update(0, Value::Int(self.input)) }
+//!     }
+//!     fn components(&self) -> usize { 1 }
+//! }
+//!
+//! # fn main() -> Result<(), rsim_smr::error::ModelError> {
+//! let mk = |input| Box::new(SnapshotProcess::new(
+//!     WriteOnce { input, wrote: false }, ObjectId(0))) as Box<dyn Process>;
+//! let mut sys = System::new(vec![Object::snapshot(1)], vec![mk(1), mk(2)]);
+//! sys.run(&mut Random::seeded(1), 1_000)?;
+//! assert!(sys.all_terminated());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod explore;
+pub mod history;
+pub mod linearizability;
+pub mod object;
+pub mod process;
+pub mod sched;
+pub mod system;
+pub mod trace;
+pub mod value;
+
+pub use error::ModelError;
+pub use object::{Object, ObjectId, Operation, Response};
+pub use process::{Poised, Process, ProcessId, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+pub use system::{Event, System};
+pub use value::{Dyadic, Value};

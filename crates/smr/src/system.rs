@@ -1,0 +1,346 @@
+//! Configurations and executions of the asynchronous system.
+//!
+//! A [`System`] is a configuration (paper §2): the state of each process
+//! plus the value of each object. [`System::step`] applies the next step
+//! of one process atomically — one base-object operation plus the local
+//! transition — and appends an [`Event`] to the execution trace.
+//!
+//! Single-writer restrictions (single-writer registers and single-writer
+//! snapshots) are configuration-level invariants installed with
+//! [`System::restrict_writer`].
+
+use crate::error::ModelError;
+use crate::object::{Object, ObjectId, Operation, Response};
+use crate::process::{Poised, Process, ProcessId};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One step of an execution: process `pid` performed `op` and received
+/// `resp`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// The process that took the step.
+    pub pid: ProcessId,
+    /// The operation it performed.
+    pub op: Operation,
+    /// The response it received.
+    pub resp: Response,
+}
+
+/// A configuration of the asynchronous system, together with the
+/// execution trace that led to it.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_smr::object::Object;
+/// use rsim_smr::system::System;
+///
+/// let sys = System::new(vec![Object::snapshot(2)], vec![]);
+/// assert_eq!(sys.space_complexity(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct System {
+    objects: Vec<Object>,
+    processes: Vec<Box<dyn Process>>,
+    trace: Vec<Event>,
+    /// `(object, component) -> owner` restrictions; `component` is 0 for
+    /// plain registers.
+    owners: HashMap<(ObjectId, usize), ProcessId>,
+}
+
+impl System {
+    /// Creates a system in an initial configuration.
+    pub fn new(objects: Vec<Object>, processes: Vec<Box<dyn Process>>) -> Self {
+        System { objects, processes, trace: Vec::new(), owners: HashMap::new() }
+    }
+
+    /// Declares `owner` to be the only process allowed to mutate
+    /// `component` of `obj` (use component 0 for a plain register).
+    /// Installing ownership for every component of a snapshot makes it a
+    /// single-writer snapshot.
+    pub fn restrict_writer(&mut self, obj: ObjectId, component: usize, owner: ProcessId) {
+        self.owners.insert((obj, component), owner);
+    }
+
+    /// Declares the m-component snapshot `obj` single-writer with
+    /// component `i` owned by process `i`.
+    pub fn restrict_single_writer_snapshot(&mut self, obj: ObjectId, m: usize) {
+        for i in 0..m {
+            self.restrict_writer(obj, i, ProcessId(i));
+        }
+    }
+
+    /// Number of processes (terminated or not).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The objects of the configuration.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// The processes of the configuration.
+    pub fn process(&self, pid: ProcessId) -> Option<&dyn Process> {
+        self.processes.get(pid.0).map(|p| p.as_ref())
+    }
+
+    /// The execution trace from the initial configuration.
+    pub fn trace(&self) -> &[Event] {
+        &self.trace
+    }
+
+    /// Space complexity of the configuration in registers (paper §2: an
+    /// m-component snapshot counts as m registers).
+    pub fn space_complexity(&self) -> usize {
+        self.objects.iter().map(Object::register_cost).sum()
+    }
+
+    /// Has process `pid` terminated (is it poised to output)?
+    pub fn is_terminated(&self, pid: ProcessId) -> bool {
+        matches!(self.processes[pid.0].poised(), Poised::Output(_))
+    }
+
+    /// Have all processes terminated?
+    pub fn all_terminated(&self) -> bool {
+        (0..self.processes.len()).all(|i| self.is_terminated(ProcessId(i)))
+    }
+
+    /// The output of process `pid`, if it has terminated.
+    pub fn output(&self, pid: ProcessId) -> Option<Value> {
+        match self.processes[pid.0].poised() {
+            Poised::Output(v) => Some(v),
+            Poised::Step(_) => None,
+        }
+    }
+
+    /// Outputs of all terminated processes, indexed by process.
+    pub fn outputs(&self) -> Vec<Option<Value>> {
+        (0..self.processes.len()).map(|i| self.output(ProcessId(i))).collect()
+    }
+
+    fn check_ownership(&self, pid: ProcessId, op: &Operation) -> Result<(), ModelError> {
+        if !op.is_mutation() {
+            return Ok(());
+        }
+        let component = match op {
+            Operation::Update { component, .. } | Operation::WriteMax { component, .. } => {
+                *component
+            }
+            _ => 0,
+        };
+        if let Some(owner) = self.owners.get(&(op.object(), component)) {
+            if *owner != pid {
+                return Err(ModelError::WriterViolation {
+                    process: pid.0,
+                    component,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the next step of process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ProcessTerminated`] if `pid` already output.
+    /// * [`ModelError::BadId`] if `pid` or the target object is unknown.
+    /// * [`ModelError::WriterViolation`] on single-writer violations.
+    /// * [`ModelError::BadOperation`] if the operation does not fit the
+    ///   object.
+    pub fn step(&mut self, pid: ProcessId) -> Result<Event, ModelError> {
+        let process = self
+            .processes
+            .get_mut(pid.0)
+            .ok_or_else(|| ModelError::BadId(format!("no process {pid}")))?;
+        let op = match process.poised() {
+            Poised::Step(op) => op,
+            Poised::Output(_) => return Err(ModelError::ProcessTerminated(pid.0)),
+        };
+        let op_clone = op.clone();
+        self.check_ownership(pid, &op_clone)?;
+        let obj = self
+            .objects
+            .get_mut(op_clone.object().0)
+            .ok_or_else(|| ModelError::BadId(format!("no object {}", op_clone.object())))?;
+        let resp = obj.apply(&op_clone)?;
+        self.processes[pid.0].receive(resp.clone());
+        let event = Event { pid, op: op_clone, resp };
+        self.trace.push(event.clone());
+        Ok(event)
+    }
+
+    /// Runs the system under `scheduler` until all processes terminate,
+    /// the scheduler returns `None`, or `max_steps` elapse. Returns the
+    /// number of steps taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`System::step`].
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn crate::sched::Scheduler,
+        max_steps: usize,
+    ) -> Result<usize, ModelError> {
+        let mut steps = 0;
+        while steps < max_steps && !self.all_terminated() {
+            let Some(pid) = scheduler.next(self) else {
+                break;
+            };
+            if self.is_terminated(pid) {
+                // Terminated processes do nothing when allocated a step
+                // (paper §5.1); skip without consuming budget.
+                continue;
+            }
+            self.step(pid)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Runs process `pid` solo until it terminates or `budget` steps
+    /// elapse. Returns its output if it terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors; returns
+    /// [`ModelError::BudgetExhausted`] if the budget runs out.
+    pub fn run_solo(&mut self, pid: ProcessId, budget: usize) -> Result<Value, ModelError> {
+        for _ in 0..budget {
+            if let Some(v) = self.output(pid) {
+                return Ok(v);
+            }
+            self.step(pid)?;
+        }
+        self.output(pid).ok_or(ModelError::BudgetExhausted {
+            budget,
+            context: format!("solo run of {pid}"),
+        })
+    }
+
+    /// Fingerprint of the configuration (object values + process states),
+    /// used by the explorer to deduplicate. Trace is excluded.
+    pub fn config_key(&self) -> String {
+        use std::fmt::Write;
+        let mut key = String::new();
+        for o in &self.objects {
+            let _ = write!(key, "{o:?};");
+        }
+        for p in &self.processes {
+            let _ = write!(key, "{};", p.state_key());
+        }
+        key
+    }
+
+    /// Are two configurations indistinguishable to every process — same
+    /// object values and same process states (paper §2)? Traces may
+    /// differ.
+    pub fn indistinguishable(&self, other: &System) -> bool {
+        self.objects == other.objects && self.config_key() == other.config_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{ProtocolStep, SnapshotProcess, SnapshotProtocol};
+
+    #[derive(Clone, Debug)]
+    struct WriteAndRead {
+        input: i64,
+        wrote: bool,
+    }
+
+    impl SnapshotProtocol for WriteAndRead {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.wrote {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.wrote = true;
+                ProtocolStep::Update(0, Value::Int(self.input))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    fn small_system() -> System {
+        let p0 = SnapshotProcess::new(WriteAndRead { input: 10, wrote: false }, ObjectId(0));
+        let p1 = SnapshotProcess::new(WriteAndRead { input: 20, wrote: false }, ObjectId(0));
+        System::new(
+            vec![Object::snapshot(1)],
+            vec![Box::new(p0), Box::new(p1)],
+        )
+    }
+
+    #[test]
+    fn solo_run_terminates() {
+        let mut sys = small_system();
+        let out = sys.run_solo(ProcessId(0), 100).unwrap();
+        assert_eq!(out, Value::Int(10));
+        assert!(sys.is_terminated(ProcessId(0)));
+        assert!(!sys.is_terminated(ProcessId(1)));
+    }
+
+    #[test]
+    fn interleaved_run_with_round_robin() {
+        let mut sys = small_system();
+        let mut sched = crate::sched::RoundRobin::new();
+        sys.run(&mut sched, 1000).unwrap();
+        assert!(sys.all_terminated());
+        // Both wrote before either's final scan in round-robin order:
+        // p0 scan, p1 scan, p0 update, p1 update, p0 scan -> sees 20.
+        assert_eq!(sys.output(ProcessId(0)), Some(Value::Int(20)));
+        assert_eq!(sys.output(ProcessId(1)), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let mut sys = small_system();
+        sys.step(ProcessId(0)).unwrap();
+        sys.step(ProcessId(1)).unwrap();
+        assert_eq!(sys.trace().len(), 2);
+        assert_eq!(sys.trace()[0].pid, ProcessId(0));
+        assert!(matches!(sys.trace()[0].op, Operation::Scan { .. }));
+    }
+
+    #[test]
+    fn stepping_terminated_process_errors() {
+        let mut sys = small_system();
+        sys.run_solo(ProcessId(0), 100).unwrap();
+        assert!(matches!(
+            sys.step(ProcessId(0)),
+            Err(ModelError::ProcessTerminated(0))
+        ));
+    }
+
+    #[test]
+    fn single_writer_restriction_enforced() {
+        let mut sys = small_system();
+        sys.restrict_writer(ObjectId(0), 0, ProcessId(1));
+        sys.step(ProcessId(0)).unwrap(); // scan is fine
+        let err = sys.step(ProcessId(0)).unwrap_err(); // update violates
+        assert!(matches!(err, ModelError::WriterViolation { .. }));
+    }
+
+    #[test]
+    fn clone_forks_configuration() {
+        let mut sys = small_system();
+        sys.step(ProcessId(0)).unwrap();
+        let fork = sys.clone();
+        assert!(sys.indistinguishable(&fork));
+        let mut sys2 = sys.clone();
+        sys2.step(ProcessId(0)).unwrap();
+        assert!(!sys2.indistinguishable(&fork));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut sys = small_system();
+        let err = sys.run_solo(ProcessId(0), 1).unwrap_err();
+        assert!(matches!(err, ModelError::BudgetExhausted { .. }));
+    }
+}

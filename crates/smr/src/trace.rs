@@ -1,0 +1,214 @@
+//! Execution-trace formatting: the classic per-process column diagrams
+//! used to present executions in the literature, plus summaries.
+//!
+//! These renderers are used by the examples and invaluable when
+//! debugging adversarial schedules: each process gets a column; each
+//! row is one atomic step.
+
+use crate::object::{Operation, Response};
+use crate::system::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Renders one operation compactly.
+pub fn format_op(op: &Operation) -> String {
+    match op {
+        Operation::Read { .. } => "read".into(),
+        Operation::Write { value, .. } => format!("write {value}"),
+        Operation::Update { component, value, .. } => {
+            format!("U[{component}]={value}")
+        }
+        Operation::Scan { .. } => "scan".into(),
+        Operation::WriteMax { component, value, .. } => {
+            format!("max[{component}]={value}")
+        }
+        Operation::FetchInc { .. } => "f&i".into(),
+        Operation::Swap { value, .. } => format!("swap {value}"),
+        Operation::Cas { expect, update, .. } => format!("cas {expect}→{update}"),
+    }
+}
+
+/// Renders one response compactly.
+pub fn format_resp(resp: &Response) -> String {
+    match resp {
+        Response::Ack => "ok".into(),
+        Response::Value(v) => format!("{v}"),
+        Response::View(view) => {
+            let cells: Vec<String> = view.iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", cells.join(","))
+        }
+        Response::Flag(b) => format!("{b}"),
+    }
+}
+
+/// Renders a trace as a per-process column diagram.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_smr::object::{Object, ObjectId};
+/// use rsim_smr::process::{Process, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+/// use rsim_smr::system::System;
+/// use rsim_smr::trace::format_trace;
+/// use rsim_smr::value::Value;
+///
+/// #[derive(Clone, Debug)]
+/// struct One;
+/// impl SnapshotProtocol for One {
+///     fn on_scan(&mut self, _v: &[Value]) -> ProtocolStep {
+///         ProtocolStep::Output(Value::Int(1))
+///     }
+///     fn components(&self) -> usize { 1 }
+/// }
+///
+/// # fn main() -> Result<(), rsim_smr::error::ModelError> {
+/// let mut sys = System::new(
+///     vec![Object::snapshot(1)],
+///     vec![Box::new(SnapshotProcess::new(One, ObjectId(0))) as Box<dyn Process>],
+/// );
+/// sys.run_solo(rsim_smr::process::ProcessId(0), 10)?;
+/// let diagram = format_trace(sys.trace(), 1);
+/// assert!(diagram.contains("scan"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn format_trace(events: &[Event], n_processes: usize) -> String {
+    let width = events
+        .iter()
+        .map(|e| format!("{} → {}", format_op(&e.op), format_resp(&e.resp)).len())
+        .max()
+        .unwrap_or(8)
+        .max(8)
+        + 2;
+    let mut out = String::new();
+    // Header.
+    let _ = write!(out, "{:>5} ", "step");
+    for p in 0..n_processes {
+        let _ = write!(out, "{:<width$}", format!("p{p}"));
+    }
+    let _ = writeln!(out);
+    for (i, e) in events.iter().enumerate() {
+        let _ = write!(out, "{:>5} ", i + 1);
+        for p in 0..n_processes {
+            if p == e.pid.0 {
+                let cell = format!("{} → {}", format_op(&e.op), format_resp(&e.resp));
+                let _ = write!(out, "{cell:<width$}");
+            } else {
+                let _ = write!(out, "{:<width$}", "");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Per-process and per-operation-kind step counts for a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Steps taken by each process.
+    pub steps_per_process: BTreeMap<usize, usize>,
+    /// Mutating steps (writes/updates) per process.
+    pub mutations_per_process: BTreeMap<usize, usize>,
+    /// Total steps.
+    pub total: usize,
+}
+
+/// Summarizes a trace.
+pub fn summarize(events: &[Event]) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    for e in events {
+        *summary.steps_per_process.entry(e.pid.0).or_default() += 1;
+        if e.op.is_mutation() {
+            *summary.mutations_per_process.entry(e.pid.0).or_default() += 1;
+        }
+        summary.total += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Object, ObjectId};
+    use crate::process::{Process, ProcessId, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+    use crate::system::System;
+    use crate::value::Value;
+
+    #[derive(Clone, Debug)]
+    struct WriteOnce {
+        wrote: bool,
+    }
+
+    impl SnapshotProtocol for WriteOnce {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.wrote {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.wrote = true;
+                ProtocolStep::Update(0, Value::Int(7))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    fn sys() -> System {
+        let mk = || {
+            Box::new(SnapshotProcess::new(WriteOnce { wrote: false }, ObjectId(0)))
+                as Box<dyn Process>
+        };
+        System::new(vec![Object::snapshot(1)], vec![mk(), mk()])
+    }
+
+    #[test]
+    fn diagram_has_one_row_per_step_plus_header() {
+        let mut s = sys();
+        s.run_solo(ProcessId(0), 10).unwrap();
+        let d = format_trace(s.trace(), 2);
+        assert_eq!(d.lines().count(), s.trace().len() + 1);
+        assert!(d.contains("U[0]=7"));
+        assert!(d.contains("scan"));
+    }
+
+    #[test]
+    fn columns_align_with_process_ids() {
+        let mut s = sys();
+        s.step(ProcessId(1)).unwrap();
+        let d = format_trace(s.trace(), 2);
+        let row = d.lines().nth(1).unwrap();
+        // p1's cell starts after p0's empty column.
+        let p0_start = d.lines().next().unwrap().find("p0").unwrap();
+        let p1_start = d.lines().next().unwrap().find("p1").unwrap();
+        assert!(row[p0_start..p1_start].trim().is_empty());
+        assert!(row[p1_start..].contains("scan"));
+    }
+
+    #[test]
+    fn summary_counts_steps_and_mutations() {
+        let mut s = sys();
+        s.run_solo(ProcessId(0), 10).unwrap();
+        s.run_solo(ProcessId(1), 10).unwrap();
+        let sum = summarize(s.trace());
+        assert_eq!(sum.total, 6);
+        assert_eq!(sum.steps_per_process[&0], 3);
+        assert_eq!(sum.mutations_per_process[&0], 1);
+    }
+
+    #[test]
+    fn op_and_resp_formatting() {
+        assert_eq!(
+            format_op(&Operation::Update {
+                obj: ObjectId(0),
+                component: 2,
+                value: Value::Int(5)
+            }),
+            "U[2]=5"
+        );
+        assert_eq!(format_resp(&Response::Ack), "ok");
+        assert_eq!(
+            format_resp(&Response::View(vec![Value::Nil, Value::Int(1)])),
+            "[⊥,1]"
+        );
+    }
+}

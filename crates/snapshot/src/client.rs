@@ -1,0 +1,603 @@
+//! The augmented-snapshot client: resumable step machines for `Scan`
+//! (Algorithm 3) and `Block-Update` (Algorithm 4).
+//!
+//! Every step of a client is one atomic operation on the single-writer
+//! snapshot `H` (a scan, or an update of the process's own component).
+//! The machine is *resumable*: the driver asks for the pending
+//! [`HRequest`], performs it on `H` at a point of its choosing (this is
+//! where the adversary schedules), and delivers the [`HReply`]. When an
+//! operation completes, [`AugClient::deliver`] returns its outcome.
+//!
+//! Step counts follow Lemma 2: a `Block-Update` takes 6 steps (5 when
+//! it yields); a `Scan` takes `2k + 3` steps where `k` is the number of
+//! concurrent triple-appending updates by other processes.
+
+use crate::hbase::{
+    get_view, is_proper_prefix, HView, LWrite, Triple, TriplesView,
+};
+use crate::timestamp::Timestamp;
+use rsim_smr::value::Value;
+use std::sync::Arc;
+
+/// A high-level operation on the augmented snapshot `M`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AugOp {
+    /// `M.Scan()`.
+    Scan,
+    /// `M.Block-Update([j_1..j_r], [v_1..v_r])`.
+    BlockUpdate {
+        /// The distinct components to update.
+        components: Vec<usize>,
+        /// The values, one per component.
+        values: Vec<Value>,
+    },
+}
+
+/// A single atomic step on `H`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HRequest {
+    /// `H.scan()`.
+    Scan,
+    /// `H.update_i(...)`: append `triples` and perform register writes
+    /// `lwrites` on the caller's own component.
+    Update {
+        /// Update triples to append (empty for pure helping writes).
+        triples: Vec<Triple>,
+        /// Helping-register writes.
+        lwrites: Vec<LWrite>,
+    },
+}
+
+/// The reply to an [`HRequest`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HReply {
+    /// Result of a scan.
+    View(HView),
+    /// Acknowledgement of an update.
+    Ack,
+}
+
+/// Outcome of a completed `M.Scan`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanOutcome {
+    /// The returned view of `M`.
+    pub view: Vec<Value>,
+    /// The triples part of the final (linearizing) scan of `H`.
+    pub h: TriplesView,
+    /// H-steps the operation took (Lemma 2: `2k + 3`).
+    pub steps: usize,
+}
+
+/// Outcome of a completed `M.Block-Update`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockUpdateOutcome {
+    /// The returned view of `M`, or `None` for the yield symbol Y.
+    pub result: Option<Vec<Value>>,
+    /// The timestamp associated with the Block-Update (and all its
+    /// Updates).
+    pub ts: Timestamp,
+    /// The `last` triples-view whose `Get-View` was returned (atomic
+    /// Block-Updates only).
+    pub last: Option<TriplesView>,
+    /// The triples part of the line-2 scan `H`.
+    pub h: TriplesView,
+    /// The components updated.
+    pub components: Vec<usize>,
+    /// The values written.
+    pub values: Vec<Value>,
+    /// H-steps the operation took (6, or 5 on yield).
+    pub steps: usize,
+}
+
+/// Outcome of a completed augmented-snapshot operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AugOutcome {
+    /// A completed `Scan`.
+    Scan(ScanOutcome),
+    /// A completed `Block-Update`.
+    BlockUpdate(BlockUpdateOutcome),
+}
+
+#[derive(Clone, Debug)]
+enum St {
+    Idle,
+    // --- Scan (Algorithm 3) ---
+    SScan1,
+    SWrite { h: HView },
+    SScan2 { h: HView },
+    // --- Block-Update (Algorithm 4) ---
+    B1 { components: Vec<usize>, values: Vec<Value> },
+    B2 { info: BuInfo },
+    B3 { info: BuInfo },
+    B4 { info: BuInfo, lwrites: Vec<LWrite> },
+    B5 { info: BuInfo },
+    B6 { info: BuInfo },
+}
+
+#[derive(Clone, Debug)]
+struct BuInfo {
+    h: HView,
+    ts: Timestamp,
+    components: Vec<usize>,
+    values: Vec<Value>,
+    triples: Vec<Triple>,
+}
+
+/// The per-process augmented-snapshot client.
+#[derive(Clone, Debug)]
+pub struct AugClient {
+    i: usize,
+    f: usize,
+    m: usize,
+    state: St,
+    steps_in_op: usize,
+    completed_block_updates: usize,
+}
+
+impl AugClient {
+    /// Creates the client for real process `i` of `f`, over an
+    /// m-component augmented snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= f` or `m == 0`.
+    pub fn new(i: usize, f: usize, m: usize) -> Self {
+        assert!(i < f, "process index out of range");
+        assert!(m > 0, "augmented snapshot needs at least one component");
+        AugClient { i, f, m, state: St::Idle, steps_in_op: 0, completed_block_updates: 0 }
+    }
+
+    /// This client's process index.
+    pub fn process(&self) -> usize {
+        self.i
+    }
+
+    /// Is the client between operations?
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, St::Idle)
+    }
+
+    /// Block-Updates completed so far (diagnostics).
+    pub fn completed_block_updates(&self) -> usize {
+        self.completed_block_updates
+    }
+
+    /// Begins a high-level operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in progress, or if a
+    /// Block-Update names duplicate/out-of-range components or has
+    /// mismatched lengths.
+    pub fn begin(&mut self, op: AugOp) {
+        assert!(self.is_idle(), "operation already in progress");
+        self.steps_in_op = 0;
+        match op {
+            AugOp::Scan => self.state = St::SScan1,
+            AugOp::BlockUpdate { components, values } => {
+                assert_eq!(
+                    components.len(),
+                    values.len(),
+                    "components/values length mismatch"
+                );
+                assert!(!components.is_empty(), "Block-Update needs r >= 1");
+                let mut sorted = components.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), components.len(), "components must be distinct");
+                assert!(
+                    components.iter().all(|&c| c < self.m),
+                    "component out of range"
+                );
+                self.state = St::B1 { components, values };
+            }
+        }
+    }
+
+    /// The H-step the client is poised to perform, or `None` if idle.
+    pub fn pending_request(&self) -> Option<HRequest> {
+        match &self.state {
+            St::Idle => None,
+            St::SScan1 | St::SScan2 { .. } => Some(HRequest::Scan),
+            St::SWrite { h } => {
+                let counts = h.counts();
+                let view = Arc::new(h.triples());
+                let lwrites = (0..self.f)
+                    .filter(|&j| j != self.i)
+                    .map(|j| LWrite {
+                        target: j,
+                        index: counts[j],
+                        view: Arc::clone(&view),
+                    })
+                    .collect();
+                Some(HRequest::Update { triples: vec![], lwrites })
+            }
+            St::B1 { .. } | St::B3 { .. } | St::B5 { .. } | St::B6 { .. } => {
+                Some(HRequest::Scan)
+            }
+            St::B2 { info } => Some(HRequest::Update {
+                triples: info.triples.clone(),
+                lwrites: vec![],
+            }),
+            St::B4 { lwrites, .. } => Some(HRequest::Update {
+                triples: vec![],
+                lwrites: lwrites.clone(),
+            }),
+        }
+    }
+
+    /// Delivers the reply of the pending H-step, advancing the machine.
+    /// Returns the operation's outcome when it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if idle or if the reply does not match the pending
+    /// request (driver bug).
+    pub fn deliver(&mut self, reply: HReply) -> Option<AugOutcome> {
+        self.steps_in_op += 1;
+        let state = std::mem::replace(&mut self.state, St::Idle);
+        match (state, reply) {
+            // --- Scan ---
+            (St::SScan1, HReply::View(h)) => {
+                self.state = St::SWrite { h };
+                None
+            }
+            (St::SWrite { h }, HReply::Ack) => {
+                self.state = St::SScan2 { h };
+                None
+            }
+            (St::SScan2 { h }, HReply::View(h2)) => {
+                if h.triples() == h2.triples() {
+                    let triples = h2.triples();
+                    let outcome = ScanOutcome {
+                        view: get_view(&triples, self.m),
+                        h: triples,
+                        steps: self.steps_in_op,
+                    };
+                    Some(AugOutcome::Scan(outcome))
+                } else {
+                    self.state = St::SWrite { h: h2 };
+                    None
+                }
+            }
+            // --- Block-Update ---
+            (St::B1 { components, values }, HReply::View(h)) => {
+                let ts = Timestamp::generate(self.i, &h.counts());
+                let triples = components
+                    .iter()
+                    .zip(&values)
+                    .map(|(&c, v)| Triple { component: c, value: v.clone(), ts: ts.clone() })
+                    .collect();
+                self.state = St::B2 {
+                    info: BuInfo { h, ts, components, values, triples },
+                };
+                None
+            }
+            (St::B2 { info }, HReply::Ack) => {
+                self.state = St::B3 { info };
+                None
+            }
+            (St::B3 { info }, HReply::View(g)) => {
+                let counts = g.counts();
+                let view = Arc::new(g.triples());
+                let lwrites = (0..self.i)
+                    .map(|j| LWrite {
+                        target: j,
+                        index: counts[j],
+                        view: Arc::clone(&view),
+                    })
+                    .collect();
+                self.state = St::B4 { info, lwrites };
+                None
+            }
+            (St::B4 { info, .. }, HReply::Ack) => {
+                self.state = St::B5 { info };
+                None
+            }
+            (St::B5 { info }, HReply::View(h2)) => {
+                let old = info.h.counts();
+                let new = h2.counts();
+                let lower_id_appended = (0..self.i).any(|j| new[j] > old[j]);
+                if lower_id_appended {
+                    self.completed_block_updates += 1;
+                    let outcome = BlockUpdateOutcome {
+                        result: None,
+                        ts: info.ts,
+                        last: None,
+                        h: info.h.triples(),
+                        components: info.components,
+                        values: info.values,
+                        steps: self.steps_in_op,
+                    };
+                    Some(AugOutcome::BlockUpdate(outcome))
+                } else {
+                    self.state = St::B6 { info };
+                    None
+                }
+            }
+            (St::B6 { info }, HReply::View(r)) => {
+                let b = info.h.counts()[self.i];
+                let mut last = info.h.triples();
+                for j in (0..self.f).filter(|&j| j != self.i) {
+                    if let Some(v) = r.read_lreg(j, self.i, b) {
+                        if is_proper_prefix(&last, v) {
+                            last = v.clone();
+                        }
+                    }
+                }
+                self.completed_block_updates += 1;
+                let outcome = BlockUpdateOutcome {
+                    result: Some(get_view(&last, self.m)),
+                    ts: info.ts,
+                    last: Some(last),
+                    h: info.h.triples(),
+                    components: info.components,
+                    values: info.values,
+                    steps: self.steps_in_op,
+                };
+                Some(AugOutcome::BlockUpdate(outcome))
+            }
+            (state, reply) => {
+                panic!("AugClient driver bug: state {state:?} got reply {reply:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbase::HObject;
+
+    /// Runs `client` solo over `h` to completion; returns the outcome.
+    fn run_solo(client: &mut AugClient, h: &mut HObject) -> AugOutcome {
+        loop {
+            let req = client.pending_request().expect("operation in progress");
+            let reply = match req {
+                HRequest::Scan => HReply::View(h.scan()),
+                HRequest::Update { triples, lwrites } => {
+                    h.update(client.process(), triples, lwrites);
+                    HReply::Ack
+                }
+            };
+            if let Some(outcome) = client.deliver(reply) {
+                return outcome;
+            }
+        }
+    }
+
+    #[test]
+    fn solo_scan_takes_three_steps_and_sees_bottom() {
+        let mut h = HObject::new(2);
+        let mut c = AugClient::new(0, 2, 3);
+        c.begin(AugOp::Scan);
+        match run_solo(&mut c, &mut h) {
+            AugOutcome::Scan(out) => {
+                assert_eq!(out.steps, 3);
+                assert_eq!(out.view, vec![Value::Nil; 3]);
+            }
+            other => panic!("expected scan outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solo_block_update_is_atomic_and_takes_six_steps() {
+        let mut h = HObject::new(2);
+        let mut c = AugClient::new(1, 2, 3);
+        c.begin(AugOp::BlockUpdate {
+            components: vec![0, 2],
+            values: vec![Value::Int(5), Value::Int(7)],
+        });
+        match run_solo(&mut c, &mut h) {
+            AugOutcome::BlockUpdate(out) => {
+                assert_eq!(out.steps, 6);
+                // Solo: no contention, so atomic; the returned view is
+                // the contents before the update: all ⊥.
+                assert_eq!(out.result, Some(vec![Value::Nil; 3]));
+            }
+            other => panic!("expected block-update outcome, got {other:?}"),
+        }
+        // A subsequent scan sees the written values.
+        let mut s = AugClient::new(0, 2, 3);
+        s.begin(AugOp::Scan);
+        match run_solo(&mut s, &mut h) {
+            AugOutcome::Scan(out) => {
+                assert_eq!(
+                    out.view,
+                    vec![Value::Int(5), Value::Nil, Value::Int(7)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_zero_never_yields() {
+        // Even with maximal interleaving by q1, q0's Block-Update is
+        // atomic (Theorem 20).
+        let mut h = HObject::new(2);
+        let mut q0 = AugClient::new(0, 2, 2);
+        let mut q1 = AugClient::new(1, 2, 2);
+        q0.begin(AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        q1.begin(AugOp::BlockUpdate { components: vec![1], values: vec![Value::Int(2)] });
+        // Interleave: q1 fully first of each step, then q0's step.
+        let mut outcome0 = None;
+        for _ in 0..12 {
+            for c in [&mut q1, &mut q0] {
+                if let Some(req) = c.pending_request() {
+                    let reply = match req {
+                        HRequest::Scan => HReply::View(h.scan()),
+                        HRequest::Update { triples, lwrites } => {
+                            h.update(c.process(), triples, lwrites);
+                            HReply::Ack
+                        }
+                    };
+                    if let Some(out) = c.deliver(reply) {
+                        if c.process() == 0 {
+                            outcome0 = Some(out);
+                        }
+                    }
+                }
+            }
+        }
+        match outcome0.expect("q0 completed") {
+            AugOutcome::BlockUpdate(out) => {
+                assert!(out.result.is_some(), "q0 must be atomic");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn yield_on_lower_id_contention() {
+        // q1 scans (B1), then q0 appends triples, then q1 proceeds:
+        // q1's line-8 scan sees a new q0 batch and yields.
+        let mut h = HObject::new(2);
+        let mut q0 = AugClient::new(0, 2, 2);
+        let mut q1 = AugClient::new(1, 2, 2);
+        q1.begin(AugOp::BlockUpdate { components: vec![1], values: vec![Value::Int(2)] });
+        // q1 performs its line-2 scan.
+        assert_eq!(q1.pending_request(), Some(HRequest::Scan));
+        assert!(q1.deliver(HReply::View(h.scan())).is_none());
+        // q0 performs a complete Block-Update solo.
+        q0.begin(AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        let out0 = run_solo(&mut q0, &mut h);
+        assert!(matches!(
+            out0,
+            AugOutcome::BlockUpdate(BlockUpdateOutcome { result: Some(_), .. })
+        ));
+        // q1 finishes; must yield after its line-8 scan (5 steps total).
+        let out1 = run_solo(&mut q1, &mut h);
+        match out1 {
+            AugOutcome::BlockUpdate(out) => {
+                assert_eq!(out.result, None, "q1 must yield");
+                assert_eq!(out.steps, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_retries_on_concurrent_append() {
+        let mut h = HObject::new(2);
+        let mut q0 = AugClient::new(0, 2, 2);
+        q0.begin(AugOp::Scan);
+        // First scan.
+        assert!(q0.deliver(HReply::View(h.scan())).is_none());
+        // Helping write.
+        if let Some(HRequest::Update { triples, lwrites }) = q0.pending_request() {
+            h.update(0, triples, lwrites);
+        } else {
+            panic!("expected helping write");
+        }
+        assert!(q0.deliver(HReply::Ack).is_none());
+        // q1 appends a batch before q0's re-scan: forces a retry.
+        let mut q1 = AugClient::new(1, 2, 2);
+        q1.begin(AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(9)] });
+        run_solo(&mut q1, &mut h);
+        // q0's second scan mismatches → loop continues.
+        assert!(q0.deliver(HReply::View(h.scan())).is_none());
+        let outcome = run_solo(&mut q0, &mut h);
+        match outcome {
+            AugOutcome::Scan(out) => {
+                // 2k + 3 with k = 1 concurrent update: 5 steps.
+                assert_eq!(out.steps, 5);
+                assert_eq!(out.view[0], Value::Int(9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn helping_reads_return_prefix_chains() {
+        // Lemma 3's substrate: all scan results recorded in L-registers
+        // are prefix-comparable (H is append-only), so the `last`
+        // maximization in Block-Update line 11–15 is well defined.
+        let mut h = HObject::new(3);
+        // Interleave three processes' Scans and Block-Updates, then
+        // inspect every recorded L value: pairwise prefix-comparable.
+        let mut clients: Vec<AugClient> =
+            (0..3).map(|i| AugClient::new(i, 3, 2)).collect();
+        clients[0].begin(AugOp::Scan);
+        clients[1].begin(AugOp::BlockUpdate {
+            components: vec![0],
+            values: vec![Value::Int(1)],
+        });
+        clients[2].begin(AugOp::BlockUpdate {
+            components: vec![1],
+            values: vec![Value::Int(2)],
+        });
+        let mut done = 0;
+        let mut guard = 0;
+        while done < 3 && guard < 200 {
+            guard += 1;
+            for c in clients.iter_mut() {
+                if let Some(req) = c.pending_request() {
+                    let reply = match req {
+                        HRequest::Scan => HReply::View(h.scan()),
+                        HRequest::Update { triples, lwrites } => {
+                            h.update(c.process(), triples, lwrites);
+                            HReply::Ack
+                        }
+                    };
+                    if c.deliver(reply).is_some() {
+                        done += 1;
+                    }
+                }
+            }
+        }
+        let view = h.scan();
+        let mut recorded: Vec<crate::hbase::TriplesView> = Vec::new();
+        for writer in 0..3 {
+            for target in 0..3 {
+                for index in 0..4 {
+                    if let Some(v) = view.read_lreg(writer, target, index) {
+                        recorded.push(v.clone());
+                    }
+                }
+            }
+        }
+        assert!(!recorded.is_empty(), "some helping writes happened");
+        for a in &recorded {
+            for b in &recorded {
+                assert!(
+                    crate::hbase::is_prefix(a, b) || crate::hbase::is_prefix(b, a),
+                    "recorded views must form a chain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_update_count_tracks_completions() {
+        let mut h = HObject::new(1);
+        let mut c = AugClient::new(0, 1, 2);
+        assert_eq!(c.completed_block_updates(), 0);
+        for round in 0..3 {
+            c.begin(AugOp::BlockUpdate {
+                components: vec![round % 2],
+                values: vec![Value::Int(round as i64)],
+            });
+            run_solo(&mut c, &mut h);
+            assert_eq!(c.completed_block_updates(), round + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "components must be distinct")]
+    fn duplicate_components_rejected() {
+        let mut c = AugClient::new(0, 2, 3);
+        c.begin(AugOp::BlockUpdate {
+            components: vec![1, 1],
+            values: vec![Value::Int(1), Value::Int(2)],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "operation already in progress")]
+    fn overlapping_operations_rejected() {
+        let mut c = AugClient::new(0, 2, 3);
+        c.begin(AugOp::Scan);
+        c.begin(AugOp::Scan);
+    }
+}

@@ -1,0 +1,304 @@
+//! The single-writer snapshot object `H` of the real system (paper
+//! §3.2) and the views obtained by scanning it.
+//!
+//! Component `i` of `H` belongs to real process `q_i` and records:
+//!
+//! * an append-only list of update [`Triple`]s `(component, value,
+//!   timestamp)`, one batch per Block-Update — the "real" content of H;
+//! * the helping registers `L_{i,j}[b]`, which the paper folds into
+//!   `H[i]` as an extra field. `L_{i,j}[b]` is written only by `q_i` and
+//!   read only by `q_j`; we store the *last written value* per `(j, b)`
+//!   key, which is exactly register semantics.
+//!
+//! The prefix relation of Observation 1 and the scan-equality test in
+//! `Scan`'s repeat-loop are on the **triples part only**: every update
+//! performed on line 4 of `Block-Update` appends triples, while the
+//! helping writes (Scan lines 5–6, Block-Update lines 6–7) only change
+//! register values. Lemma 2 counts only triple-appending updates as the
+//! cause of `Scan` retries, which forces this reading — otherwise two
+//! concurrent `Scan`s could block each other with helping writes
+//! forever.
+//!
+//! `L` registers store only the triples part of a scan result
+//! ([`TriplesView`]): the readers use them solely for prefix comparisons
+//! and `Get-View`, both of which are triples-based.
+
+use crate::timestamp::Timestamp;
+use rsim_smr::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An update triple `(component of M, value, timestamp)` (paper §3.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Triple {
+    /// The component of the augmented snapshot `M` being updated.
+    pub component: usize,
+    /// The value written.
+    pub value: Value,
+    /// The Block-Update's vector timestamp.
+    pub ts: Timestamp,
+}
+
+/// The triples part of a scan of `H`: one triple list per real process.
+pub type TriplesView = Vec<Vec<Triple>>;
+
+/// A helping-register write: set `L_{writer, target}[index] = view`.
+///
+/// The recorded view is reference-counted: a helping step records the
+/// same scan result into up to `f - 1` registers, and `H` is cloned on
+/// every atomic scan, so sharing keeps the model polynomial.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LWrite {
+    /// The reader the record helps (`j` in `L_{i,j}`).
+    pub target: usize,
+    /// The array index `b` (the reader's Block-Update count).
+    pub index: usize,
+    /// The recorded scan result (triples part).
+    pub view: Arc<TriplesView>,
+}
+
+/// One component of `H`, owned by a single real process.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HComponent {
+    /// Append-only triple list (one batch per Block-Update).
+    pub triples: Vec<Triple>,
+    /// Helping registers: `(target, index) -> last written view`.
+    pub lregs: BTreeMap<(usize, usize), Arc<TriplesView>>,
+}
+
+/// The full result of an atomic scan of `H`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HView {
+    components: Vec<HComponent>,
+}
+
+impl HView {
+    /// The triples part, used for all prefix/equality logic.
+    pub fn triples(&self) -> TriplesView {
+        self.components.iter().map(|c| c.triples.clone()).collect()
+    }
+
+    /// Reads register `L_{writer, target}[index]` out of the view;
+    /// ⊥ (None) if never written.
+    pub fn read_lreg(&self, writer: usize, target: usize, index: usize) -> Option<&TriplesView> {
+        self.components[writer]
+            .lregs
+            .get(&(target, index))
+            .map(|v| v.as_ref())
+    }
+
+    /// `#h_j` for every `j`: the number of Block-Updates by `q_j`
+    /// recorded in the view (= number of distinct timestamps in
+    /// component `j`, which is the number of batches appended).
+    pub fn counts(&self) -> Vec<usize> {
+        self.components
+            .iter()
+            .map(|c| count_batches(&c.triples))
+            .collect()
+    }
+
+    /// Number of real processes.
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Counts the distinct timestamps in an append-only triple list. Each
+/// Block-Update appends one batch sharing a timestamp, so batches are
+/// contiguous runs.
+pub fn count_batches(triples: &[Triple]) -> usize {
+    let mut count = 0;
+    let mut last: Option<&Timestamp> = None;
+    for t in triples {
+        if last != Some(&t.ts) {
+            count += 1;
+            last = Some(&t.ts);
+        }
+    }
+    count
+}
+
+/// Per-process Block-Update counts of a triples view (`#h`).
+pub fn view_counts(view: &TriplesView) -> Vec<usize> {
+    view.iter().map(|t| count_batches(t)).collect()
+}
+
+/// Is `a` a (componentwise) prefix of `b`? (Observation 1.)
+pub fn is_prefix(a: &TriplesView, b: &TriplesView) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() <= y.len() && x[..] == y[..x.len()]
+        })
+}
+
+/// Is `a` a *proper* prefix of `b`?
+pub fn is_proper_prefix(a: &TriplesView, b: &TriplesView) -> bool {
+    is_prefix(a, b) && a.iter().zip(b).any(|(x, y)| x.len() < y.len())
+}
+
+/// `Get-View` (Algorithm 2): for each component `j` of `M`, the value
+/// with the lexicographically largest timestamp among all triples with
+/// component `j`, or ⊥.
+pub fn get_view(view: &TriplesView, m: usize) -> Vec<Value> {
+    let mut out = vec![Value::Nil; m];
+    let mut best: Vec<Option<&Timestamp>> = vec![None; m];
+    for comp in view {
+        for t in comp {
+            if t.component >= m {
+                continue;
+            }
+            if best[t.component].is_none() || Some(&t.ts) > best[t.component] {
+                best[t.component] = Some(&t.ts);
+                out[t.component] = t.value.clone();
+            }
+        }
+    }
+    out
+}
+
+/// The shared single-writer snapshot `H`.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct HObject {
+    components: Vec<HComponent>,
+}
+
+impl HObject {
+    /// A fresh `H` for `f` real processes (all components ⊥).
+    pub fn new(f: usize) -> Self {
+        HObject { components: vec![HComponent::default(); f] }
+    }
+
+    /// Number of real processes.
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Atomic scan: the current view of all components.
+    pub fn scan(&self) -> HView {
+        HView { components: self.components.clone() }
+    }
+
+    /// Atomic update by process `i`: appends `triples` (a Block-Update
+    /// batch, possibly empty) and performs the register writes
+    /// `lwrites` on `H[i]`'s L field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&mut self, i: usize, triples: Vec<Triple>, lwrites: Vec<LWrite>) {
+        let comp = &mut self.components[i];
+        comp.triples.extend(triples);
+        for w in lwrites {
+            comp.lregs.insert((w.target, w.index), w.view);
+        }
+    }
+
+    /// Direct access to the triples content (diagnostics).
+    pub fn triples(&self) -> TriplesView {
+        self.components.iter().map(|c| c.triples.clone()).collect()
+    }
+}
+
+impl fmt::Debug for HObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            writeln!(f, "H[{i}]: {} triples, {} lregs", c.triples.len(), c.lregs.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[u32]) -> Timestamp {
+        Timestamp::new(v.to_vec())
+    }
+
+    fn triple(c: usize, v: i64, t: &[u32]) -> Triple {
+        Triple { component: c, value: Value::Int(v), ts: ts(t) }
+    }
+
+    #[test]
+    fn scan_reflects_updates() {
+        let mut h = HObject::new(2);
+        h.update(0, vec![triple(0, 1, &[1, 0])], vec![]);
+        let view = h.scan();
+        assert_eq!(view.counts(), vec![1, 0]);
+        assert_eq!(view.triples()[0].len(), 1);
+    }
+
+    #[test]
+    fn count_batches_groups_by_timestamp() {
+        let list = vec![
+            triple(0, 1, &[1, 0]),
+            triple(1, 2, &[1, 0]), // same batch
+            triple(0, 3, &[2, 0]), // new batch
+        ];
+        assert_eq!(count_batches(&list), 2);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let mut h = HObject::new(2);
+        h.update(0, vec![triple(0, 1, &[1, 0])], vec![]);
+        let a = h.scan().triples();
+        h.update(1, vec![triple(1, 2, &[1, 1])], vec![]);
+        let b = h.scan().triples();
+        assert!(is_prefix(&a, &b));
+        assert!(is_proper_prefix(&a, &b));
+        assert!(!is_prefix(&b, &a));
+        assert!(is_prefix(&a, &a));
+        assert!(!is_proper_prefix(&a, &a));
+    }
+
+    #[test]
+    fn observation_1_incomparable_views() {
+        // Two views where each has content the other lacks: neither is a
+        // prefix of the other.
+        let a: TriplesView = vec![vec![triple(0, 1, &[1, 0])], vec![]];
+        let b: TriplesView = vec![vec![], vec![triple(0, 2, &[0, 1])]];
+        assert!(!is_prefix(&a, &b));
+        assert!(!is_prefix(&b, &a));
+    }
+
+    #[test]
+    fn get_view_takes_largest_timestamp() {
+        let view: TriplesView = vec![
+            vec![triple(0, 10, &[1, 0])],
+            vec![triple(0, 20, &[1, 1]), triple(1, 30, &[1, 1])],
+        ];
+        assert_eq!(
+            get_view(&view, 3),
+            vec![Value::Int(20), Value::Int(30), Value::Nil]
+        );
+    }
+
+    #[test]
+    fn lregs_have_register_semantics() {
+        let mut h = HObject::new(2);
+        let v1: TriplesView = vec![vec![], vec![]];
+        let v2: TriplesView = vec![vec![triple(0, 1, &[1, 0])], vec![]];
+        h.update(0, vec![], vec![LWrite { target: 1, index: 0, view: Arc::new(v1) }]);
+        h.update(
+            0,
+            vec![],
+            vec![LWrite { target: 1, index: 0, view: Arc::new(v2.clone()) }],
+        );
+        let view = h.scan();
+        assert_eq!(view.read_lreg(0, 1, 0), Some(&v2));
+        assert_eq!(view.read_lreg(0, 1, 5), None);
+        // L writes do not change the triples part.
+        assert_eq!(view.counts(), vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_update_is_invisible_to_triples() {
+        let mut h = HObject::new(1);
+        let before = h.scan().triples();
+        h.update(0, vec![], vec![]);
+        assert_eq!(before, h.scan().triples());
+    }
+}

@@ -1,0 +1,248 @@
+//! The real system (paper Figure 1, bottom half): `f` real processes
+//! sharing one single-writer snapshot `H`, through which they implement
+//! the m-component augmented snapshot `M`.
+//!
+//! [`RealSystem`] owns `H` and one [`AugClient`] per process. The caller
+//! (the revisionist simulation, or a test adversary) decides which
+//! process performs its next atomic H-step via [`RealSystem::step`] —
+//! that is where the schedule is chosen. Every H-step and every
+//! completed high-level operation are logged for the §3.3 specification
+//! checker.
+
+use crate::client::{AugClient, AugOp, AugOutcome, HReply, HRequest};
+use crate::hbase::{HObject, LWrite, Triple};
+
+/// One atomic H-step in the global timeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HEvent {
+    /// Global time (index in the event log, starting at 1).
+    pub time: usize,
+    /// The real process that took the step.
+    pub pid: usize,
+    /// What the step did.
+    pub kind: HEventKind,
+}
+
+/// The kind of an atomic H-step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HEventKind {
+    /// `H.scan()`.
+    Scan,
+    /// `H.update`: appended `triples`, wrote `lwrites`.
+    Update {
+        /// Appended update triples (empty for pure helping writes).
+        triples: Vec<Triple>,
+        /// Helping-register writes.
+        lwrites: Vec<LWrite>,
+    },
+}
+
+impl HEventKind {
+    /// Does this step append update triples (the only kind of step that
+    /// "counts" for Observation 1 and Lemma 2)?
+    pub fn appends_triples(&self) -> bool {
+        matches!(self.kind_triples(), Some(t) if !t.is_empty())
+    }
+
+    fn kind_triples(&self) -> Option<&[Triple]> {
+        match self {
+            HEventKind::Scan => None,
+            HEventKind::Update { triples, .. } => Some(triples),
+        }
+    }
+}
+
+/// A completed high-level operation on `M`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AugOpRecord {
+    /// The invoking real process.
+    pub pid: usize,
+    /// The operation.
+    pub op: AugOp,
+    /// Its outcome.
+    pub outcome: AugOutcome,
+    /// Time of its first H-step.
+    pub start: usize,
+    /// Time of its last H-step.
+    pub end: usize,
+}
+
+/// The real system: `H` plus `f` augmented-snapshot clients.
+#[derive(Clone, Debug)]
+pub struct RealSystem {
+    h: HObject,
+    clients: Vec<AugClient>,
+    log: Vec<HEvent>,
+    oplog: Vec<AugOpRecord>,
+    op_start: Vec<Option<usize>>,
+    current_op: Vec<Option<AugOp>>,
+}
+
+impl RealSystem {
+    /// Creates a real system of `f` processes over an m-component
+    /// augmented snapshot.
+    pub fn new(f: usize, m: usize) -> Self {
+        RealSystem {
+            h: HObject::new(f),
+            clients: (0..f).map(|i| AugClient::new(i, f, m)).collect(),
+            log: Vec::new(),
+            oplog: Vec::new(),
+            op_start: vec![None; f],
+            current_op: vec![None; f],
+        }
+    }
+
+    /// Number of real processes.
+    pub fn width(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Is process `pid` between operations?
+    pub fn is_idle(&self, pid: usize) -> bool {
+        self.clients[pid].is_idle()
+    }
+
+    /// Begins operation `op` for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already has an operation in progress.
+    pub fn begin(&mut self, pid: usize, op: AugOp) {
+        self.current_op[pid] = Some(op.clone());
+        self.op_start[pid] = None;
+        self.clients[pid].begin(op);
+    }
+
+    /// Performs the next atomic H-step of process `pid`. Returns the
+    /// operation's outcome if this step completed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no operation in progress.
+    pub fn step(&mut self, pid: usize) -> Option<AugOutcome> {
+        let request = self.clients[pid]
+            .pending_request()
+            .expect("step on idle process");
+        let time = self.log.len() + 1;
+        if self.op_start[pid].is_none() {
+            self.op_start[pid] = Some(time);
+        }
+        let (reply, kind) = match request {
+            HRequest::Scan => (HReply::View(self.h.scan()), HEventKind::Scan),
+            HRequest::Update { triples, lwrites } => {
+                self.h.update(pid, triples.clone(), lwrites.clone());
+                (HReply::Ack, HEventKind::Update { triples, lwrites })
+            }
+        };
+        self.log.push(HEvent { time, pid, kind });
+        let outcome = self.clients[pid].deliver(reply);
+        if let Some(outcome) = &outcome {
+            self.oplog.push(AugOpRecord {
+                pid,
+                op: self.current_op[pid].take().expect("current op recorded"),
+                outcome: outcome.clone(),
+                start: self.op_start[pid].take().expect("op started"),
+                end: time,
+            });
+        }
+        outcome
+    }
+
+    /// Runs `pid`'s current operation to completion with no
+    /// interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no operation in progress. `Scan` is
+    /// non-blocking, so a solo run always terminates.
+    pub fn run_to_completion(&mut self, pid: usize) -> AugOutcome {
+        loop {
+            if let Some(outcome) = self.step(pid) {
+                return outcome;
+            }
+        }
+    }
+
+    /// The global H-step log.
+    pub fn log(&self) -> &[HEvent] {
+        &self.log
+    }
+
+    /// Completed high-level operations, in completion order.
+    pub fn oplog(&self) -> &[AugOpRecord] {
+        &self.oplog
+    }
+
+    /// The underlying `H` (diagnostics).
+    pub fn h(&self) -> &HObject {
+        &self.h
+    }
+
+    /// Mutable oplog access for checker-vacuity tests (crate-private:
+    /// the spec tests corrupt recorded outcomes and assert the checker
+    /// notices).
+    #[cfg(test)]
+    pub(crate) fn oplog_mut(&mut self) -> &mut Vec<AugOpRecord> {
+        &mut self.oplog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BlockUpdateOutcome;
+    use rsim_smr::value::Value;
+
+    #[test]
+    fn sequential_operations_log_correctly() {
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        let out = rs.run_to_completion(0);
+        assert!(matches!(
+            out,
+            AugOutcome::BlockUpdate(BlockUpdateOutcome { result: Some(_), .. })
+        ));
+        rs.begin(1, AugOp::Scan);
+        match rs.run_to_completion(1) {
+            AugOutcome::Scan(s) => assert_eq!(s.view, vec![Value::Int(1), Value::Nil]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rs.oplog().len(), 2);
+        assert_eq!(rs.oplog()[0].start, 1);
+        assert_eq!(rs.oplog()[0].end, 6);
+        assert_eq!(rs.log().len(), 6 + 3);
+    }
+
+    #[test]
+    fn interleaving_is_caller_controlled() {
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        rs.begin(1, AugOp::BlockUpdate { components: vec![1], values: vec![Value::Int(2)] });
+        // Strict alternation.
+        let mut done = 0;
+        while done < 2 {
+            for pid in 0..2 {
+                if !rs.is_idle(pid) && rs.step(pid).is_some() {
+                    done += 1;
+                }
+            }
+        }
+        assert_eq!(rs.oplog().len(), 2);
+        // q0 is atomic always; q1 may or may not yield.
+        let q0_rec = rs.oplog().iter().find(|r| r.pid == 0).unwrap();
+        match &q0_rec.outcome {
+            AugOutcome::BlockUpdate(b) => assert!(b.result.is_some()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_times_are_dense_and_ordered() {
+        let mut rs = RealSystem::new(2, 1);
+        rs.begin(0, AugOp::Scan);
+        rs.run_to_completion(0);
+        for (i, e) in rs.log().iter().enumerate() {
+            assert_eq!(e.time, i + 1);
+        }
+    }
+}

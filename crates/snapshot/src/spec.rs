@@ -1,0 +1,688 @@
+//! The §3.1/§3.3 specification of the augmented snapshot, machine-
+//! checked on concrete executions.
+//!
+//! From a finished [`RealSystem`] run we rebuild the linearization of
+//! §3.3 ("Linearization Points"):
+//!
+//! * a complete `Scan` linearizes at its last scan of `H`;
+//! * an `Update` to component `j` with timestamp `t` linearizes at the
+//!   first point where `H` contains a triple with component `j` and
+//!   timestamp `t' ⪰ t`; simultaneous Updates are ordered by timestamp,
+//!   then component.
+//!
+//! [`check`] then verifies, on the actual execution:
+//!
+//! * **Corollary 15** — every `Scan` returns, for each component, the
+//!   value of the last linearized `Update` before it;
+//! * **Lemma 11** — the Updates of an atomic `Block-Update` linearize
+//!   consecutively at its line-4 update of `H`;
+//! * **Lemma 12** — every Update linearizes within its operation's
+//!   execution interval;
+//! * **Lemma 19** (+ §3.1 spec) — an atomic `Block-Update` returns the
+//!   contents of `M` at a point `T` after the previous atomic
+//!   Block-Update's window, with no `Scan` and only foreign non-atomic
+//!   Updates linearized between `T` and its first Update;
+//! * **Theorem 20** — a `Block-Update` by `q_i` yields only if a
+//!   lower-id process appended triples during its execution interval;
+//! * **Lemma 2** — step counts: 6 per `Block-Update` (5 on yield),
+//!   `≤ 2k + 3` per `Scan` with `k` concurrent foreign appends;
+//! * **Lemma 9** — all Block-Update timestamps are distinct.
+
+use crate::client::AugOutcome;
+use crate::hbase::Triple;
+use crate::real::{HEvent, HEventKind, RealSystem};
+use crate::timestamp::Timestamp;
+use rsim_smr::value::Value;
+
+/// A linearized high-level operation on `M`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinOp {
+    /// A linearized `M.Scan`.
+    Scan {
+        /// The scanning real process.
+        pid: usize,
+        /// Linearization time (H-event time of its last scan).
+        time: usize,
+        /// The view it returned.
+        view: Vec<Value>,
+        /// Index into the oplog.
+        op_index: usize,
+    },
+    /// A linearized `M.Update` (part of some Block-Update).
+    Update {
+        /// The updating real process.
+        pid: usize,
+        /// The component of `M` updated.
+        component: usize,
+        /// The value written.
+        value: Value,
+        /// The Block-Update's timestamp.
+        ts: Timestamp,
+        /// Linearization time (an H-event time).
+        time: usize,
+        /// Index into the oplog, if the Block-Update completed.
+        op_index: Option<usize>,
+        /// Whether the Block-Update was atomic (completed without Y).
+        atomic: bool,
+    },
+}
+
+impl LinOp {
+    /// The linearization time.
+    pub fn time(&self) -> usize {
+        match self {
+            LinOp::Scan { time, .. } | LinOp::Update { time, .. } => *time,
+        }
+    }
+
+    /// The acting process.
+    pub fn pid(&self) -> usize {
+        match self {
+            LinOp::Scan { pid, .. } | LinOp::Update { pid, .. } => *pid,
+        }
+    }
+}
+
+/// One Block-Update batch gathered from the oplog or (if incomplete)
+/// from the raw event log.
+#[derive(Clone, Debug)]
+struct Batch {
+    pid: usize,
+    ts: Timestamp,
+    components: Vec<usize>,
+    values: Vec<Value>,
+    atomic: bool,
+    op_index: Option<usize>,
+}
+
+fn gather_batches(real: &RealSystem) -> Vec<Batch> {
+    let mut batches = Vec::new();
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        if let AugOutcome::BlockUpdate(b) = &rec.outcome {
+            batches.push(Batch {
+                pid: rec.pid,
+                ts: b.ts.clone(),
+                components: b.components.clone(),
+                values: b.values.clone(),
+                atomic: b.result.is_some(),
+                op_index: Some(op_index),
+            });
+        }
+    }
+    // Incomplete Block-Updates that already appended triples: their
+    // Updates are linearized too (they are in H), as non-atomic.
+    for event in real.log() {
+        if let HEventKind::Update { triples, .. } = &event.kind {
+            if triples.is_empty() {
+                continue;
+            }
+            let ts = &triples[0].ts;
+            if batches.iter().any(|b| b.pid == event.pid && &b.ts == ts) {
+                continue;
+            }
+            batches.push(Batch {
+                pid: event.pid,
+                ts: ts.clone(),
+                components: triples.iter().map(|t| t.component).collect(),
+                values: triples.iter().map(|t| t.value.clone()).collect(),
+                atomic: false,
+                op_index: None,
+            });
+        }
+    }
+    batches
+}
+
+/// Computes, for every `(component, ts)` pair of every batch, the
+/// linearization time: the time of the first H-event after which `H`
+/// contains a triple with that component and a timestamp `⪰ ts`.
+fn update_lin_times(log: &[HEvent], batches: &[Batch]) -> Vec<Vec<usize>> {
+    let mut times: Vec<Vec<Option<usize>>> =
+        batches.iter().map(|b| vec![None; b.components.len()]).collect();
+    let mut appended: Vec<Triple> = Vec::new();
+    for event in log {
+        if let HEventKind::Update { triples, .. } = &event.kind {
+            if triples.is_empty() {
+                continue;
+            }
+            appended.extend(triples.iter().cloned());
+            for (bi, batch) in batches.iter().enumerate() {
+                for (ci, &component) in batch.components.iter().enumerate() {
+                    if times[bi][ci].is_some() {
+                        continue;
+                    }
+                    let covered = triples
+                        .iter()
+                        .any(|t| t.component == component && t.ts >= batch.ts);
+                    if covered {
+                        times[bi][ci] = Some(event.time);
+                    }
+                }
+            }
+        }
+    }
+    times
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|t| t.expect("every appended update is eventually covered"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the §3.3 linearization of a finished run.
+pub fn linearize(real: &RealSystem) -> Vec<LinOp> {
+    let batches = gather_batches(real);
+    let times = update_lin_times(real.log(), &batches);
+    let mut ops: Vec<LinOp> = Vec::new();
+    for (bi, batch) in batches.iter().enumerate() {
+        for (ci, (&component, value)) in
+            batch.components.iter().zip(&batch.values).enumerate()
+        {
+            ops.push(LinOp::Update {
+                pid: batch.pid,
+                component,
+                value: value.clone(),
+                ts: batch.ts.clone(),
+                time: times[bi][ci],
+                op_index: batch.op_index,
+                atomic: batch.atomic,
+            });
+        }
+    }
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        if let AugOutcome::Scan(s) = &rec.outcome {
+            ops.push(LinOp::Scan {
+                pid: rec.pid,
+                time: rec.end,
+                view: s.view.clone(),
+                op_index,
+            });
+        }
+    }
+    // Scans occupy scan events, updates occupy update events; times
+    // never collide across kinds. Simultaneous updates are ordered by
+    // timestamp then component (§3.3).
+    ops.sort_by(|a, b| {
+        a.time().cmp(&b.time()).then_with(|| match (a, b) {
+            (
+                LinOp::Update { ts: ta, component: ca, .. },
+                LinOp::Update { ts: tb, component: cb, .. },
+            ) => ta.cmp(tb).then(ca.cmp(cb)),
+            _ => std::cmp::Ordering::Equal,
+        })
+    });
+    ops
+}
+
+/// Position of an atomic Block-Update in the linearization: its
+/// returned view equals the contents after `lin[..t]`, no `Scan` and
+/// only foreign non-atomic Updates linearize in `lin[t..z]`, and `z`
+/// is the index of its first Update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AtomicWindow {
+    /// Index of the Block-Update in the oplog.
+    pub op_index: usize,
+    /// The `T` point: the view equals the contents after `lin[..t]`.
+    pub t: usize,
+    /// Index in `lin` of the Block-Update's first Update.
+    pub z: usize,
+    /// The Block-Update's timestamp.
+    pub ts: Timestamp,
+}
+
+/// Computes the window of every atomic Block-Update (Lemmas 16–19): the
+/// latest valid `T` position for each. Returns `None` for a run that
+/// violates the specification (no valid window exists for some atomic
+/// Block-Update).
+pub fn atomic_windows(real: &RealSystem, m: usize, lin: &[LinOp]) -> Option<Vec<AtomicWindow>> {
+    let mut windows = Vec::new();
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        let AugOutcome::BlockUpdate(b) = &rec.outcome else { continue };
+        let Some(returned_view) = &b.result else { continue };
+        let z = lin.iter().position(|op| {
+            matches!(op, LinOp::Update { op_index: Some(oi), .. } if *oi == op_index)
+        })?;
+        let z_prev = lin[..z]
+            .iter()
+            .rposition(|op| matches!(op, LinOp::Update { atomic: true, .. }));
+        let lower = z_prev.map_or(0, |i| i + 1);
+        let mut found = None;
+        for t in (lower..=z).rev() {
+            if contents_after(lin, t, m) != *returned_view {
+                continue;
+            }
+            let gap_ok = lin[t..z].iter().all(|op| match op {
+                LinOp::Scan { .. } => false,
+                LinOp::Update { atomic, pid, .. } => !*atomic && *pid != rec.pid,
+            });
+            if gap_ok {
+                found = Some(t);
+                break;
+            }
+        }
+        windows.push(AtomicWindow { op_index, t: found?, z, ts: b.ts.clone() });
+    }
+    Some(windows)
+}
+
+/// The result of checking a run against the specification.
+#[derive(Clone, Debug)]
+pub struct SpecReport {
+    /// The linearization that was checked.
+    pub lin: Vec<LinOp>,
+    /// All specification violations found (empty = the run satisfies
+    /// the augmented-snapshot specification).
+    pub errors: Vec<String>,
+    /// Number of atomic Block-Updates.
+    pub atomic_block_updates: usize,
+    /// Number of yielded Block-Updates.
+    pub yielded_block_updates: usize,
+    /// Number of completed Scans.
+    pub scans: usize,
+}
+
+impl SpecReport {
+    /// Did the run satisfy the specification?
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Replays `lin[..k]` and returns the contents of `M` after it.
+fn contents_after(lin: &[LinOp], k: usize, m: usize) -> Vec<Value> {
+    let mut contents = vec![Value::Nil; m];
+    for op in &lin[..k] {
+        if let LinOp::Update { component, value, .. } = op {
+            contents[*component] = value.clone();
+        }
+    }
+    contents
+}
+
+/// Checks a finished run of `real` (an m-component augmented snapshot)
+/// against the §3 specification. See the module docs for the list of
+/// checked lemmas.
+pub fn check(real: &RealSystem, m: usize) -> SpecReport {
+    let lin = linearize(real);
+    let mut errors = Vec::new();
+
+    // --- Corollary 15: scans see the latest linearized updates. ---
+    let mut contents = vec![Value::Nil; m];
+    for op in &lin {
+        match op {
+            LinOp::Update { component, value, .. } => {
+                contents[*component] = value.clone();
+            }
+            LinOp::Scan { view, pid, time, .. } => {
+                if view != &contents {
+                    errors.push(format!(
+                        "Corollary 15 violated: scan by q{pid} at t={time} returned \
+                         {view:?} but contents were {contents:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Lemma 9: Block-Update timestamps are unique. ---
+    {
+        let mut batch_keys: Vec<(usize, &Timestamp)> = Vec::new();
+        for op in &lin {
+            if let LinOp::Update { pid, ts, component, .. } = op {
+                if batch_keys.iter().any(|(p, t)| *t == ts && *p != *pid) {
+                    errors.push(format!(
+                        "Lemma 9 violated: timestamp {ts:?} used by two processes \
+                         (component {component})"
+                    ));
+                }
+                batch_keys.push((*pid, ts));
+            }
+        }
+    }
+
+    // --- Lemma 11: atomic Block-Updates linearize consecutively at one
+    // point, ordered by component. ---
+    let mut atomic_count = 0;
+    let mut yield_count = 0;
+    let mut scan_count = 0;
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        match &rec.outcome {
+            AugOutcome::Scan(_) => scan_count += 1,
+            AugOutcome::BlockUpdate(b) => {
+                let positions: Vec<usize> = lin
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| {
+                        matches!(op, LinOp::Update { op_index: Some(oi), .. } if *oi == op_index)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if positions.len() != b.components.len() {
+                    errors.push(format!(
+                        "Block-Update #{op_index}: expected {} linearized updates, \
+                         found {}",
+                        b.components.len(),
+                        positions.len()
+                    ));
+                    continue;
+                }
+                // Lemma 12: every update within the execution interval.
+                for &p in &positions {
+                    let t = lin[p].time();
+                    if t < rec.start || t > rec.end {
+                        errors.push(format!(
+                            "Lemma 12 violated: update of Block-Update #{op_index} \
+                             linearized at t={t} outside [{}, {}]",
+                            rec.start, rec.end
+                        ));
+                    }
+                }
+                if b.result.is_some() {
+                    atomic_count += 1;
+                    let consecutive =
+                        positions.windows(2).all(|w| w[1] == w[0] + 1);
+                    if !consecutive {
+                        errors.push(format!(
+                            "Lemma 11 violated: atomic Block-Update #{op_index} \
+                             updates not consecutive: {positions:?}"
+                        ));
+                    }
+                    let same_time = positions
+                        .windows(2)
+                        .all(|w| lin[w[0]].time() == lin[w[1]].time());
+                    if !same_time {
+                        errors.push(format!(
+                            "Lemma 11 violated: atomic Block-Update #{op_index} \
+                             updates at different H-events"
+                        ));
+                    }
+                } else {
+                    yield_count += 1;
+                    // Theorem 20: yield requires a lower-id append in
+                    // the execution interval.
+                    let lower_append = real.log().iter().any(|e| {
+                        e.pid < rec.pid
+                            && e.time >= rec.start
+                            && e.time <= rec.end
+                            && e.kind.appends_triples()
+                    });
+                    if !lower_append {
+                        errors.push(format!(
+                            "Theorem 20 violated: Block-Update #{op_index} by \
+                             q{} yielded with no lower-id append in [{}, {}]",
+                            rec.pid, rec.start, rec.end
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- §3.1 + Lemmas 17/18/19: atomic Block-Update windows. ---
+    match atomic_windows(real, m, &lin) {
+        None => errors.push(
+            "Lemma 19 violated: some atomic Block-Update has no valid \
+             linearization point T"
+                .to_string(),
+        ),
+        Some(windows) => {
+            // Lemma 17: no Scan is linearized inside any window (the
+            // window finder enforces it; re-assert for reporting).
+            for w in &windows {
+                for op in &lin[w.t..w.z] {
+                    if matches!(op, LinOp::Scan { .. }) {
+                        errors.push(format!(
+                            "Lemma 17 violated: a Scan is linearized inside the \
+                             window of Block-Update #{}",
+                            w.op_index
+                        ));
+                    }
+                }
+            }
+            // Lemma 18: windows are pairwise disjoint. A window is the
+            // interval (t, z] in linearization positions.
+            let mut sorted = windows.clone();
+            sorted.sort_by_key(|w| w.z);
+            for pair in sorted.windows(2) {
+                if pair[1].t < pair[0].z {
+                    errors.push(format!(
+                        "Lemma 18 violated: windows of Block-Updates #{} and #{} \
+                         overlap ((t={}, z={}] vs (t={}, z={}])",
+                        pair[0].op_index,
+                        pair[1].op_index,
+                        pair[0].t,
+                        pair[0].z,
+                        pair[1].t,
+                        pair[1].z
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Lemma 2: step counts. ---
+    for (op_index, rec) in real.oplog().iter().enumerate() {
+        match &rec.outcome {
+            AugOutcome::BlockUpdate(b) => {
+                let expected = if b.result.is_some() { 6 } else { 5 };
+                if b.steps != expected {
+                    errors.push(format!(
+                        "Lemma 2 violated: Block-Update #{op_index} took {} steps, \
+                         expected {expected}",
+                        b.steps
+                    ));
+                }
+            }
+            AugOutcome::Scan(s) => {
+                let k = real
+                    .log()
+                    .iter()
+                    .filter(|e| {
+                        e.pid != rec.pid
+                            && e.time >= rec.start
+                            && e.time <= rec.end
+                            && e.kind.appends_triples()
+                    })
+                    .count();
+                if s.steps > 2 * k + 3 {
+                    errors.push(format!(
+                        "Lemma 2 violated: Scan #{op_index} took {} steps with \
+                         k = {k} concurrent appends (bound {})",
+                        s.steps,
+                        2 * k + 3
+                    ));
+                }
+            }
+        }
+    }
+
+    SpecReport {
+        lin,
+        errors,
+        atomic_block_updates: atomic_count,
+        yielded_block_updates: yield_count,
+        scans: scan_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::AugOp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives `f` processes, each performing `ops_per_proc` random
+    /// operations, with a random H-step interleaving.
+    fn random_run(f: usize, m: usize, ops_per_proc: usize, seed: u64) -> RealSystem {
+        let mut rs = RealSystem::new(f, m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut remaining = vec![ops_per_proc; f];
+        let mut counter = 0i64;
+        loop {
+            let live: Vec<usize> = (0..f)
+                .filter(|&p| remaining[p] > 0 || !rs.is_idle(p))
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let pid = live[rng.gen_range(0..live.len())];
+            if rs.is_idle(pid) {
+                remaining[pid] -= 1;
+                counter += 1;
+                let op = if rng.gen_bool(0.5) {
+                    AugOp::Scan
+                } else {
+                    let r = rng.gen_range(1..=m);
+                    let mut comps: Vec<usize> = (0..m).collect();
+                    for i in (1..comps.len()).rev() {
+                        comps.swap(i, rng.gen_range(0..=i));
+                    }
+                    comps.truncate(r);
+                    let values = comps
+                        .iter()
+                        .map(|_| {
+                            counter += 1;
+                            Value::Int(counter)
+                        })
+                        .collect();
+                    AugOp::BlockUpdate { components: comps, values }
+                };
+                rs.begin(pid, op);
+            }
+            rs.step(pid);
+        }
+        rs
+    }
+
+    #[test]
+    fn sequential_run_satisfies_spec() {
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        rs.run_to_completion(0);
+        rs.begin(1, AugOp::Scan);
+        rs.run_to_completion(1);
+        let report = check(&rs, 2);
+        assert!(report.is_ok(), "errors: {:?}", report.errors);
+        assert_eq!(report.atomic_block_updates, 1);
+        assert_eq!(report.scans, 1);
+    }
+
+    #[test]
+    fn random_runs_satisfy_spec() {
+        for seed in 0..30 {
+            let f = 2 + (seed as usize % 3); // 2..=4
+            let m = 1 + (seed as usize % 3); // 1..=3
+            let rs = random_run(f, m, 4, seed);
+            let report = check(&rs, m);
+            assert!(
+                report.is_ok(),
+                "seed {seed} f={f} m={m}: {:?}",
+                report.errors
+            );
+        }
+    }
+
+    #[test]
+    fn contention_produces_yields_and_spec_holds() {
+        // Heavy Block-Update contention among 4 processes: some yields
+        // must appear, and the spec must still hold.
+        let mut total_yields = 0;
+        for seed in 100..120 {
+            let rs = random_run(4, 2, 6, seed);
+            let report = check(&rs, 2);
+            assert!(report.is_ok(), "seed {seed}: {:?}", report.errors);
+            total_yields += report.yielded_block_updates;
+        }
+        assert!(total_yields > 0, "expected at least one yield under contention");
+    }
+
+    #[test]
+    fn checker_rejects_corrupted_scan_views() {
+        // Vacuity guard: corrupt a recorded Scan view; the Corollary 15
+        // clause must fire.
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        rs.run_to_completion(0);
+        rs.begin(1, AugOp::Scan);
+        rs.run_to_completion(1);
+        for rec in rs.oplog_mut() {
+            if let AugOutcome::Scan(s) = &mut rec.outcome {
+                s.view[0] = Value::Int(999);
+            }
+        }
+        let report = check(&rs, 2);
+        assert!(!report.is_ok(), "corrupted scan view must be caught");
+        assert!(report.errors.iter().any(|e| e.contains("Corollary 15")));
+    }
+
+    #[test]
+    fn checker_rejects_corrupted_block_update_views() {
+        // Corrupt an atomic Block-Update's returned view; the Lemma 19
+        // window search must fail.
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        rs.run_to_completion(0);
+        rs.begin(1, AugOp::BlockUpdate { components: vec![1], values: vec![Value::Int(2)] });
+        rs.run_to_completion(1);
+        for rec in rs.oplog_mut() {
+            if rec.pid == 1 {
+                if let AugOutcome::BlockUpdate(b) = &mut rec.outcome {
+                    b.result = Some(vec![Value::Int(777), Value::Int(777)]);
+                }
+            }
+        }
+        let report = check(&rs, 2);
+        assert!(!report.is_ok(), "corrupted returned view must be caught");
+        assert!(report.errors.iter().any(|e| e.contains("Lemma 19")));
+    }
+
+    #[test]
+    fn checker_rejects_forged_yields() {
+        // Forge a yield on an uncontended Block-Update: Theorem 20's
+        // clause must fire (no lower-id append in the interval).
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(1, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(5)] });
+        rs.run_to_completion(1);
+        for rec in rs.oplog_mut() {
+            if let AugOutcome::BlockUpdate(b) = &mut rec.outcome {
+                b.result = None;
+            }
+        }
+        let report = check(&rs, 2);
+        assert!(!report.is_ok(), "forged yield must be caught");
+        assert!(report.errors.iter().any(|e| e.contains("Theorem 20")));
+    }
+
+    #[test]
+    fn checker_rejects_forged_step_counts() {
+        let mut rs = RealSystem::new(1, 1);
+        rs.begin(0, AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] });
+        rs.run_to_completion(0);
+        for rec in rs.oplog_mut() {
+            if let AugOutcome::BlockUpdate(b) = &mut rec.outcome {
+                b.steps = 99;
+            }
+        }
+        let report = check(&rs, 1);
+        assert!(report.errors.iter().any(|e| e.contains("Lemma 2")));
+    }
+
+    #[test]
+    fn linearization_is_complete() {
+        let rs = random_run(3, 2, 3, 7);
+        let report = check(&rs, 2);
+        let scans = report
+            .lin
+            .iter()
+            .filter(|o| matches!(o, LinOp::Scan { .. }))
+            .count();
+        assert_eq!(scans, report.scans);
+        // Times are non-decreasing.
+        for w in report.lin.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Thread-shared twin of the augmented snapshot.
+//!
+//! The model-mode [`crate::real::RealSystem`] gives the adversary full
+//! control of the schedule; this module runs the *same* client step
+//! machines under a real OS-thread schedule. `H` is held behind a
+//! coarse `parking_lot::Mutex` — each lock acquisition performs exactly
+//! one atomic H-step (a scan or a single-writer update), so the step
+//! granularity of the paper is preserved; the mutex stands in for the
+//! atomicity of the single-writer snapshot, which §3 assumes and
+//! [`crate::afek`] discharges from registers.
+
+use crate::client::{AugClient, AugOp, AugOutcome, HReply, HRequest};
+use crate::hbase::HObject;
+use parking_lot::Mutex;
+use rsim_smr::value::Value;
+use std::sync::Arc;
+
+/// A thread-shareable m-component augmented snapshot for `f` threads.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_snapshot::thread_mode::SharedAug;
+/// use rsim_smr::value::Value;
+///
+/// let aug = SharedAug::new(2, 3);
+/// let view = aug.block_update(0, &[0, 1], &[Value::Int(1), Value::Int(2)]);
+/// assert_eq!(view, Some(vec![Value::Nil; 3])); // atomic, prior contents
+/// assert_eq!(aug.scan(1)[0], Value::Int(1));
+/// ```
+#[derive(Debug)]
+pub struct SharedAug {
+    h: Mutex<HObject>,
+    f: usize,
+    m: usize,
+}
+
+impl SharedAug {
+    /// Creates a shared augmented snapshot for `f` threads and `m`
+    /// components.
+    pub fn new(f: usize, m: usize) -> Arc<Self> {
+        Arc::new(SharedAug { h: Mutex::new(HObject::new(f)), f, m })
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.m
+    }
+
+    /// Number of client slots.
+    pub fn width(&self) -> usize {
+        self.f
+    }
+
+    /// Performs a full high-level operation for thread `i`, returning
+    /// the complete outcome (used by the threaded simulation driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= f` or the operation is malformed.
+    pub fn apply(&self, i: usize, op: AugOp) -> AugOutcome {
+        self.drive(i, op)
+    }
+
+    fn drive(&self, i: usize, op: AugOp) -> AugOutcome {
+        let mut client = AugClient::new(i, self.f, self.m);
+        client.begin(op);
+        loop {
+            let request = client.pending_request().expect("op in progress");
+            let reply = {
+                // One lock acquisition = one atomic H-step.
+                let mut h = self.h.lock();
+                match request {
+                    HRequest::Scan => HReply::View(h.scan()),
+                    HRequest::Update { triples, lwrites } => {
+                        h.update(i, triples, lwrites);
+                        HReply::Ack
+                    }
+                }
+            };
+            if let Some(outcome) = client.deliver(reply) {
+                return outcome;
+            }
+        }
+    }
+
+    /// `M.Scan()` by thread `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= f`.
+    pub fn scan(&self, i: usize) -> Vec<Value> {
+        match self.drive(i, AugOp::Scan) {
+            AugOutcome::Scan(out) => out.view,
+            AugOutcome::BlockUpdate(_) => unreachable!(),
+        }
+    }
+
+    /// `M.Block-Update(components, values)` by thread `i`. Returns the
+    /// returned view for an atomic Block-Update, or `None` for Y.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= f`, the slices have different lengths, or the
+    /// components are not distinct and in range.
+    pub fn block_update(
+        &self,
+        i: usize,
+        components: &[usize],
+        values: &[Value],
+    ) -> Option<Vec<Value>> {
+        let op = AugOp::BlockUpdate {
+            components: components.to_vec(),
+            values: values.to_vec(),
+        };
+        match self.drive(i, op) {
+            AugOutcome::BlockUpdate(out) => out.result,
+            AugOutcome::Scan(_) => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let aug = SharedAug::new(3, 2);
+        assert_eq!(
+            aug.block_update(2, &[0], &[Value::Int(7)]),
+            Some(vec![Value::Nil, Value::Nil])
+        );
+        assert_eq!(aug.scan(0), vec![Value::Int(7), Value::Nil]);
+        assert_eq!(
+            aug.block_update(1, &[0, 1], &[Value::Int(8), Value::Int(9)]),
+            Some(vec![Value::Int(7), Value::Nil])
+        );
+        assert_eq!(aug.scan(2), vec![Value::Int(8), Value::Int(9)]);
+    }
+
+    #[test]
+    fn thread_zero_block_updates_never_yield_under_contention() {
+        let aug = SharedAug::new(4, 4);
+        std::thread::scope(|s| {
+            // Thread 0 hammers Block-Updates; they must all be atomic
+            // (Theorem 20).
+            let a0 = Arc::clone(&aug);
+            s.spawn(move || {
+                for round in 0..60 {
+                    let v = a0.block_update(0, &[round % 4], &[Value::Int(round as i64)]);
+                    assert!(v.is_some(), "q0 yielded at round {round}");
+                }
+            });
+            for i in 1..4usize {
+                let ai = Arc::clone(&aug);
+                s.spawn(move || {
+                    for round in 0..60 {
+                        let comps = [(round + i) % 4, (round + i + 1) % 4];
+                        let vals =
+                            [Value::Int(round as i64), Value::Int((round + i) as i64)];
+                        let _ = ai.block_update(i, &comps, &vals);
+                        let _ = ai.scan(i);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_scans_terminate() {
+        // Scans are non-blocking: with finitely many Block-Updates they
+        // all finish.
+        let aug = SharedAug::new(3, 2);
+        std::thread::scope(|s| {
+            for i in 0..3usize {
+                let ai = Arc::clone(&aug);
+                s.spawn(move || {
+                    for round in 0..40 {
+                        if round % 3 == 0 {
+                            let _ = ai.block_update(
+                                i,
+                                &[round % 2],
+                                &[Value::Int((i * 1000 + round) as i64)],
+                            );
+                        } else {
+                            let _ = ai.scan(i);
+                        }
+                    }
+                });
+            }
+        });
+        // Final state is readable and well-formed.
+        let view = aug.scan(0);
+        assert_eq!(view.len(), 2);
+    }
+}

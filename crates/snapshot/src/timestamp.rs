@@ -1,0 +1,143 @@
+//! Vector timestamps (paper §3.2, "Auxiliary Procedures").
+//!
+//! Each timestamp is an f-component vector of non-negative integers,
+//! ordered lexicographically. Process `i` generates a new timestamp from
+//! the result `h` of a scan of `H` with `New-Timestamp` (Algorithm 1):
+//! component `j ≠ i` is `#h_j` (the number of Block-Updates by `q_j`
+//! recorded in `h`) and component `i` is `#h_i + 1`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An f-component vector timestamp, ordered lexicographically.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_snapshot::timestamp::Timestamp;
+///
+/// let t1 = Timestamp::new(vec![1, 0]);
+/// let t2 = Timestamp::new(vec![1, 1]);
+/// assert!(t1 < t2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Timestamp(Vec<u32>);
+
+impl Timestamp {
+    /// Wraps an explicit component vector.
+    pub fn new(components: Vec<u32>) -> Self {
+        Timestamp(components)
+    }
+
+    /// `New-Timestamp` (Algorithm 1): from the per-process Block-Update
+    /// counts `counts` (`counts[j] = #h_j`), build the timestamp for a
+    /// new Block-Update by process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn generate(i: usize, counts: &[usize]) -> Self {
+        let mut t: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
+        t[i] += 1;
+        Timestamp(t)
+    }
+
+    /// The component vector.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components (= number of real processes f).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the vector empty? (Never true in practice; satisfies
+    /// `len`/`is_empty` pairing.)
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl PartialOrd for Timestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic; vectors always have equal length f in one run.
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_increments_own_component() {
+        let t = Timestamp::generate(1, &[3, 5, 2]);
+        assert_eq!(t.components(), &[3, 6, 2]);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Timestamp::new(vec![1, 9, 9]);
+        let b = Timestamp::new(vec![2, 0, 0]);
+        assert!(a < b);
+        let c = Timestamp::new(vec![2, 0, 1]);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn corollary_8_generated_exceeds_contained() {
+        // A timestamp generated from counts is lexicographically larger
+        // than any timestamp whose components are dominated by counts.
+        let counts = [2usize, 3, 1];
+        for i in 0..3 {
+            let t = Timestamp::generate(i, &counts);
+            // Any timestamp contained in h satisfies t'_j <= counts[j]
+            // (Lemma 7); all such t' are strictly below t.
+            let max_contained = Timestamp::new(vec![2, 3, 1]);
+            assert!(max_contained < t);
+        }
+    }
+
+    #[test]
+    fn uniqueness_across_processes() {
+        // Lemma 9 core case: two processes generating from scans where
+        // each's count is consistent can never collide.
+        let t1 = Timestamp::generate(0, &[0, 0]);
+        let t2 = Timestamp::generate(1, &[0, 0]);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let t = Timestamp::new(vec![1, 2]);
+        assert_eq!(format!("{t}"), "⟨1,2⟩");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+}

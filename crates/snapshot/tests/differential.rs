@@ -1,0 +1,98 @@
+//! Differential testing: the model-mode real system and the
+//! thread-mode twin execute the *same* client state machines, so on
+//! identical sequential operation sequences they must produce
+//! identical outcomes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsim_smr::value::Value;
+use rsim_snapshot::client::{AugOp, AugOutcome};
+use rsim_snapshot::real::RealSystem;
+use rsim_snapshot::thread_mode::SharedAug;
+
+fn random_ops(f: usize, m: usize, count: usize, seed: u64) -> Vec<(usize, AugOp)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0i64;
+    (0..count)
+        .map(|_| {
+            let pid = rng.gen_range(0..f);
+            let op = if rng.gen_bool(0.4) {
+                AugOp::Scan
+            } else {
+                let r = rng.gen_range(1..=m);
+                let mut comps: Vec<usize> = (0..m).collect();
+                for i in (1..comps.len()).rev() {
+                    comps.swap(i, rng.gen_range(0..=i));
+                }
+                comps.truncate(r);
+                let values = comps
+                    .iter()
+                    .map(|_| {
+                        counter += 1;
+                        Value::Int(counter)
+                    })
+                    .collect();
+                AugOp::BlockUpdate { components: comps, values }
+            };
+            (pid, op)
+        })
+        .collect()
+}
+
+#[test]
+fn model_and_thread_modes_agree_on_sequential_histories() {
+    for seed in 0..25 {
+        let (f, m) = (2 + (seed as usize % 3), 1 + (seed as usize % 3));
+        let ops = random_ops(f, m, 20, seed);
+        let mut model = RealSystem::new(f, m);
+        let threaded = SharedAug::new(f, m);
+        for (pid, op) in ops {
+            let model_outcome = {
+                model.begin(pid, op.clone());
+                model.run_to_completion(pid)
+            };
+            match (&op, model_outcome) {
+                (AugOp::Scan, AugOutcome::Scan(s)) => {
+                    assert_eq!(
+                        threaded.scan(pid),
+                        s.view,
+                        "seed {seed}: scan views diverged"
+                    );
+                }
+                (
+                    AugOp::BlockUpdate { components, values },
+                    AugOutcome::BlockUpdate(b),
+                ) => {
+                    let t = threaded.block_update(pid, components, values);
+                    assert_eq!(t, b.result, "seed {seed}: block-update diverged");
+                    // Sequential operations are uncontended → atomic.
+                    assert!(b.result.is_some());
+                }
+                (op, out) => panic!("mismatched op/outcome: {op:?} / {out:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_block_updates_return_previous_views_in_both_modes() {
+    let mut model = RealSystem::new(2, 2);
+    let threaded = SharedAug::new(2, 2);
+    let mut expected = vec![Value::Nil, Value::Nil];
+    for round in 0..10i64 {
+        let comps = vec![(round % 2) as usize];
+        let vals = vec![Value::Int(round)];
+        model.begin(0, AugOp::BlockUpdate {
+            components: comps.clone(),
+            values: vals.clone(),
+        });
+        let m_out = match model.run_to_completion(0) {
+            AugOutcome::BlockUpdate(b) => b.result,
+            other => panic!("{other:?}"),
+        };
+        let t_out = threaded.block_update(0, &comps, &vals);
+        assert_eq!(m_out.as_deref(), Some(expected.as_slice()));
+        assert_eq!(t_out.as_deref(), Some(expected.as_slice()));
+        expected[(round % 2) as usize] = Value::Int(round);
+    }
+}

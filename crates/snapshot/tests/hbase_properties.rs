@@ -1,0 +1,125 @@
+//! Property-based tests for the H substrate: the prefix partial order
+//! (Observation 1), `Get-View`, batch counting, and timestamp laws.
+
+use proptest::prelude::*;
+use rsim_smr::value::Value;
+use rsim_snapshot::hbase::{
+    count_batches, get_view, is_prefix, is_proper_prefix, HObject, Triple, TriplesView,
+};
+use rsim_snapshot::timestamp::Timestamp;
+
+/// Strategy: a plausible run of append batches for `f = 2` processes,
+/// described as (process, components, value-seed) batches applied in
+/// order with per-batch fresh timestamps generated the way the real
+/// clients do.
+fn batches() -> impl Strategy<Value = Vec<(usize, Vec<usize>, i64)>> {
+    proptest::collection::vec(
+        (0usize..2, proptest::collection::vec(0usize..3, 1..3), 0i64..100),
+        0..8,
+    )
+}
+
+/// Applies batches to a fresh H, returning the view after every step.
+fn apply(batches: &[(usize, Vec<usize>, i64)]) -> (HObject, Vec<TriplesView>) {
+    let mut h = HObject::new(2);
+    let mut views = vec![h.scan().triples()];
+    for (pid, comps, seed) in batches {
+        let counts = h.scan().counts();
+        let ts = Timestamp::generate(*pid, &counts);
+        let mut comps = comps.clone();
+        comps.sort_unstable();
+        comps.dedup();
+        let triples: Vec<Triple> = comps
+            .iter()
+            .map(|&c| Triple {
+                component: c,
+                value: Value::Int(*seed + c as i64),
+                ts: ts.clone(),
+            })
+            .collect();
+        h.update(*pid, triples, vec![]);
+        views.push(h.scan().triples());
+    }
+    (h, views)
+}
+
+proptest! {
+    #[test]
+    fn scan_results_form_a_chain(bs in batches()) {
+        // Observation 1: results of scans are totally ordered by the
+        // prefix relation.
+        let (_, views) = apply(&bs);
+        for i in 0..views.len() {
+            for j in i..views.len() {
+                prop_assert!(is_prefix(&views[i], &views[j]),
+                    "view {i} not a prefix of view {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn proper_prefix_is_irreflexive_and_transitive(bs in batches()) {
+        let (_, views) = apply(&bs);
+        for v in &views {
+            prop_assert!(!is_proper_prefix(v, v));
+        }
+        for w in views.windows(3) {
+            if is_proper_prefix(&w[0], &w[1]) && is_proper_prefix(&w[1], &w[2]) {
+                prop_assert!(is_proper_prefix(&w[0], &w[2]));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_counts_are_monotone_and_additive(bs in batches()) {
+        let (_, views) = apply(&bs);
+        for w in views.windows(2) {
+            for pid in 0..2 {
+                let before = count_batches(&w[0][pid]);
+                let after = count_batches(&w[1][pid]);
+                prop_assert!(after == before || after == before + 1);
+            }
+        }
+        // Total batches equals the number of applied updates.
+        let last = views.last().unwrap();
+        let total: usize = (0..2).map(|p| count_batches(&last[p])).sum();
+        prop_assert_eq!(total, bs.len());
+    }
+
+    #[test]
+    fn get_view_matches_sequential_application(bs in batches()) {
+        // Get-View of the final H equals naive sequential application
+        // of the batches in order (timestamps generated in order are
+        // increasing, so "largest timestamp wins" = "last write wins").
+        let (h, _) = apply(&bs);
+        let m = 3;
+        let viewed = get_view(&h.triples(), m);
+        let mut expected = vec![Value::Nil; m];
+        for (_, comps, seed) in &bs {
+            let mut comps = comps.clone();
+            comps.sort_unstable();
+            comps.dedup();
+            for c in comps {
+                expected[c] = Value::Int(*seed + c as i64);
+            }
+        }
+        prop_assert_eq!(viewed, expected);
+    }
+
+    #[test]
+    fn timestamps_in_one_run_are_unique(bs in batches()) {
+        // Lemma 9 over generated runs.
+        let (h, _) = apply(&bs);
+        let mut seen: Vec<Timestamp> = Vec::new();
+        for comp in h.triples() {
+            let mut last: Option<Timestamp> = None;
+            for t in comp {
+                if last.as_ref() != Some(&t.ts) {
+                    prop_assert!(!seen.contains(&t.ts), "timestamp reuse");
+                    seen.push(t.ts.clone());
+                    last = Some(t.ts);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `rsim-solo`: paper §5 — nondeterministic solo termination implies
+//! obstruction-freedom (with the same objects).
+//!
+//! * [`machine`] — the nondeterministic 5-tuple state machines of
+//!   §5.1, the expected-view tracking `E_p` of §5.2, and a randomized
+//!   racing machine modelling randomized wait-free consensus.
+//! * [`convert`] — the Theorem 35 determinization: shortest p-solo
+//!   path search and the deterministic protocol Π′, plus machine
+//!   checks that Π′ is obstruction-free and that every execution of Π′
+//!   is an execution of Π.
+//! * [`aba`] — §5.3: the ABA-free tagging transform for register
+//!   protocols (Corollary 36) and an ABA-freedom trace checker.
+//!
+//! Consequence (paper §5 headline): every space lower bound for
+//! obstruction-free protocols — including all of this repository's
+//! reproduced bounds — applies verbatim to randomized wait-free
+//! protocols.
+//!
+//! # Example
+//!
+//! ```
+//! use rsim_solo::convert::determinized_system;
+//! use rsim_solo::machine::RandomizedRacing;
+//! use rsim_smr::process::ProcessId;
+//! use rsim_smr::value::Value;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), rsim_smr::error::ModelError> {
+//! let machine = Arc::new(RandomizedRacing::new(2));
+//! let mut sys = determinized_system(machine, &[Value::Int(7)], 10_000);
+//! // The determinized protocol is obstruction-free: solo runs finish.
+//! assert_eq!(sys.run_solo(ProcessId(0), 100)?, Value::Int(7));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aba;
+pub mod convert;
+pub mod machine;
+
+pub use aba::{check_aba_freedom, AbaTagged};
+pub use convert::{determinized_system, determinized_system_over, shortest_solo_path, Determinized};
+pub use machine::{EpState, MachineOp, MachineResponse, MaxRegisterRacing, NondetMachine, RandomizedRacing};

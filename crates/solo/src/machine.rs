@@ -1,0 +1,410 @@
+//! Nondeterministic protocol state machines (paper §5.1).
+//!
+//! A nondeterministic protocol gives each process a 5-tuple
+//! `(S_p, ν_p, δ_p, I_p, F_p)`: states, a next-step function on
+//! non-final states, a transition function mapping `(state, response)`
+//! to a *nonempty set* of successor states, initial states (one per
+//! input) and final states (one per output). Randomized protocols are
+//! the special case where the nondeterministic choice is made by coin
+//! flips.
+//!
+//! Following §5.2 we restrict to protocols over one m-component object
+//! whose steps alternate `scan` and single-component operations,
+//! starting with a `scan`.
+
+use rsim_smr::value::Value;
+use std::fmt;
+use std::hash::Hash;
+
+/// The next step of a machine in a non-final state (`ν_p`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MachineOp {
+    /// Scan the m-component object.
+    Scan,
+    /// Write `value` to `component`.
+    Write {
+        /// Target component.
+        component: usize,
+        /// Value written.
+        value: Value,
+    },
+    /// `writemax(value)` on `component` (max-register objects, §5.2).
+    WriteMax {
+        /// Target component.
+        component: usize,
+        /// Value written if larger.
+        value: Value,
+    },
+}
+
+/// The response to a [`MachineOp`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MachineResponse {
+    /// The view returned by a scan.
+    View(Vec<Value>),
+    /// Acknowledgement of a component operation.
+    Ack,
+}
+
+/// A nondeterministic state machine over one m-component object.
+///
+/// `transitions` must return a nonempty, deterministic-ordered list
+/// (the determinization of Theorem 35 picks "the first state", so the
+/// order is part of the protocol's specification).
+pub trait NondetMachine: fmt::Debug {
+    /// The machine's state type.
+    type State: Clone + Eq + Ord + Hash + fmt::Debug;
+
+    /// Number of components of the shared object.
+    fn components(&self) -> usize;
+
+    /// The initial state for a given input (`I_p`).
+    fn initial(&self, input: &Value) -> Self::State;
+
+    /// The output if `s` is final (`F_p`).
+    fn output(&self, s: &Self::State) -> Option<Value>;
+
+    /// The next step in a non-final state (`ν_p`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on final states.
+    fn step(&self, s: &Self::State) -> MachineOp;
+
+    /// The nonempty set of successor states (`δ_p`), in a fixed order.
+    fn transitions(&self, s: &Self::State, resp: &MachineResponse) -> Vec<Self::State>;
+}
+
+/// A machine state augmented with the expected view `E_p` (paper §5.2):
+/// what the process would see if it scanned now, assuming no other
+/// process has taken steps since its last scan.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EpState<S> {
+    /// The underlying machine state.
+    pub state: S,
+    /// The expected contents of the shared object.
+    pub ep: Vec<Value>,
+}
+
+impl<S> EpState<S> {
+    /// The initial augmented state: `E_p` is the object's initial
+    /// contents (all ⊥).
+    pub fn initial(state: S, m: usize) -> Self {
+        EpState { state, ep: vec![Value::Nil; m] }
+    }
+
+    /// Applies the effect of performing `op` with response `resp` on
+    /// the expected view.
+    pub fn advance_ep(&mut self, op: &MachineOp, resp: &MachineResponse) {
+        match (op, resp) {
+            (MachineOp::Scan, MachineResponse::View(view)) => {
+                self.ep = view.clone();
+            }
+            (MachineOp::Write { component, value }, MachineResponse::Ack) => {
+                self.ep[*component] = value.clone();
+            }
+            (MachineOp::WriteMax { component, value }, MachineResponse::Ack) => {
+                if *value > self.ep[*component] {
+                    self.ep[*component] = value.clone();
+                }
+            }
+            (op, resp) => panic!("mismatched op {op:?} / response {resp:?}"),
+        }
+    }
+
+    /// The response `op` would get in a solo execution (where the
+    /// object contents equal `E_p`).
+    pub fn solo_response(&self, op: &MachineOp) -> MachineResponse {
+        match op {
+            MachineOp::Scan => MachineResponse::View(self.ep.clone()),
+            MachineOp::Write { .. } | MachineOp::WriteMax { .. } => MachineResponse::Ack,
+        }
+    }
+}
+
+/// The "randomized racing" machine: a model of randomized wait-free
+/// consensus used to exercise the Theorem 35 conversion.
+///
+/// State: `(value, done)`. On a scan showing all `m` components equal
+/// to `value`, the process finishes with `value`. Otherwise it
+/// nondeterministically either keeps its value or adopts any value in
+/// the view (the coin flip), then writes its choice over the first
+/// component that differs.
+///
+/// It is nondeterministic solo terminating — a solo process *can*
+/// always keep its value and fill all components — but not every
+/// branch terminates (a process may flip-flop between adopted values
+/// forever), which is exactly what the determinization must avoid.
+#[derive(Clone, Debug)]
+pub struct RandomizedRacing {
+    m: usize,
+}
+
+/// State of [`RandomizedRacing`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RacingState {
+    /// Poised to scan, with a current value.
+    Scanning(Value),
+    /// Poised to write `(component, value)`.
+    Writing(usize, Value),
+    /// Finished with an output.
+    Final(Value),
+}
+
+impl RandomizedRacing {
+    /// A racing machine over `m` components.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        RandomizedRacing { m }
+    }
+}
+
+impl NondetMachine for RandomizedRacing {
+    type State = RacingState;
+
+    fn components(&self) -> usize {
+        self.m
+    }
+
+    fn initial(&self, input: &Value) -> RacingState {
+        RacingState::Scanning(input.clone())
+    }
+
+    fn output(&self, s: &RacingState) -> Option<Value> {
+        match s {
+            RacingState::Final(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &RacingState) -> MachineOp {
+        match s {
+            RacingState::Scanning(_) => MachineOp::Scan,
+            RacingState::Writing(c, v) => {
+                MachineOp::Write { component: *c, value: v.clone() }
+            }
+            RacingState::Final(_) => panic!("step on final state"),
+        }
+    }
+
+    fn transitions(&self, s: &RacingState, resp: &MachineResponse) -> Vec<RacingState> {
+        match (s, resp) {
+            (RacingState::Scanning(v), MachineResponse::View(view)) => {
+                if view.iter().all(|e| e == v) {
+                    return vec![RacingState::Final(v.clone())];
+                }
+                // Candidate values: keep own, or adopt any non-⊥ value
+                // seen (the nondeterministic coin).
+                let mut candidates = vec![v.clone()];
+                for e in view {
+                    if !e.is_nil() && !candidates.contains(e) {
+                        candidates.push(e.clone());
+                    }
+                }
+                candidates
+                    .into_iter()
+                    .map(|w| {
+                        let target = view
+                            .iter()
+                            .position(|e| *e != w)
+                            .unwrap_or(0);
+                        RacingState::Writing(target, w)
+                    })
+                    .collect()
+            }
+            (RacingState::Writing(_, v), MachineResponse::Ack) => {
+                vec![RacingState::Scanning(v.clone())]
+            }
+            (s, resp) => panic!("bad transition: {s:?} with {resp:?}"),
+        }
+    }
+}
+
+/// A nondeterministic machine over an m-component **max-register**
+/// (§5.2's second object family): processes `writemax` tagged bids and
+/// finish when the maximum stabilizes on their bid. Max-registers are
+/// inherently ABA-free (§5.3), so this machine also feeds the
+/// Corollary 36 path.
+///
+/// State: `Bidding(bid)` → scan; if the max component equals the bid,
+/// finish with the bid's value; otherwise nondeterministically raise
+/// the bid above the max (two choices of increment — the coin) and
+/// `writemax` it.
+#[derive(Clone, Debug)]
+pub struct MaxRegisterRacing {
+    m: usize,
+    /// Bids above this cap stop raising (keeps the state space finite).
+    cap: i64,
+}
+
+/// State of [`MaxRegisterRacing`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MaxState {
+    /// Poised to scan with a current bid.
+    Bidding(i64),
+    /// Poised to `writemax` the bid to component 0.
+    Raising(i64),
+    /// Finished with the winning bid.
+    Final(i64),
+}
+
+impl MaxRegisterRacing {
+    /// A max-register racing machine with the given bid cap.
+    pub fn new(m: usize, cap: i64) -> Self {
+        assert!(m >= 1);
+        MaxRegisterRacing { m, cap }
+    }
+}
+
+impl NondetMachine for MaxRegisterRacing {
+    type State = MaxState;
+
+    fn components(&self) -> usize {
+        self.m
+    }
+
+    fn initial(&self, input: &Value) -> MaxState {
+        MaxState::Bidding(input.as_int().expect("integer input"))
+    }
+
+    fn output(&self, s: &MaxState) -> Option<Value> {
+        match s {
+            MaxState::Final(v) => Some(Value::Int(*v)),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &MaxState) -> MachineOp {
+        match s {
+            MaxState::Bidding(_) => MachineOp::Scan,
+            MaxState::Raising(bid) => MachineOp::WriteMax {
+                component: 0,
+                value: Value::Int(*bid),
+            },
+            MaxState::Final(_) => panic!("step on final state"),
+        }
+    }
+
+    fn transitions(&self, s: &MaxState, resp: &MachineResponse) -> Vec<MaxState> {
+        match (s, resp) {
+            (MaxState::Bidding(bid), MachineResponse::View(view)) => {
+                let max = view[0].as_int().unwrap_or(i64::MIN);
+                if max == *bid || *bid >= self.cap {
+                    return vec![MaxState::Final((*bid).min(self.cap))];
+                }
+                if max < *bid {
+                    // Our bid is not registered yet: write it.
+                    return vec![MaxState::Raising(*bid)];
+                }
+                // Outbid: nondeterministically raise by 1 or 2 (the coin).
+                vec![
+                    MaxState::Raising((max + 1).min(self.cap)),
+                    MaxState::Raising((max + 2).min(self.cap)),
+                ]
+            }
+            (MaxState::Raising(bid), MachineResponse::Ack) => {
+                vec![MaxState::Bidding(*bid)]
+            }
+            (s, resp) => panic!("bad transition: {s:?} with {resp:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep_tracks_writes_and_scans() {
+        let mut s = EpState::initial(0u8, 2);
+        assert_eq!(s.ep, vec![Value::Nil, Value::Nil]);
+        s.advance_ep(
+            &MachineOp::Write { component: 1, value: Value::Int(5) },
+            &MachineResponse::Ack,
+        );
+        assert_eq!(s.ep[1], Value::Int(5));
+        s.advance_ep(
+            &MachineOp::Scan,
+            &MachineResponse::View(vec![Value::Int(9), Value::Int(5)]),
+        );
+        assert_eq!(s.ep[0], Value::Int(9));
+    }
+
+    #[test]
+    fn solo_response_uses_ep() {
+        let s = EpState::initial(0u8, 1);
+        assert_eq!(
+            s.solo_response(&MachineOp::Scan),
+            MachineResponse::View(vec![Value::Nil])
+        );
+        assert_eq!(
+            s.solo_response(&MachineOp::Write { component: 0, value: Value::Int(1) }),
+            MachineResponse::Ack
+        );
+    }
+
+    #[test]
+    fn racing_machine_is_genuinely_nondeterministic() {
+        let machine = RandomizedRacing::new(2);
+        let s = RacingState::Scanning(Value::Int(1));
+        let view = MachineResponse::View(vec![Value::Int(2), Value::Nil]);
+        let succs = machine.transitions(&s, &view);
+        assert!(succs.len() >= 2, "expected a coin flip, got {succs:?}");
+    }
+
+    #[test]
+    fn racing_machine_finishes_on_unanimity() {
+        let machine = RandomizedRacing::new(2);
+        let s = RacingState::Scanning(Value::Int(1));
+        let view = MachineResponse::View(vec![Value::Int(1), Value::Int(1)]);
+        let succs = machine.transitions(&s, &view);
+        assert_eq!(succs, vec![RacingState::Final(Value::Int(1))]);
+        assert_eq!(
+            machine.output(&succs[0]),
+            Some(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn max_register_machine_finishes_when_max_is_own_bid() {
+        let m = MaxRegisterRacing::new(1, 10);
+        let s = MaxState::Bidding(5);
+        let view = MachineResponse::View(vec![Value::Int(5)]);
+        assert_eq!(m.transitions(&s, &view), vec![MaxState::Final(5)]);
+    }
+
+    #[test]
+    fn max_register_machine_branches_when_outbid() {
+        let m = MaxRegisterRacing::new(1, 10);
+        let s = MaxState::Bidding(3);
+        let view = MachineResponse::View(vec![Value::Int(7)]);
+        let succs = m.transitions(&s, &view);
+        assert_eq!(
+            succs,
+            vec![MaxState::Raising(8), MaxState::Raising(9)]
+        );
+    }
+
+    #[test]
+    fn max_register_machine_caps_bids() {
+        let m = MaxRegisterRacing::new(1, 10);
+        let s = MaxState::Bidding(10);
+        let view = MachineResponse::View(vec![Value::Int(12)]);
+        // At the cap: finish rather than bid forever.
+        assert_eq!(m.transitions(&s, &view), vec![MaxState::Final(10)]);
+    }
+
+    #[test]
+    fn writemax_only_increases_ep() {
+        let mut s = EpState::initial(0u8, 1);
+        s.advance_ep(
+            &MachineOp::WriteMax { component: 0, value: Value::Int(5) },
+            &MachineResponse::Ack,
+        );
+        s.advance_ep(
+            &MachineOp::WriteMax { component: 0, value: Value::Int(3) },
+            &MachineResponse::Ack,
+        );
+        assert_eq!(s.ep[0], Value::Int(5));
+    }
+}

@@ -1,0 +1,278 @@
+//! The agreement task family: consensus, k-set agreement, and
+//! ε-approximate agreement (paper §2, "the following are all examples of
+//! colorless tasks").
+
+use crate::task::{ColorlessTask, TaskViolation};
+use rsim_smr::value::{Dyadic, Value};
+use std::collections::BTreeSet;
+
+/// k-set agreement: at most `k` distinct outputs, each of which is some
+/// process's input. Consensus is the case `k = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_tasks::agreement::KSetAgreement;
+/// use rsim_tasks::task::ColorlessTask;
+/// use rsim_smr::value::Value;
+///
+/// let task = KSetAgreement::new(2);
+/// let inputs = [Value::Int(1), Value::Int(2), Value::Int(3)];
+/// assert!(task.validate(&inputs, &[Value::Int(1), Value::Int(2)]).is_ok());
+/// assert!(task.validate(&inputs, &[Value::Int(1), Value::Int(2), Value::Int(3)]).is_err());
+/// assert!(task.validate(&inputs, &[Value::Int(9)]).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KSetAgreement {
+    k: usize,
+}
+
+impl KSetAgreement {
+    /// Creates the k-set agreement task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-set agreement requires k >= 1");
+        KSetAgreement { k }
+    }
+
+    /// The agreement parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ColorlessTask for KSetAgreement {
+    fn name(&self) -> String {
+        if self.k == 1 {
+            "consensus".into()
+        } else {
+            format!("{}-set agreement", self.k)
+        }
+    }
+
+    fn validate_sets(
+        &self,
+        inputs: &BTreeSet<Value>,
+        outputs: &BTreeSet<Value>,
+    ) -> Result<(), TaskViolation> {
+        if outputs.len() > self.k {
+            return Err(self.violation(format!(
+                "{} distinct outputs {outputs:?}, but k = {}",
+                outputs.len(),
+                self.k
+            )));
+        }
+        for out in outputs {
+            if !inputs.contains(out) {
+                return Err(self.violation(format!(
+                    "output {out:?} is not the input of any process (inputs {inputs:?})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Consensus as a standalone constructor (`KSetAgreement::new(1)`).
+pub fn consensus() -> KSetAgreement {
+    KSetAgreement::new(1)
+}
+
+/// ε-approximate agreement: outputs pairwise within ε, all inside
+/// `[min(inputs), max(inputs)]`. Values are exact dyadic rationals.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_tasks::agreement::ApproximateAgreement;
+/// use rsim_tasks::task::ColorlessTask;
+/// use rsim_smr::value::{Dyadic, Value};
+///
+/// let task = ApproximateAgreement::new(Dyadic::new(1, 2)); // ε = 1/4
+/// let inputs = [Value::Dyadic(Dyadic::zero()), Value::Dyadic(Dyadic::one())];
+/// let close = [Value::Dyadic(Dyadic::new(1, 1)), Value::Dyadic(Dyadic::new(3, 2))];
+/// assert!(task.validate(&inputs, &close).is_ok());
+/// let far = [Value::Dyadic(Dyadic::zero()), Value::Dyadic(Dyadic::one())];
+/// assert!(task.validate(&inputs, &far).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ApproximateAgreement {
+    epsilon: Dyadic,
+}
+
+impl ApproximateAgreement {
+    /// Creates the ε-approximate agreement task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ε ≤ 0.
+    pub fn new(epsilon: Dyadic) -> Self {
+        assert!(epsilon > Dyadic::zero(), "ε must be positive");
+        ApproximateAgreement { epsilon }
+    }
+
+    /// The agreement parameter ε.
+    pub fn epsilon(&self) -> Dyadic {
+        self.epsilon
+    }
+}
+
+impl ColorlessTask for ApproximateAgreement {
+    fn name(&self) -> String {
+        format!("{}-approximate agreement", self.epsilon)
+    }
+
+    fn validate_sets(
+        &self,
+        inputs: &BTreeSet<Value>,
+        outputs: &BTreeSet<Value>,
+    ) -> Result<(), TaskViolation> {
+        let ins: Vec<Dyadic> = inputs
+            .iter()
+            .map(|v| {
+                v.as_dyadic().ok_or_else(|| {
+                    self.violation(format!("input {v:?} is not a dyadic rational"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let outs: Vec<Dyadic> = outputs
+            .iter()
+            .map(|v| {
+                v.as_dyadic().ok_or_else(|| {
+                    self.violation(format!("output {v:?} is not a dyadic rational"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let min_in = *ins.iter().min().expect("nonempty inputs");
+        let max_in = *ins.iter().max().expect("nonempty inputs");
+        for o in &outs {
+            if *o < min_in || *o > max_in {
+                return Err(self.violation(format!(
+                    "output {o:?} outside input range [{min_in:?}, {max_in:?}]"
+                )));
+            }
+        }
+        for a in &outs {
+            for b in &outs {
+                if (*a - *b).abs() > self.epsilon {
+                    return Err(self.violation(format!(
+                        "outputs {a:?} and {b:?} are more than ε = {:?} apart",
+                        self.epsilon
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::check_output_subset_closure;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn consensus_requires_single_output() {
+        let c = consensus();
+        assert!(c.validate(&ints(&[1, 2]), &ints(&[1, 1])).is_ok());
+        assert!(c.validate(&ints(&[1, 2]), &ints(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn consensus_requires_validity() {
+        let c = consensus();
+        assert!(c.validate(&ints(&[1, 2]), &ints(&[3])).is_err());
+    }
+
+    #[test]
+    fn kset_counts_distinct_outputs() {
+        let t = KSetAgreement::new(2);
+        // Three processes outputting two distinct values is fine.
+        assert!(t.validate(&ints(&[1, 2, 3]), &ints(&[1, 2, 2])).is_ok());
+        assert!(t.validate(&ints(&[1, 2, 3]), &ints(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn kset_name_special_cases_consensus() {
+        assert_eq!(consensus().name(), "consensus");
+        assert_eq!(KSetAgreement::new(3).name(), "3-set agreement");
+    }
+
+    #[test]
+    fn approx_agreement_range_clause() {
+        let t = ApproximateAgreement::new(Dyadic::one());
+        let inputs = vec![
+            Value::Dyadic(Dyadic::zero()),
+            Value::Dyadic(Dyadic::one()),
+        ];
+        assert!(t
+            .validate(&inputs, &[Value::Dyadic(Dyadic::integer(2))])
+            .is_err());
+        assert!(t
+            .validate(&inputs, &[Value::Dyadic(Dyadic::new(1, 1))])
+            .is_ok());
+    }
+
+    #[test]
+    fn approx_agreement_epsilon_clause() {
+        let eps = Dyadic::new(1, 3); // 1/8
+        let t = ApproximateAgreement::new(eps);
+        let inputs = vec![
+            Value::Dyadic(Dyadic::zero()),
+            Value::Dyadic(Dyadic::one()),
+        ];
+        let a = Value::Dyadic(Dyadic::new(1, 1)); // 1/2
+        let b = Value::Dyadic(Dyadic::new(5, 3)); // 5/8
+        assert!(t.validate(&inputs, &[a.clone(), b]).is_ok());
+        let c = Value::Dyadic(Dyadic::new(3, 2)); // 3/4 — 1/4 away
+        assert!(t.validate(&inputs, &[a, c]).is_err());
+    }
+
+    #[test]
+    fn approx_agreement_rejects_non_dyadic() {
+        let t = ApproximateAgreement::new(Dyadic::one());
+        assert!(t
+            .validate(&[Value::Int(0)], &[Value::Dyadic(Dyadic::zero())])
+            .is_err());
+    }
+
+    #[test]
+    fn equal_inputs_force_that_output_for_consensus() {
+        let c = consensus();
+        assert!(c.validate(&ints(&[5, 5]), &ints(&[5])).is_ok());
+        assert!(c.validate(&ints(&[5, 5]), &ints(&[4])).is_err());
+    }
+
+    #[test]
+    fn subset_closure_for_kset() {
+        let t = KSetAgreement::new(2);
+        let inputs: BTreeSet<Value> = ints(&[1, 2, 3]).into_iter().collect();
+        let outputs: BTreeSet<Value> = ints(&[1, 2]).into_iter().collect();
+        assert!(check_output_subset_closure(&t, &inputs, &outputs).is_ok());
+    }
+
+    #[test]
+    fn subset_closure_for_approx() {
+        let t = ApproximateAgreement::new(Dyadic::new(1, 1));
+        let inputs: BTreeSet<Value> = [
+            Value::Dyadic(Dyadic::zero()),
+            Value::Dyadic(Dyadic::one()),
+        ]
+        .into_iter()
+        .collect();
+        let outputs: BTreeSet<Value> = [
+            Value::Dyadic(Dyadic::new(1, 1)),
+            Value::Dyadic(Dyadic::new(3, 2)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_output_subset_closure(&t, &inputs, &outputs).is_ok());
+    }
+}

@@ -1,0 +1,251 @@
+//! Terminal-configuration adjacency: the connectivity argument behind
+//! the step-complexity lower bound of Hoest–Shavit \[36\] that
+//! Corollary 34 consumes.
+//!
+//! For a 2-process wait-free protocol, consider all reachable terminal
+//! configurations. Two of them are *adjacent* if some process is in the
+//! same final state in both (it cannot distinguish them). The adjacency
+//! graph of a wait-free full-information protocol is **connected** — it
+//! is (a quotient of) the subdivided path of combinatorial topology:
+//!
+//! * for ε-approximate agreement with inputs {0, 1}, outputs along any
+//!   path from the "p0-ran-first" corner (outputs near 0) to the
+//!   "p1-ran-first" corner (outputs near 1) change by at most the
+//!   protocol's per-edge spread. Crossing from 0 to 1 therefore needs
+//!   `Ω(1/ε)` terminal configurations — which forces `Ω(log 1/ε)`
+//!   rounds, the lower-bound *shape* of \[36\];
+//! * for consensus, connectivity plus differing corner decisions forces
+//!   an edge whose two configurations decide differently — and since
+//!   some process cannot distinguish its endpoints, agreement breaks:
+//!   the FLP-style argument in graph form.
+//!
+//! [`terminal_adjacency`] computes the graph exactly for small systems.
+
+use rsim_smr::error::ModelError;
+use rsim_smr::explore::Limits;
+use rsim_smr::process::ProcessId;
+use rsim_smr::system::System;
+use rsim_smr::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// One terminal configuration of the adjacency graph.
+#[derive(Clone, Debug)]
+pub struct TerminalNode {
+    /// Outputs, indexed by process.
+    pub outputs: Vec<Value>,
+    /// Per-process final state fingerprints.
+    pub state_keys: Vec<String>,
+}
+
+/// The terminal adjacency graph.
+#[derive(Clone, Debug)]
+pub struct ChainReport {
+    /// The terminal configurations (deduplicated).
+    pub nodes: Vec<TerminalNode>,
+    /// Edges: pairs of node indices indistinguishable to some process.
+    pub edges: Vec<(usize, usize, ProcessId)>,
+    /// Number of connected components.
+    pub components: usize,
+    /// Whether exploration was truncated (the graph is then partial).
+    pub truncated: bool,
+}
+
+impl ChainReport {
+    /// Is the graph connected?
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+
+    /// The largest output difference across any single edge, for
+    /// dyadic-valued outputs (`None` if outputs are not dyadic).
+    pub fn max_edge_spread(&self) -> Option<rsim_smr::value::Dyadic> {
+        let mut max: Option<rsim_smr::value::Dyadic> = None;
+        for &(a, b, _) in &self.edges {
+            for va in &self.nodes[a].outputs {
+                for vb in &self.nodes[b].outputs {
+                    let (da, db) = (va.as_dyadic()?, vb.as_dyadic()?);
+                    let d = (da - db).abs();
+                    if max.is_none() || d > max.unwrap() {
+                        max = Some(d);
+                    }
+                }
+            }
+        }
+        max
+    }
+
+    /// Edges whose endpoint configurations decide different value sets
+    /// — for consensus protocols these are the fatal edges.
+    pub fn disagreement_edges(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|&&(a, b, _)| {
+                let sa: HashSet<&Value> = self.nodes[a].outputs.iter().collect();
+                let sb: HashSet<&Value> = self.nodes[b].outputs.iter().collect();
+                sa != sb
+            })
+            .map(|&(a, b, _)| (a, b))
+            .collect()
+    }
+}
+
+/// Builds the terminal adjacency graph of `initial` by bounded
+/// exhaustive exploration.
+///
+/// # Errors
+///
+/// Propagates step errors from the runtime.
+pub fn terminal_adjacency(
+    initial: &System,
+    limits: Limits,
+) -> Result<ChainReport, ModelError> {
+    let n = initial.process_count();
+    // Collect terminal configurations, deduplicated by configuration.
+    let mut nodes: Vec<TerminalNode> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut truncated = false;
+
+    // Plain DFS (the explorer's check callback cannot easily carry the
+    // system state out, so re-implement the small walk here).
+    let mut stack = vec![(initial.clone(), 0usize)];
+    let mut visited: HashSet<String> = HashSet::new();
+    while let Some((sys, depth)) = stack.pop() {
+        if !visited.insert(sys.config_key()) {
+            continue;
+        }
+        if visited.len() > limits.max_configs {
+            truncated = true;
+            break;
+        }
+        if sys.all_terminated() {
+            if seen.insert(sys.config_key()) {
+                let outputs = sys.outputs().into_iter().flatten().collect();
+                let state_keys = (0..n)
+                    .map(|p| {
+                        sys.process(ProcessId(p))
+                            .expect("process exists")
+                            .state_key()
+                    })
+                    .collect();
+                nodes.push(TerminalNode { outputs, state_keys });
+            }
+            continue;
+        }
+        if depth >= limits.max_depth {
+            truncated = true;
+            continue;
+        }
+        for p in 0..n {
+            let pid = ProcessId(p);
+            if sys.is_terminated(pid) {
+                continue;
+            }
+            let mut fork = sys.clone();
+            fork.step(pid)?;
+            stack.push((fork, depth + 1));
+        }
+    }
+
+    // Edges: same (process, state) in two terminal configs.
+    let mut by_state: HashMap<(usize, &str), Vec<usize>> = HashMap::new();
+    for (idx, node) in nodes.iter().enumerate() {
+        for (p, key) in node.state_keys.iter().enumerate() {
+            by_state.entry((p, key.as_str())).or_default().push(idx);
+        }
+    }
+    let mut edges = Vec::new();
+    let mut edge_set: HashSet<(usize, usize, usize)> = HashSet::new();
+    for ((p, _), group) in &by_state {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                let (a, b) = (group[i].min(group[j]), group[i].max(group[j]));
+                if edge_set.insert((a, b, *p)) {
+                    edges.push((a, b, ProcessId(*p)));
+                }
+            }
+        }
+    }
+
+    // Connected components by union-find.
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for &(a, b, _) in &edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let components = (0..nodes.len())
+        .map(|i| find(&mut parent, i))
+        .collect::<HashSet<_>>()
+        .len();
+
+    Ok(ChainReport { nodes, edges, components, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+
+    /// Write input, scan, output what the register holds — the naive
+    /// "consensus" used throughout the test suites.
+    #[derive(Clone, Debug)]
+    struct Naive {
+        input: i64,
+        wrote: bool,
+    }
+
+    impl SnapshotProtocol for Naive {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.wrote {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.wrote = true;
+                ProtocolStep::Update(0, Value::Int(self.input))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    fn naive_system(a: i64, b: i64) -> System {
+        let mk = |input| {
+            Box::new(SnapshotProcess::new(Naive { input, wrote: false }, ObjectId(0)))
+                as Box<dyn Process>
+        };
+        System::new(vec![Object::snapshot(1)], vec![mk(a), mk(b)])
+    }
+
+    #[test]
+    fn naive_graph_is_connected_with_a_disagreement_edge() {
+        let report =
+            terminal_adjacency(&naive_system(1, 2), Limits::default()).unwrap();
+        assert!(!report.truncated);
+        assert!(report.nodes.len() >= 3);
+        assert!(report.is_connected());
+        // Connectivity + differing decisions ⇒ a fatal edge exists: two
+        // adjacent terminal configurations with different output sets,
+        // indistinguishable to one process — the FLP-style core.
+        assert!(!report.disagreement_edges().is_empty());
+    }
+
+    #[test]
+    fn equal_inputs_collapse_the_graph() {
+        let report =
+            terminal_adjacency(&naive_system(5, 5), Limits::default()).unwrap();
+        // All terminal configurations decide 5; no disagreement edges.
+        assert!(report.disagreement_edges().is_empty());
+        for node in &report.nodes {
+            assert!(node.outputs.iter().all(|v| *v == Value::Int(5)));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `rsim-tasks`: colorless tasks and the impossibility substrate.
+//!
+//! * [`task`] — the colorless-task abstraction (paper §2) and its
+//!   subset-closure property.
+//! * [`agreement`] — consensus, k-set agreement, and ε-approximate
+//!   agreement task validators.
+//! * [`sperner`] — Sperner's lemma on iterated barycentric
+//!   subdivisions: the combinatorial core of the wait-free k-set
+//!   agreement impossibility the simulation reduces to.
+//! * [`violation`] — counterexample search for concrete protocols
+//!   (task violations and wait-freedom violations), used to exhibit the
+//!   contradiction of Theorem 21 on extracted protocols.
+//! * [`valence`] — FLP-style bivalence/criticality analysis of small
+//!   systems: the configuration-graph structure underlying the
+//!   impossibility proofs the paper reduces to.
+//! * [`chain`] — terminal-configuration adjacency graphs: the
+//!   connectivity argument behind the Hoest–Shavit step lower bound
+//!   (and the FLP fatal-edge argument), computed exactly for small
+//!   systems.
+//!
+//! # Example
+//!
+//! ```
+//! use rsim_tasks::agreement::KSetAgreement;
+//! use rsim_tasks::task::ColorlessTask;
+//! use rsim_smr::value::Value;
+//!
+//! let task = KSetAgreement::new(2);
+//! let inputs = [Value::Int(1), Value::Int(2), Value::Int(3)];
+//! assert!(task.validate(&inputs, &[Value::Int(1), Value::Int(2)]).is_ok());
+//! ```
+
+pub mod agreement;
+pub mod chain;
+pub mod sperner;
+pub mod task;
+pub mod valence;
+pub mod violation;
+
+pub use agreement::{consensus, ApproximateAgreement, KSetAgreement};
+pub use task::{ColorlessTask, TaskViolation};
+pub use violation::Violation;

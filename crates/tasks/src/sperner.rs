@@ -1,0 +1,297 @@
+//! Sperner's lemma on iterated barycentric subdivisions.
+//!
+//! The impossibility of wait-free k-set agreement among k+1 processes —
+//! the result the revisionist simulation reduces *to* (Corollary 33) —
+//! rests on Sperner's lemma \[44\]: every Sperner labeling of a subdivided
+//! k-simplex has an odd number of panchromatic cells (in particular, at
+//! least one).
+//!
+//! This module builds iterated barycentric subdivisions of the standard
+//! k-simplex as abstract simplicial complexes, tracks each vertex's
+//! *carrier* (the minimal face of the original simplex containing it),
+//! and verifies the lemma by direct counting. Property tests draw random
+//! Sperner labelings; the count is odd for all of them.
+
+use rand::Rng;
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifies a vertex of a [`Complex`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VertexId(pub usize);
+
+/// An abstract simplicial complex of pure dimension `dim`, with each
+/// vertex carrying the set of original corners spanning its carrier.
+#[derive(Clone, Debug)]
+pub struct Complex {
+    dim: usize,
+    /// Each top simplex is a sorted list of `dim + 1` vertex ids.
+    simplices: Vec<Vec<VertexId>>,
+    /// `carriers[v]` = the original corners of vertex v's carrier face.
+    carriers: Vec<BTreeSet<usize>>,
+}
+
+impl Complex {
+    /// The standard k-simplex: corners 0..=k, carrier of corner i = {i}.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsim_tasks::sperner::Complex;
+    ///
+    /// let c = Complex::standard(2);
+    /// assert_eq!(c.dim(), 2);
+    /// assert_eq!(c.simplices().len(), 1);
+    /// ```
+    pub fn standard(dim: usize) -> Self {
+        Complex {
+            dim,
+            simplices: vec![(0..=dim).map(VertexId).collect()],
+            carriers: (0..=dim).map(|i| [i].into_iter().collect()).collect(),
+        }
+    }
+
+    /// The dimension of the complex.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The top-dimensional simplices.
+    pub fn simplices(&self) -> &[Vec<VertexId>] {
+        &self.simplices
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.carriers.len()
+    }
+
+    /// The carrier (set of original corners) of vertex `v`.
+    pub fn carrier(&self, v: VertexId) -> &BTreeSet<usize> {
+        &self.carriers[v.0]
+    }
+
+    /// One barycentric subdivision: new vertices are the nonempty faces
+    /// of old simplices; new top simplices are the maximal flags
+    /// F₁ ⊂ F₂ ⊂ … ⊂ F_{dim+1} within an old simplex. The carrier of a
+    /// face-vertex is the union of the carriers of its old vertices.
+    pub fn barycentric_subdivision(&self) -> Complex {
+        let mut face_ids: HashMap<Vec<VertexId>, VertexId> = HashMap::new();
+        let mut carriers: Vec<BTreeSet<usize>> = Vec::new();
+        let mut intern = |face: &[VertexId],
+                          old_carriers: &[BTreeSet<usize>]|
+         -> VertexId {
+            let key: Vec<VertexId> = face.to_vec();
+            if let Some(&id) = face_ids.get(&key) {
+                return id;
+            }
+            let id = VertexId(carriers.len());
+            let carrier: BTreeSet<usize> = face
+                .iter()
+                .flat_map(|v| old_carriers[v.0].iter().copied())
+                .collect();
+            carriers.push(carrier);
+            face_ids.insert(key, id);
+            id
+        };
+
+        let mut simplices = Vec::new();
+        for simplex in &self.simplices {
+            // Flags within this simplex correspond to permutations of
+            // its vertices: F_i = the first i vertices of the permuted
+            // order, kept sorted for canonical interning.
+            for perm in permutations(simplex) {
+                let mut flag = Vec::with_capacity(self.dim + 1);
+                for i in 1..=self.dim + 1 {
+                    let mut face: Vec<VertexId> = perm[..i].to_vec();
+                    face.sort();
+                    flag.push(intern(&face, &self.carriers));
+                }
+                flag.sort();
+                simplices.push(flag);
+            }
+        }
+        Complex { dim: self.dim, simplices, carriers }
+    }
+
+    /// `depth` iterated barycentric subdivisions.
+    pub fn subdivide(&self, depth: usize) -> Complex {
+        let mut c = self.clone();
+        for _ in 0..depth {
+            c = c.barycentric_subdivision();
+        }
+        c
+    }
+}
+
+fn permutations(items: &[VertexId]) -> Vec<Vec<VertexId>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &first) in items.iter().enumerate() {
+        let mut rest: Vec<VertexId> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = vec![first];
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+/// A coloring of the vertices of a complex with colors `0..=dim`.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    colors: Vec<usize>,
+}
+
+impl Labeling {
+    /// Wraps an explicit color vector (indexed by vertex id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors.len()` differs from the vertex count.
+    pub fn new(complex: &Complex, colors: Vec<usize>) -> Self {
+        assert_eq!(colors.len(), complex.vertex_count());
+        Labeling { colors }
+    }
+
+    /// A uniformly random *Sperner* labeling: each vertex gets a color
+    /// drawn from its carrier.
+    pub fn random_sperner<R: Rng>(complex: &Complex, rng: &mut R) -> Self {
+        let colors = (0..complex.vertex_count())
+            .map(|v| {
+                let carrier: Vec<usize> =
+                    complex.carrier(VertexId(v)).iter().copied().collect();
+                carrier[rng.gen_range(0..carrier.len())]
+            })
+            .collect();
+        Labeling { colors }
+    }
+
+    /// The color of vertex `v`.
+    pub fn color(&self, v: VertexId) -> usize {
+        self.colors[v.0]
+    }
+
+    /// Is this a Sperner labeling (every vertex colored from its
+    /// carrier)?
+    pub fn is_sperner(&self, complex: &Complex) -> bool {
+        (0..complex.vertex_count())
+            .all(|v| complex.carrier(VertexId(v)).contains(&self.colors[v]))
+    }
+}
+
+/// Counts the panchromatic (fully-colored) top simplices.
+pub fn count_panchromatic(complex: &Complex, labeling: &Labeling) -> usize {
+    complex
+        .simplices()
+        .iter()
+        .filter(|s| {
+            let colors: BTreeSet<usize> =
+                s.iter().map(|&v| labeling.color(v)).collect();
+            colors.len() == complex.dim() + 1
+        })
+        .count()
+}
+
+/// Sperner's lemma: for a Sperner labeling, the panchromatic count is
+/// odd. Returns the count.
+///
+/// # Errors
+///
+/// Returns a description if the labeling is not Sperner or the count is
+/// even (which would falsify the lemma — it never happens).
+pub fn verify_sperner(complex: &Complex, labeling: &Labeling) -> Result<usize, String> {
+    if !labeling.is_sperner(complex) {
+        return Err("labeling is not a Sperner labeling".into());
+    }
+    let count = count_panchromatic(complex, labeling);
+    if count % 2 == 1 {
+        Ok(count)
+    } else {
+        Err(format!("panchromatic count {count} is even — Sperner's lemma falsified?!"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_simplex_structure() {
+        let c = Complex::standard(2);
+        assert_eq!(c.vertex_count(), 3);
+        assert_eq!(c.carrier(VertexId(0)), &[0].into_iter().collect());
+    }
+
+    #[test]
+    fn subdivision_counts_1d() {
+        // Subdividing an edge once gives 2 edges and 3 vertices.
+        let c = Complex::standard(1).barycentric_subdivision();
+        assert_eq!(c.simplices().len(), 2);
+        assert_eq!(c.vertex_count(), 3);
+    }
+
+    #[test]
+    fn subdivision_counts_2d() {
+        // Barycentric subdivision of a triangle: 6 triangles, 7 vertices.
+        let c = Complex::standard(2).barycentric_subdivision();
+        assert_eq!(c.simplices().len(), 6);
+        assert_eq!(c.vertex_count(), 7);
+        // Twice: 36 triangles, 25 vertices.
+        let c2 = c.barycentric_subdivision();
+        assert_eq!(c2.simplices().len(), 36);
+        assert_eq!(c2.vertex_count(), 25);
+    }
+
+    #[test]
+    fn barycenter_carrier_is_whole_simplex() {
+        let c = Complex::standard(2).barycentric_subdivision();
+        let full: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        assert!((0..c.vertex_count()).any(|v| c.carrier(VertexId(v)) == &full));
+    }
+
+    #[test]
+    fn sperner_on_identity_labeling() {
+        // Color each vertex by the minimum of its carrier: a valid
+        // Sperner labeling.
+        let c = Complex::standard(2).subdivide(2);
+        let colors = (0..c.vertex_count())
+            .map(|v| *c.carrier(VertexId(v)).iter().next().unwrap())
+            .collect();
+        let l = Labeling::new(&c, colors);
+        let count = verify_sperner(&c, &l).unwrap();
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn sperner_random_labelings_always_odd() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for dim in 1..=3 {
+            let depth = if dim == 3 { 1 } else { 2 };
+            let c = Complex::standard(dim).subdivide(depth);
+            for _ in 0..20 {
+                let l = Labeling::random_sperner(&c, &mut rng);
+                verify_sperner(&c, &l).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn non_sperner_labeling_rejected() {
+        let c = Complex::standard(2);
+        let l = Labeling::new(&c, vec![1, 1, 1]); // corner 0 colored 1
+        assert!(verify_sperner(&c, &l).is_err());
+    }
+
+    #[test]
+    fn panchromatic_count_on_base_simplex() {
+        let c = Complex::standard(2);
+        let l = Labeling::new(&c, vec![0, 1, 2]);
+        assert_eq!(count_panchromatic(&c, &l), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Colorless tasks (paper §2, "Tasks and Protocols").
+//!
+//! A colorless task is a triple (I, O, Δ): input sets, output sets, and
+//! a carrier map Δ assigning valid output sets to each input set, all
+//! closed under subsets. Colorlessness means validation only depends on
+//! the *sets* of inputs and outputs, not on which process holds which.
+
+use rsim_smr::value::Value;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of a task specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TaskViolation {
+    /// The task that was violated.
+    pub task: String,
+    /// Human-readable description of the violation.
+    pub reason: String,
+}
+
+impl fmt::Display for TaskViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.task, self.reason)
+    }
+}
+
+impl Error for TaskViolation {}
+
+/// A colorless task: validation of an output set against an input set.
+///
+/// Implementations must be insensitive to multiplicity and order
+/// (colorlessness); the provided [`ColorlessTask::validate`] helper
+/// deduplicates before calling [`ColorlessTask::validate_sets`].
+pub trait ColorlessTask: fmt::Debug {
+    /// The task's name (for reporting).
+    fn name(&self) -> String;
+
+    /// Validates a *set* of outputs against a *set* of inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskViolation`] describing the first violated clause.
+    fn validate_sets(
+        &self,
+        inputs: &BTreeSet<Value>,
+        outputs: &BTreeSet<Value>,
+    ) -> Result<(), TaskViolation>;
+
+    /// Validates slices of per-process inputs and outputs (deduplicated
+    /// into sets first — the task is colorless).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskViolation`] describing the first violated clause.
+    fn validate(&self, inputs: &[Value], outputs: &[Value]) -> Result<(), TaskViolation> {
+        let input_set: BTreeSet<Value> = inputs.iter().cloned().collect();
+        let output_set: BTreeSet<Value> = outputs.iter().cloned().collect();
+        if output_set.is_empty() {
+            return Ok(()); // no process output anything: vacuously fine
+        }
+        if input_set.is_empty() {
+            return Err(self.violation("outputs produced with no inputs".to_string()));
+        }
+        self.validate_sets(&input_set, &output_set)
+    }
+
+    /// Convenience constructor for a violation of this task.
+    fn violation(&self, reason: String) -> TaskViolation {
+        TaskViolation { task: self.name(), reason }
+    }
+}
+
+/// Checks the subset-closure property required of colorless tasks on a
+/// specific (inputs, outputs) pair: if `outputs` is valid for `inputs`,
+/// then every nonempty subset of `outputs` is valid for every superset
+/// chosen from `inputs` (we check subsets of outputs against the same
+/// inputs, the clause the simulation relies on in Lemma 27).
+pub fn check_output_subset_closure(
+    task: &dyn ColorlessTask,
+    inputs: &BTreeSet<Value>,
+    outputs: &BTreeSet<Value>,
+) -> Result<(), TaskViolation> {
+    if task.validate_sets(inputs, outputs).is_err() {
+        return Ok(()); // premise false; nothing to check
+    }
+    let outs: Vec<&Value> = outputs.iter().collect();
+    let n = outs.len();
+    for mask in 1..(1u32 << n.min(16)) {
+        let subset: BTreeSet<Value> = outs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| (*v).clone())
+            .collect();
+        task.validate_sets(inputs, &subset).map_err(|e| TaskViolation {
+            task: task.name(),
+            reason: format!("subset closure failed for {subset:?}: {e}"),
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy task: outputs must all equal Int(0).
+    #[derive(Debug)]
+    struct Zero;
+
+    impl ColorlessTask for Zero {
+        fn name(&self) -> String {
+            "zero".into()
+        }
+        fn validate_sets(
+            &self,
+            _inputs: &BTreeSet<Value>,
+            outputs: &BTreeSet<Value>,
+        ) -> Result<(), TaskViolation> {
+            if outputs.iter().all(|v| *v == Value::Int(0)) {
+                Ok(())
+            } else {
+                Err(self.violation("nonzero output".to_string()))
+            }
+        }
+    }
+
+    #[test]
+    fn empty_outputs_vacuously_valid() {
+        assert!(Zero.validate(&[Value::Int(1)], &[]).is_ok());
+    }
+
+    #[test]
+    fn validates_through_sets() {
+        assert!(Zero
+            .validate(&[Value::Int(1)], &[Value::Int(0), Value::Int(0)])
+            .is_ok());
+        assert!(Zero.validate(&[Value::Int(1)], &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn outputs_without_inputs_rejected() {
+        assert!(Zero.validate(&[], &[Value::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn subset_closure_holds_for_zero_task() {
+        let inputs: BTreeSet<Value> = [Value::Int(1)].into_iter().collect();
+        let outputs: BTreeSet<Value> = [Value::Int(0)].into_iter().collect();
+        assert!(check_output_subset_closure(&Zero, &inputs, &outputs).is_ok());
+    }
+}

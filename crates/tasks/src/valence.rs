@@ -1,0 +1,304 @@
+//! Valence analysis: the FLP-style structure of agreement protocols.
+//!
+//! The impossibility results the revisionist simulation reduces to
+//! (FLP \[25, 38\] and wait-free k-set agreement \[14, 34, 41\]) analyze
+//! the *valence* of configurations: the set of values still decidable
+//! from a configuration. A configuration is **bivalent** if at least
+//! two different decisions are reachable, **univalent** otherwise; a
+//! bivalent configuration all of whose successors are univalent is
+//! **critical**, and the case analysis at critical configurations is
+//! the engine of those proofs.
+//!
+//! This module computes valences exactly for small systems by building
+//! the (deduplicated) reachable configuration graph and propagating
+//! terminal outcomes to a fixpoint — cycles (non-terminating branches
+//! of obstruction-free protocols) are handled by the fixpoint. It
+//! exposes the counts and the critical configurations, and doubles as
+//! a disagreement detector.
+
+use rsim_smr::error::ModelError;
+use rsim_smr::process::ProcessId;
+use rsim_smr::system::System;
+use rsim_smr::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// Limits for the valence graph construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ValenceLimits {
+    /// Maximum distinct configurations.
+    pub max_configs: usize,
+    /// Maximum schedule depth.
+    pub max_depth: usize,
+}
+
+impl Default for ValenceLimits {
+    fn default() -> Self {
+        ValenceLimits { max_configs: 100_000, max_depth: 48 }
+    }
+}
+
+/// The decisions reachable from one configuration: the set of distinct
+/// *output sets* of reachable terminal configurations.
+pub type Outcomes = BTreeSet<BTreeSet<Value>>;
+
+/// Result of the valence analysis.
+#[derive(Clone, Debug)]
+pub struct ValenceReport {
+    /// Distinct configurations explored.
+    pub configs: usize,
+    /// Terminal configurations.
+    pub terminals: usize,
+    /// Configurations from which ≥ 2 distinct single-valued decisions
+    /// are reachable (bivalent in the consensus sense).
+    pub bivalent: usize,
+    /// Configurations with exactly one reachable decision.
+    pub univalent: usize,
+    /// Critical configurations: bivalent, with every successor
+    /// univalent. Stored as (schedule, successor decisions).
+    pub critical: Vec<(Vec<ProcessId>, Vec<Outcomes>)>,
+    /// The outcomes reachable from the initial configuration.
+    pub initial_outcomes: Outcomes,
+    /// Whether some reachable terminal configuration contains two
+    /// distinct output values (disagreement).
+    pub disagreement_reachable: bool,
+    /// Whether limits truncated the graph (valences are then lower
+    /// bounds).
+    pub truncated: bool,
+}
+
+impl ValenceReport {
+    /// Is the initial configuration bivalent (≥ 2 reachable
+    /// decisions)?
+    pub fn initially_bivalent(&self) -> bool {
+        self.initial_outcomes.len() >= 2
+    }
+}
+
+/// Computes the valence structure of `initial`'s reachable graph.
+///
+/// # Errors
+///
+/// Propagates step errors from the runtime.
+pub fn analyze(initial: &System, limits: ValenceLimits) -> Result<ValenceReport, ModelError> {
+    // --- Build the reachable configuration graph (deduplicated). ---
+    struct Node {
+        system: System,
+        succs: Vec<(ProcessId, usize)>,
+        schedule: Vec<ProcessId>,
+        terminal: bool,
+    }
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut truncated = false;
+
+    let root_key = initial.config_key();
+    index.insert(root_key, 0);
+    nodes.push(Node {
+        system: initial.clone(),
+        succs: Vec::new(),
+        schedule: Vec::new(),
+        terminal: initial.all_terminated(),
+    });
+    let mut frontier = vec![0usize];
+    while let Some(id) = frontier.pop() {
+        if nodes[id].terminal {
+            continue;
+        }
+        if nodes[id].schedule.len() >= limits.max_depth {
+            truncated = true;
+            continue;
+        }
+        let n = nodes[id].system.process_count();
+        for p in (0..n).map(ProcessId) {
+            if nodes[id].system.is_terminated(p) {
+                continue;
+            }
+            let mut fork = nodes[id].system.clone();
+            fork.step(p)?;
+            let key = fork.config_key();
+            let succ_id = match index.get(&key) {
+                Some(&sid) => sid,
+                None => {
+                    if nodes.len() >= limits.max_configs {
+                        truncated = true;
+                        continue;
+                    }
+                    let sid = nodes.len();
+                    index.insert(key, sid);
+                    let mut schedule = nodes[id].schedule.clone();
+                    schedule.push(p);
+                    let terminal = fork.all_terminated();
+                    nodes.push(Node { system: fork, succs: Vec::new(), schedule, terminal });
+                    frontier.push(sid);
+                    sid
+                }
+            };
+            nodes[id].succs.push((p, succ_id));
+        }
+    }
+
+    // --- Propagate outcomes to a fixpoint (handles cycles). ---
+    let mut outcomes: Vec<Outcomes> = nodes
+        .iter()
+        .map(|node| {
+            if node.terminal {
+                let outs: BTreeSet<Value> = node
+                    .system
+                    .outputs()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let mut set = Outcomes::new();
+                set.insert(outs);
+                set
+            } else {
+                Outcomes::new()
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in (0..nodes.len()).rev() {
+            let mut merged = outcomes[id].clone();
+            for &(_, sid) in &nodes[id].succs {
+                for o in &outcomes[sid] {
+                    if merged.insert(o.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+            if merged.len() != outcomes[id].len() {
+                outcomes[id] = merged;
+            }
+        }
+    }
+
+    // --- Classify. ---
+    let mut bivalent = 0;
+    let mut univalent = 0;
+    let mut terminals = 0;
+    let mut critical = Vec::new();
+    let mut disagreement = false;
+    for (id, node) in nodes.iter().enumerate() {
+        if node.terminal {
+            terminals += 1;
+            if outcomes[id].iter().any(|outs| outs.len() >= 2) {
+                disagreement = true;
+            }
+            continue;
+        }
+        match outcomes[id].len() {
+            0 | 1 => univalent += 1,
+            _ => {
+                bivalent += 1;
+                let succ_outcomes: Vec<Outcomes> = node
+                    .succs
+                    .iter()
+                    .map(|&(_, sid)| outcomes[sid].clone())
+                    .collect();
+                if !succ_outcomes.is_empty()
+                    && succ_outcomes.iter().all(|o| o.len() <= 1)
+                {
+                    critical.push((node.schedule.clone(), succ_outcomes));
+                }
+            }
+        }
+    }
+    // Terminal disagreement also shows in outcome sets of terminals.
+    for node in &nodes {
+        if node.terminal {
+            let outs: BTreeSet<Value> =
+                node.system.outputs().into_iter().flatten().collect();
+            if outs.len() >= 2 {
+                disagreement = true;
+            }
+        }
+    }
+
+    Ok(ValenceReport {
+        configs: nodes.len(),
+        terminals,
+        bivalent,
+        univalent,
+        critical,
+        initial_outcomes: outcomes[0].clone(),
+        disagreement_reachable: disagreement,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::object::{Object, ObjectId};
+    use rsim_smr::process::{Process, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+
+    /// Writes its input then outputs whatever the register holds.
+    #[derive(Clone, Debug)]
+    struct Naive {
+        input: i64,
+        wrote: bool,
+    }
+
+    impl SnapshotProtocol for Naive {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.wrote {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.wrote = true;
+                ProtocolStep::Update(0, Value::Int(self.input))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    fn naive_system(a: i64, b: i64) -> System {
+        let mk = |input| {
+            Box::new(SnapshotProcess::new(Naive { input, wrote: false }, ObjectId(0)))
+                as Box<dyn Process>
+        };
+        System::new(vec![Object::snapshot(1)], vec![mk(a), mk(b)])
+    }
+
+    #[test]
+    fn distinct_inputs_make_naive_initially_bivalent_with_disagreement() {
+        let report = analyze(&naive_system(1, 2), ValenceLimits::default()).unwrap();
+        assert!(!report.truncated);
+        assert!(report.initially_bivalent());
+        assert!(report.disagreement_reachable);
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn equal_inputs_are_univalent() {
+        let report = analyze(&naive_system(5, 5), ValenceLimits::default()).unwrap();
+        assert!(!report.initially_bivalent());
+        assert!(!report.disagreement_reachable);
+        let only: BTreeSet<Value> = [Value::Int(5)].into_iter().collect();
+        assert_eq!(report.initial_outcomes.iter().next().unwrap(), &only);
+    }
+
+    #[test]
+    fn critical_configurations_exist_for_naive_protocol() {
+        // The naive protocol has configurations where the next step
+        // seals the decision: e.g. both poised to write, the write
+        // order decides. Those show up as critical configurations.
+        let report = analyze(&naive_system(1, 2), ValenceLimits::default()).unwrap();
+        assert!(
+            !report.critical.is_empty(),
+            "expected critical configurations in the naive protocol"
+        );
+    }
+
+    #[test]
+    fn bivalent_plus_univalent_counts_are_consistent() {
+        let report = analyze(&naive_system(1, 2), ValenceLimits::default()).unwrap();
+        assert_eq!(
+            report.bivalent + report.univalent + report.terminals,
+            report.configs
+        );
+    }
+}

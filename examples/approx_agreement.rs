@@ -1,0 +1,74 @@
+//! Corollary 34: ε-approximate agreement — upper-bound step complexity
+//! vs the Hoest–Shavit lower bound, and the space-bound crossover.
+//!
+//! Sweeps ε = 2^{-e}: measures the 2-process wait-free protocol's solo
+//! step complexity (Θ(log₂ 1/ε)), prints the ½·log₃(1/ε) step lower
+//! bound it must exceed, and evaluates the paper's space lower bound
+//! `min{⌊n/2⌋+1, √(log₂ log₃(1/ε) − 2)}` showing where the partition
+//! term and the step term cross over.
+//!
+//! Run with `cargo run --example approx_agreement`.
+
+use revisionist_simulations::core::bounds::{
+    approx_space_lower_bound, approx_step_lower_bound,
+};
+use revisionist_simulations::protocols::approx::{approx_system, rounds_for_epsilon};
+use revisionist_simulations::smr::process::ProcessId;
+use revisionist_simulations::smr::sched::Random;
+use revisionist_simulations::smr::value::Dyadic;
+use revisionist_simulations::tasks::agreement::ApproximateAgreement;
+use revisionist_simulations::tasks::task::ColorlessTask;
+use revisionist_simulations::smr::value::Value;
+
+fn main() {
+    println!("ε-approximate agreement, inputs {{0, 1}}, two processes.\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>12}",
+        "e", "ε=2^-e", "solo steps", "L = ½log₃(1/ε)", "steps ≥ L?"
+    );
+    println!("{}", "-".repeat(58));
+    for e in [2u32, 4, 8, 12, 16, 20] {
+        let rounds = rounds_for_epsilon(e);
+        let mut sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        sys.run_solo(ProcessId(0), 100_000).unwrap();
+        let steps = sys.trace().len();
+        let l = approx_step_lower_bound(e);
+        println!(
+            "{:>6} {:>8} {:>12} {:>14.2} {:>12}",
+            e,
+            format!("2^-{e}"),
+            steps,
+            l,
+            if steps as f64 >= l { "yes" } else { "NO!" }
+        );
+    }
+
+    println!("\nCorrectness under contention (400 random schedules each):");
+    for e in [4u32, 8] {
+        let task = ApproximateAgreement::new(Dyadic::two_to_minus(e));
+        let inputs = [Dyadic::zero(), Dyadic::one()];
+        let input_vals: Vec<Value> =
+            inputs.iter().map(|&d| Value::Dyadic(d)).collect();
+        let mut violations = 0;
+        for seed in 0..400 {
+            let mut sys = approx_system(&inputs, rounds_for_epsilon(e));
+            sys.run(&mut Random::seeded(seed), 100_000).unwrap();
+            let outs: Vec<Value> = sys.outputs().into_iter().flatten().collect();
+            if task.validate(&input_vals, &outs).is_err() {
+                violations += 1;
+            }
+        }
+        println!("  ε = 2^-{e}: {violations} violations / 400 runs");
+    }
+
+    println!("\nCorollary 34 space bound: min{{⌊n/2⌋+1, √(log₂ log₃(1/ε) − 2)}}");
+    println!("{:>6} | bound at e = 8, 64, 4096, 2^20", "n");
+    for n in [4usize, 16, 64, 256] {
+        let row: Vec<String> = [8u32, 64, 4096, 1 << 20]
+            .iter()
+            .map(|&e| format!("{:6.2}", approx_space_lower_bound(n, e)))
+            .collect();
+        println!("{:>6} | {}", n, row.join(" "));
+    }
+    println!("\nFor small ε the partition term ⌊n/2⌋+1 dominates: Ω(n) registers.");
+}

@@ -1,0 +1,95 @@
+//! The §3 augmented snapshot object, exercised and specification-
+//! checked under heavy contention.
+//!
+//! Drives f processes through random Scan/Block-Update workloads with
+//! adversarial interleavings, then rebuilds the §3.3 linearization and
+//! machine-checks Corollary 15, Lemmas 2/9/11/12/19 and Theorem 20.
+//!
+//! Run with `cargo run --example augmented_snapshot`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revisionist_simulations::snapshot::client::AugOp;
+use revisionist_simulations::snapshot::real::RealSystem;
+use revisionist_simulations::snapshot::spec;
+use revisionist_simulations::smr::value::Value;
+
+fn random_run(f: usize, m: usize, ops_per_proc: usize, seed: u64) -> RealSystem {
+    let mut rs = RealSystem::new(f, m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = vec![ops_per_proc; f];
+    let mut counter = 0i64;
+    loop {
+        let live: Vec<usize> = (0..f)
+            .filter(|&p| remaining[p] > 0 || !rs.is_idle(p))
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let pid = live[rng.gen_range(0..live.len())];
+        if rs.is_idle(pid) {
+            remaining[pid] -= 1;
+            let op = if rng.gen_bool(0.4) {
+                AugOp::Scan
+            } else {
+                let r = rng.gen_range(1..=m);
+                let mut comps: Vec<usize> = (0..m).collect();
+                for i in (1..comps.len()).rev() {
+                    comps.swap(i, rng.gen_range(0..=i));
+                }
+                comps.truncate(r);
+                let values = comps
+                    .iter()
+                    .map(|_| {
+                        counter += 1;
+                        Value::Int(counter)
+                    })
+                    .collect();
+                AugOp::BlockUpdate { components: comps, values }
+            };
+            rs.begin(pid, op);
+        }
+        rs.step(pid);
+    }
+    rs
+}
+
+fn main() {
+    println!("Augmented snapshot (§3): specification check under contention.\n");
+    println!(
+        "{:>5} {:>3} {:>3} | {:>7} {:>7} {:>6} {:>8} | spec",
+        "seed", "f", "m", "atomic", "yields", "scans", "H-steps"
+    );
+    println!("{}", "-".repeat(64));
+    let mut total_atomic = 0;
+    let mut total_yields = 0;
+    for seed in 0..12u64 {
+        let f = 2 + (seed as usize % 4); // 2..=5
+        let m = 1 + (seed as usize % 4); // 1..=4
+        let rs = random_run(f, m, 8, seed);
+        let report = spec::check(&rs, m);
+        println!(
+            "{:>5} {:>3} {:>3} | {:>7} {:>7} {:>6} {:>8} | {}",
+            seed,
+            f,
+            m,
+            report.atomic_block_updates,
+            report.yielded_block_updates,
+            report.scans,
+            rs.log().len(),
+            if report.is_ok() { "OK" } else { "VIOLATED" }
+        );
+        for err in &report.errors {
+            println!("    !! {err}");
+        }
+        total_atomic += report.atomic_block_updates;
+        total_yields += report.yielded_block_updates;
+    }
+    println!(
+        "\nTotals: {total_atomic} atomic Block-Updates, {total_yields} yields."
+    );
+    println!("Theorem 20 (checked above): every yield had a lower-id append in its");
+    println!("execution interval; q0's Block-Updates are always atomic.");
+    println!("Lemma 2 (checked above): Block-Updates take 6 H-steps (5 on yield);");
+    println!("Scans take at most 2k+3 with k concurrent foreign appends.");
+}

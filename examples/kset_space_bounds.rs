@@ -1,0 +1,70 @@
+//! The Corollary 33 bound table: lower vs upper bounds on the number
+//! of registers for x-obstruction-free k-set agreement, with the
+//! simulation-feasibility mechanism checked at every grid point.
+//!
+//! Run with `cargo run --example kset_space_bounds`.
+
+use revisionist_simulations::core::bounds::{
+    b_bound, kset_space_lower_bound, kset_space_upper_bound, simulation_feasible,
+    simulation_step_bound,
+};
+
+fn main() {
+    println!("Corollary 33: x-obstruction-free k-set agreement among n processes");
+    println!("needs at least ⌊(n−x)/(k+1−x)⌋ + 1 registers (upper bound: n−k+x).\n");
+    println!("{:>4} {:>4} {:>4} | {:>6} {:>6} {:>6} | {:<9}", "n", "k", "x", "lower", "upper", "gap", "tight?");
+    println!("{}", "-".repeat(52));
+    for n in [4usize, 8, 16, 32] {
+        for k in [1usize, 2, n / 2, n - 1] {
+            if k == 0 || k >= n {
+                continue;
+            }
+            for x in [1usize, k] {
+                if x > k {
+                    continue;
+                }
+                let lo = kset_space_lower_bound(n, k, x);
+                let hi = kset_space_upper_bound(n, k, x);
+                println!(
+                    "{:>4} {:>4} {:>4} | {:>6} {:>6} {:>6} | {}",
+                    n,
+                    k,
+                    x,
+                    lo,
+                    hi,
+                    hi - lo,
+                    if lo == hi { "tight" } else { "" }
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("Mechanism check: f = k+1 simulators (d = x direct) can partition the");
+    println!("n simulated processes exactly when m is below the lower bound:\n");
+    let (n, k, x) = (16, 3, 2);
+    let f = k + 1;
+    let bound = kset_space_lower_bound(n, k, x);
+    println!("n = {n}, k = {k}, x = {x} (f = {f}, bound = {bound}):");
+    for m in bound.saturating_sub(3)..=bound + 2 {
+        println!(
+            "  m = {m:>2}: partition {}  ({})",
+            if simulation_feasible(n, m, f, x) { "FEASIBLE  " } else { "infeasible" },
+            if m < bound { "m < bound: the reduction applies" } else { "m ≥ bound: not enough processes" }
+        );
+    }
+
+    println!("\nBlock-Update budgets of the simulation (Lemmas 29–31):");
+    println!("{:>3} {:>3} | {:>12} {:>16}", "m", "f", "b(f)", "step bound");
+    for m in 2..=4 {
+        for f in 2..=4 {
+            println!(
+                "{:>3} {:>3} | {:>12} {:>16}",
+                m,
+                f,
+                b_bound(m, f),
+                simulation_step_bound(m, f)
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The protocol complex, drawn: the terminal-configuration adjacency
+//! graph of the 2-process approximate-agreement protocol is the
+//! subdivided path of combinatorial topology. This example prints it.
+//!
+//! Run with `cargo run --release --example protocol_complex`.
+
+use revisionist_simulations::protocols::approx::approx_system;
+use revisionist_simulations::smr::explore::Limits;
+use revisionist_simulations::smr::value::{Dyadic, Value};
+use revisionist_simulations::tasks::chain::terminal_adjacency;
+use revisionist_simulations::tasks::valence::{analyze, ValenceLimits};
+use revisionist_simulations::protocols::racing::racing_system;
+
+fn main() {
+    println!("== The ε-agreement protocol complex is a subdivided path ==\n");
+    for rounds in 1..=3u32 {
+        let sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        let report = terminal_adjacency(
+            &sys,
+            Limits { max_depth: 40, max_configs: 3_000_000 },
+        )
+        .unwrap();
+        println!(
+            "rounds = {rounds} (ε = 2^-{rounds}): {} nodes, {} edges, {} component(s)",
+            report.nodes.len(),
+            report.edges.len(),
+            report.components
+        );
+        // Order nodes along the path by p0's output then p1's output.
+        let mut ordered: Vec<&_> = report.nodes.iter().collect();
+        ordered.sort_by_key(|n| (n.outputs[0].clone(), n.outputs[1].clone()));
+        let cells: Vec<String> = ordered
+            .iter()
+            .map(|n| {
+                let o: Vec<String> =
+                    n.outputs.iter().map(|v| fmt_value(v)).collect();
+                format!("({})", o.join(","))
+            })
+            .collect();
+        println!("  path: {}\n", cells.join(" — "));
+    }
+
+    println!("== Valence structure of the same systems ==\n");
+    for rounds in 1..=2u32 {
+        let sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        let v = analyze(
+            &sys,
+            ValenceLimits { max_configs: 500_000, max_depth: 40 },
+        )
+        .unwrap();
+        println!(
+            "rounds = {rounds}: {} configs, {} bivalent, {} univalent, \
+             {} critical",
+            v.configs,
+            v.bivalent,
+            v.univalent,
+            v.critical.len()
+        );
+    }
+
+    println!("\n== Compare: racing 'consensus' on one register ==\n");
+    let inputs = [Value::Int(0), Value::Int(1)];
+    let sys = racing_system(1, &inputs);
+    let report = terminal_adjacency(
+        &sys,
+        Limits { max_depth: 30, max_configs: 2_000_000 },
+    )
+    .unwrap();
+    println!(
+        "{} terminal configurations, {} edges, connected: {}",
+        report.nodes.len(),
+        report.edges.len(),
+        report.is_connected()
+    );
+    println!(
+        "fatal (disagreement) edges: {} — consensus cannot tolerate a \
+         connected complex with differing corners.",
+        report.disagreement_edges().len()
+    );
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v.as_dyadic() {
+        Some(d) => format!("{}", d.to_f64()),
+        None => format!("{v}"),
+    }
+}

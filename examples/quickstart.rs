@@ -1,0 +1,68 @@
+//! Quickstart: the revisionist simulation in one page.
+//!
+//! Runs the Corollary 33 reduction for consensus: an obstruction-free
+//! protocol Π among n = 4 processes using only m = 2 < 4 registers is
+//! simulated wait-free by f = 2 covering simulators; the simulation is
+//! validated by the Lemma 26/27 replay; and a schedule is found whose
+//! extracted 2-process execution violates agreement — the contradiction
+//! at the heart of the space lower bound.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::core::replay;
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::tasks::agreement::consensus;
+use revisionist_simulations::tasks::task::ColorlessTask;
+
+fn main() {
+    let (n, m, f) = (4, 2, 2);
+    println!("Corollary 33: OF consensus among n = {n} needs ≥ {} registers.",
+        bounds::kset_space_lower_bound(n, 1, 1));
+    println!("Protocol Π: phased racing on m = {m} components (OF, under-provisioned).");
+    println!("Simulators: f = {f} covering (partition feasible: {}).\n",
+        bounds::simulation_feasible(n, m, f, 0));
+
+    let inputs = vec![Value::Int(1), Value::Int(2)];
+    let task = consensus();
+    let mut disagreement = None;
+
+    for seed in 0..500u64 {
+        let config = SimulationConfig::new(n, m, f, 0);
+        let mut sim = Simulation::new(config, inputs.clone(), |i| {
+            PhasedRacing::new(m, Value::Int([1, 2][i]))
+        })
+        .expect("partition feasible");
+        let steps = sim.run_random(seed, 2_000_000).expect("protocol is OF");
+        assert!(sim.all_terminated(), "the simulation is wait-free");
+
+        // Machine-check Lemma 26/27: rebuild the simulated execution
+        // (revisions included) and replay it against fresh copies of Π.
+        let report = replay::validate(&sim, |i| {
+            PhasedRacing::new(m, Value::Int([1, 2][i]))
+        })
+        .expect("reconstruction succeeds");
+        assert!(report.is_ok(), "replay errors: {:?}", report.errors);
+
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if task.validate(&inputs, &outs).is_err() && disagreement.is_none() {
+            disagreement = Some((seed, steps, outs.clone(), report));
+        }
+    }
+
+    match disagreement {
+        Some((seed, steps, outs, report)) => {
+            println!("Seed {seed}: simulators output {outs:?} after {steps} H-steps.");
+            println!(
+                "Replayed simulated execution: {} steps ({} hidden/revised).",
+                report.steps, report.hidden_steps
+            );
+            println!("\n=> f = 2 processes solved 'consensus' wait-free and disagreed:");
+            println!("   wait-free 2-process consensus is impossible, so no correct");
+            println!("   OF consensus protocol can use m = {m} < {n} registers. ∎");
+        }
+        None => println!("No disagreement found (try more seeds)."),
+    }
+}

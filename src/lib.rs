@@ -1,0 +1,36 @@
+//! Facade crate for the Revisionist Simulations reproduction.
+//!
+//! This workspace is an executable reproduction of *"Revisionist
+//! Simulations: A New Approach to Proving Space Lower Bounds"* (Ellen,
+//! Gelashvili, Zhu; PODC 2018, arXiv:1711.02455). It re-exports the
+//! member crates under short module names:
+//!
+//! * [`smr`] — the asynchronous shared-memory runtime (processes, base
+//!   objects, schedulers, exhaustive exploration, linearizability).
+//! * [`tasks`] — colorless tasks and their validators, plus the
+//!   impossibility substrate (Sperner's lemma, violation search).
+//! * [`snapshot`] — snapshot substrate and the Section 3 augmented
+//!   snapshot object.
+//! * [`protocols`] — concrete protocols fed to the simulation.
+//! * [`core`] — the paper's contribution: the revisionist simulation,
+//!   intermediate executions, the Lemma 26 replay validator, and the
+//!   space lower-bound formulas.
+//! * [`solo`] — Section 5: nondeterministic solo termination to
+//!   obstruction-freedom conversion.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use revisionist_simulations::core::bounds;
+//!
+//! // Corollary 33: obstruction-free consensus among n processes needs
+//! // at least n registers.
+//! assert_eq!(bounds::kset_space_lower_bound(8, 1, 1), 8);
+//! ```
+
+pub use rsim_core as core;
+pub use rsim_protocols as protocols;
+pub use rsim_smr as smr;
+pub use rsim_snapshot as snapshot;
+pub use rsim_solo as solo;
+pub use rsim_tasks as tasks;

@@ -1,0 +1,361 @@
+//! The `revisionist-simulations` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `bounds [n] [k] [x]` — print the Corollary 33 bound table (or one
+//!   grid point with the feasibility mechanism).
+//! * `simulate --n N --m M --f F [--d D] [--seed S] [--trace]` — run
+//!   one revisionist simulation over phased racing and report
+//!   everything: outputs, budgets, revisions, replay validation.
+//! * `sweep --n N --m M --f F [--runs R]` — batch statistics (the
+//!   Theorem 21 contradiction frequency among them).
+//! * `aug --f F --m M [--ops K] [--seed S]` — drive the augmented
+//!   snapshot under a random contended schedule and specification-check
+//!   the run.
+//! * `report` — the full experiments report (same as the
+//!   `experiments_report` example).
+//!
+//! All arguments are plain `--key value` pairs; no external argument
+//! parser is used.
+
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::core::replay;
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::core::stats;
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::snapshot::client::AugOutcome;
+use revisionist_simulations::tasks::agreement::consensus;
+use revisionist_simulations::tasks::task::ColorlessTask;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    match command.as_str() {
+        "bounds" => cmd_bounds(&args[1..]),
+        "simulate" => cmd_simulate(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "aug" => cmd_aug(&flags),
+        "audit" => cmd_audit(&flags),
+        "report" => {
+            println!("run `cargo run --release --example experiments_report`");
+            ExitCode::SUCCESS
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "revisionist-simulations — the PODC 2018 revisionist simulation, runnable\n\
+         \n\
+         USAGE:\n\
+         \x20 revisionist-simulations bounds [N K X]\n\
+         \x20 revisionist-simulations simulate --n N --m M --f F [--d D] [--seed S] [--trace]\n\
+         \x20 revisionist-simulations sweep --n N --m M --f F [--runs R]\n\
+         \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S]\n\
+         \x20 revisionist-simulations audit --n N --k K --x X --m M [--schedules S]\n\
+         \x20 revisionist-simulations report"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_bounds(args: &[String]) -> ExitCode {
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    match nums.as_slice() {
+        [n, k, x] => {
+            if !(1 <= *x && *x <= *k && *k < *n) {
+                eprintln!("need 1 <= x <= k < n");
+                return ExitCode::FAILURE;
+            }
+            let lo = bounds::kset_space_lower_bound(*n, *k, *x);
+            let hi = bounds::kset_space_upper_bound(*n, *k, *x);
+            println!("{x}-obstruction-free {k}-set agreement among {n} processes:");
+            println!("  lower bound (Corollary 33): {lo} registers");
+            println!("  upper bound (n-k+x, [16]):  {hi} registers");
+            println!("  partition feasibility with f = k+1 simulators, d = x direct:");
+            for m in 1..=*n {
+                println!(
+                    "    m = {m:>3}: {}",
+                    if bounds::simulation_feasible(*n, m, k + 1, *x) {
+                        "feasible  (m < bound: the reduction applies)"
+                    } else {
+                        "infeasible (m >= bound)"
+                    }
+                );
+            }
+        }
+        _ => {
+            println!("{:>4} {:>4} {:>4} | {:>6} {:>6}", "n", "k", "x", "lower", "upper");
+            for n in [4usize, 8, 16, 32, 64] {
+                for (k, x) in [(1usize, 1usize), (2, 1), (2, 2), (n / 2, 1), (n - 1, 1)] {
+                    if k == 0 || k >= n || x > k {
+                        continue;
+                    }
+                    println!(
+                        "{:>4} {:>4} {:>4} | {:>6} {:>6}",
+                        n,
+                        k,
+                        x,
+                        bounds::kset_space_lower_bound(n, k, x),
+                        bounds::kset_space_upper_bound(n, k, x)
+                    );
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get(flags, "n", 4);
+    let m = get(flags, "m", 2);
+    let f = get(flags, "f", 2);
+    let d = get(flags, "d", 0);
+    let seed = get(flags, "seed", 0) as u64;
+    let config = SimulationConfig::new(n, m, f, d);
+    if !config.is_feasible() {
+        eprintln!(
+            "infeasible: ({f} - {d})*{m} + {d} > {n} — m is at or above the space bound"
+        );
+        return ExitCode::FAILURE;
+    }
+    let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+    let mut sim = Simulation::new(config, inputs.clone(), move |i| {
+        PhasedRacing::new(m, Value::Int(i as i64 + 1))
+    })
+    .expect("feasible");
+    sim.run_random(seed, 50_000_000).expect("protocol is OF");
+    println!(
+        "simulation n={n} m={m} f={f} d={d} seed={seed}: {} H-steps",
+        sim.real().log().len()
+    );
+    for i in 0..f {
+        let (scans, bus) = sim.op_counts(i);
+        println!(
+            "  q{i}: output {:?}; {scans} Scans, {bus} Block-Updates (b({}) = {}), \
+             {} revisions",
+            sim.output(i),
+            i + 1,
+            bounds::b_bound(m, i + 1),
+            sim.revisions(i).len()
+        );
+    }
+    let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+    match consensus().validate(&inputs, &outs) {
+        Ok(()) => println!("  outputs satisfy consensus"),
+        Err(e) => println!("  EXTRACTED VIOLATION: {e}"),
+    }
+    let report = replay::validate(&sim, move |i| {
+        PhasedRacing::new(m, Value::Int(i as i64 + 1))
+    })
+    .expect("reconstruction");
+    println!(
+        "  Lemma 26/27 replay: {} ({} steps, {} hidden)",
+        if report.is_ok() { "LEGAL" } else { "MISMATCH" },
+        report.steps,
+        report.hidden_steps
+    );
+    if flags.contains_key("trace") {
+        println!("\nM operations:");
+        for (idx, rec) in sim.real().oplog().iter().enumerate() {
+            match &rec.outcome {
+                AugOutcome::Scan(s) => {
+                    println!("  #{idx:<3} q{}  Scan -> {:?}", rec.pid, s.view)
+                }
+                AugOutcome::BlockUpdate(b) => println!(
+                    "  #{idx:<3} q{}  BU {:?} {:?} -> {}",
+                    rec.pid,
+                    b.components,
+                    b.values,
+                    match &b.result {
+                        Some(v) => format!("atomic {v:?}"),
+                        None => "YIELD".into(),
+                    }
+                ),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::core::audit::{audit_kset, AuditVerdict};
+    let n = get(flags, "n", 4);
+    let k = get(flags, "k", 1);
+    let x = get(flags, "x", 1);
+    let m = get(flags, "m", 2);
+    let schedules = get(flags, "schedules", 300) as u64;
+    if !(1 <= x && x <= k && k < n) {
+        eprintln!("need 1 <= x <= k < n");
+        return ExitCode::FAILURE;
+    }
+    let inputs: Vec<Value> = (1..=k as i64 + 1).map(Value::Int).collect();
+    let verdict = audit_kset(
+        n,
+        k,
+        x,
+        m,
+        &inputs,
+        move |i| PhasedRacing::new(m, Value::Int(i as i64 + 1)),
+        schedules,
+    )
+    .expect("audit run");
+    println!(
+        "audit: {x}-obstruction-free {k}-set agreement, n = {n}, claimed m = {m}"
+    );
+    match verdict {
+        AuditVerdict::Consistent { bound, .. } => {
+            println!("  CONSISTENT with Corollary 33 (bound {bound} <= m).");
+            println!("  (Consistency does not certify correctness.)");
+        }
+        AuditVerdict::Impossible { bound, evidence, schedules_tried, .. } => {
+            println!("  IMPOSSIBLE: m = {m} < {bound} = the Corollary 33 bound.");
+            match evidence {
+                Some(ev) => {
+                    println!(
+                        "  evidence: seed {} extracts wait-free outputs {:?} \
+                         ({} H-steps) — a task violation.",
+                        ev.seed, ev.outputs, ev.h_steps
+                    );
+                }
+                None => println!(
+                    "  no violating schedule within {schedules_tried} tries \
+                     (the bound holds regardless)."
+                ),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get(flags, "n", 4);
+    let m = get(flags, "m", 2);
+    let f = get(flags, "f", 2);
+    let runs = get(flags, "runs", 100) as u64;
+    let config = SimulationConfig::new(n, m, f, 0);
+    if !config.is_feasible() {
+        eprintln!("infeasible partition");
+        return ExitCode::FAILURE;
+    }
+    let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+    let point = stats::sweep(
+        config,
+        &inputs,
+        move |i| PhasedRacing::new(m, Value::Int(i as i64 + 1)),
+        &consensus(),
+        0..runs,
+        50_000_000,
+    )
+    .expect("sweep");
+    println!("  n   m   f | runs   wf replay  viol |    maxH    meanH | maxBU≤b(i)");
+    println!("{}", point.row());
+    println!(
+        "budgets hold: {}; revisions: {}; hidden steps: {}",
+        point.budgets_hold(),
+        point.revisions,
+        point.hidden_steps
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_aug(flags: &HashMap<String, String>) -> ExitCode {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use revisionist_simulations::snapshot::client::AugOp;
+    use revisionist_simulations::snapshot::real::RealSystem;
+    use revisionist_simulations::snapshot::spec;
+
+    let f = get(flags, "f", 3);
+    let m = get(flags, "m", 2);
+    let ops = get(flags, "ops", 6);
+    let seed = get(flags, "seed", 0) as u64;
+    let mut rs = RealSystem::new(f, m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = vec![ops; f];
+    let mut counter = 0i64;
+    loop {
+        let live: Vec<usize> = (0..f)
+            .filter(|&p| remaining[p] > 0 || !rs.is_idle(p))
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let pid = live[rng.gen_range(0..live.len())];
+        if rs.is_idle(pid) {
+            remaining[pid] -= 1;
+            counter += 1;
+            let op = if rng.gen_bool(0.5) {
+                AugOp::Scan
+            } else {
+                AugOp::BlockUpdate {
+                    components: vec![(counter as usize) % m],
+                    values: vec![Value::Int(counter)],
+                }
+            };
+            rs.begin(pid, op);
+        }
+        rs.step(pid);
+    }
+    let report = spec::check(&rs, m);
+    println!(
+        "augmented snapshot f={f} m={m} ops/proc={ops} seed={seed}: {} H-steps",
+        rs.log().len()
+    );
+    println!(
+        "  {} atomic Block-Updates, {} yields, {} Scans",
+        report.atomic_block_updates, report.yielded_block_updates, report.scans
+    );
+    println!(
+        "  §3 specification: {}",
+        if report.is_ok() { "SATISFIED" } else { "VIOLATED" }
+    );
+    for e in &report.errors {
+        println!("  !! {e}");
+    }
+    if report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,149 @@
+//! Targeted adversarial schedules for the simulation: forcing yields,
+//! starving simulators, and reproducibility.
+
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::snapshot::client::AugOutcome;
+
+fn build(n: usize, m: usize, f: usize) -> Simulation<PhasedRacing> {
+    let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+    let config = SimulationConfig::new(n, m, f, 0);
+    Simulation::new(config, inputs, move |i| {
+        PhasedRacing::new(m, Value::Int(i as i64 + 1))
+    })
+    .unwrap()
+}
+
+fn yields_by(sim: &Simulation<PhasedRacing>, pid: usize) -> usize {
+    sim.real()
+        .oplog()
+        .iter()
+        .filter(|rec| {
+            rec.pid == pid
+                && matches!(&rec.outcome,
+                    AugOutcome::BlockUpdate(b) if b.result.is_none())
+        })
+        .count()
+}
+
+#[test]
+fn strict_alternation_forces_yields_on_the_higher_id() {
+    // Strict H-step alternation maximizes interference: q1 experiences
+    // yields (q0's appends land inside its Block-Updates), q0 never
+    // does (Theorem 20).
+    let mut total_q1_yields = 0;
+    for shift in 0..4 {
+        let mut sim = build(4, 2, 2);
+        let mut turn = shift % 2;
+        let mut stalled = 0;
+        while !sim.all_terminated() && stalled < 4 {
+            if sim.step(turn).unwrap() {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            turn = 1 - turn;
+        }
+        assert!(sim.all_terminated());
+        assert_eq!(yields_by(&sim, 0), 0, "q0 must never yield");
+        total_q1_yields += yields_by(&sim, 1);
+    }
+    assert!(
+        total_q1_yields > 0,
+        "expected q1 to yield under strict alternation"
+    );
+}
+
+#[test]
+fn solo_then_solo_schedule_is_contention_free() {
+    // q1 runs alone to completion, then q0: nobody ever yields, and
+    // both decide (q1 decides its own input; q0 sees q1's leftovers).
+    let mut sim = build(4, 2, 2);
+    while sim.output(1).is_none() {
+        let progressed = sim.step(1).unwrap();
+        // `step` may return false exactly when the simulator finishes
+        // by local computation (no M-operation needed).
+        assert!(progressed || sim.output(1).is_some(), "q1 stuck");
+    }
+    while sim.output(0).is_none() {
+        let progressed = sim.step(0).unwrap();
+        assert!(progressed || sim.output(0).is_some(), "q0 stuck");
+    }
+    assert_eq!(yields_by(&sim, 0) + yields_by(&sim, 1), 0);
+    // q1 ran from the initial configuration: validity forces its own
+    // input.
+    assert_eq!(sim.output(1), Some(&Value::Int(2)));
+    // q0's output is some simulator's input.
+    let out0 = sim.output(0).unwrap();
+    assert!(*out0 == Value::Int(1) || *out0 == Value::Int(2));
+}
+
+#[test]
+fn deterministic_schedules_reproduce_exactly() {
+    let run = || {
+        let mut sim = build(6, 2, 3);
+        let mut turn = 0;
+        let mut stalled = 0;
+        while !sim.all_terminated() && stalled < 6 {
+            if sim.step(turn).unwrap() {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            turn = (turn + 1) % 3;
+        }
+        (sim.outputs(), sim.real().log().len(), sim.real().oplog().len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn starving_one_simulator_does_not_block_the_others() {
+    // q2 never takes a step; q0 and q1 still terminate (wait-freedom
+    // is per-process: no simulator depends on another's progress).
+    let mut sim = build(6, 2, 3);
+    let mut turn = 0;
+    let mut stalled = 0;
+    while (sim.output(0).is_none() || sim.output(1).is_none()) && stalled < 4 {
+        if sim.step(turn).unwrap() {
+            stalled = 0;
+        } else {
+            stalled += 1;
+        }
+        turn = 1 - turn;
+    }
+    assert!(sim.output(0).is_some());
+    assert!(sim.output(1).is_some());
+    assert!(sim.output(2).is_none(), "q2 took no steps");
+    // Resume q2 alone: it finishes too.
+    while sim.output(2).is_none() {
+        let progressed = sim.step(2).unwrap();
+        assert!(progressed || sim.output(2).is_some(), "q2 stuck");
+    }
+}
+
+#[test]
+fn mid_operation_preemption_is_harmless() {
+    // Preempt q0 in the middle of each of its M-operations for a long
+    // stretch (q1 runs 7 steps per q0 step): everything still
+    // terminates and budgets hold.
+    let mut sim = build(4, 2, 2);
+    let mut k = 0u64;
+    let mut stalled = 0;
+    while !sim.all_terminated() && stalled < 16 {
+        let turn = if k.is_multiple_of(8) { 0 } else { 1 };
+        if sim.step(turn).unwrap() {
+            stalled = 0;
+        } else {
+            stalled += 1;
+        }
+        k += 1;
+    }
+    assert!(sim.all_terminated());
+    for i in 0..2 {
+        let (_, bus) = sim.op_counts(i);
+        let bound = revisionist_simulations::core::bounds::b_bound(2, i + 1);
+        assert!((bus as u128) <= bound);
+    }
+}

@@ -1,0 +1,155 @@
+//! Edge-case and error-path coverage for the public APIs across
+//! crates: invalid configurations, mid-operation restrictions, panics
+//! that guard protocol violations, and stress-sized parameter points.
+
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::error::ModelError;
+use revisionist_simulations::smr::value::{Dyadic, Value};
+use revisionist_simulations::snapshot::client::{AugClient, AugOp};
+use revisionist_simulations::snapshot::real::RealSystem;
+
+#[test]
+fn begin_while_in_flight_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut rs = RealSystem::new(2, 2);
+        rs.begin(0, AugOp::Scan);
+        rs.step(0);
+        rs.begin(0, AugOp::Scan); // operation already in progress
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn step_on_idle_process_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut rs = RealSystem::new(2, 2);
+        rs.step(0)
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn covering_accessor_panics_for_direct_simulator() {
+    let config = SimulationConfig::new(3, 2, 2, 1); // q1 is direct
+    let sim = Simulation::new(
+        config,
+        vec![Value::Int(1), Value::Int(2)],
+        |i| PhasedRacing::new(2, Value::Int([1, 2][i])),
+    )
+    .unwrap();
+    assert!(sim.is_covering(0));
+    assert!(!sim.is_covering(1));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.covering(1);
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn simulation_rejects_wrong_input_count() {
+    let config = SimulationConfig::new(4, 2, 2, 0);
+    let r = Simulation::new(config, vec![Value::Int(1)], |_| {
+        PhasedRacing::new(2, Value::Int(1))
+    });
+    assert!(matches!(r, Err(ModelError::BadId(_))));
+}
+
+#[test]
+fn block_update_rejects_out_of_range_component() {
+    let result = std::panic::catch_unwind(|| {
+        let mut c = AugClient::new(0, 2, 2);
+        c.begin(AugOp::BlockUpdate { components: vec![5], values: vec![Value::Nil] });
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn block_update_rejects_length_mismatch() {
+    let result = std::panic::catch_unwind(|| {
+        let mut c = AugClient::new(0, 2, 2);
+        c.begin(AugOp::BlockUpdate {
+            components: vec![0, 1],
+            values: vec![Value::Nil],
+        });
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn full_width_block_update_overwrites_everything() {
+    // A Block-Update to all m components: the returned view is the
+    // prior contents; a subsequent scan sees only the new values.
+    let m = 4;
+    let mut rs = RealSystem::new(2, m);
+    rs.begin(0, AugOp::BlockUpdate {
+        components: (0..m).collect(),
+        values: (0..m as i64).map(Value::Int).collect(),
+    });
+    rs.run_to_completion(0);
+    rs.begin(1, AugOp::Scan);
+    match rs.run_to_completion(1) {
+        revisionist_simulations::snapshot::client::AugOutcome::Scan(s) => {
+            assert_eq!(s.view, (0..m as i64).map(Value::Int).collect::<Vec<_>>());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn single_real_process_system_works() {
+    // f = 1: the lone process's Block-Updates are trivially atomic and
+    // Scans take exactly 3 steps.
+    let mut rs = RealSystem::new(1, 2);
+    rs.begin(0, AugOp::Scan);
+    match rs.run_to_completion(0) {
+        revisionist_simulations::snapshot::client::AugOutcome::Scan(s) => {
+            assert_eq!(s.steps, 3);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn larger_grid_point_respects_budgets() {
+    // n = 8, m = 2, f = 4: budgets b(1..4) = 2, 4, 8, 16.
+    let config = SimulationConfig::new(8, 2, 4, 0);
+    assert!(config.is_feasible());
+    let inputs: Vec<Value> = (1..=4i64).map(Value::Int).collect();
+    for seed in 0..10 {
+        let mut sim = Simulation::new(config, inputs.clone(), |i| {
+            PhasedRacing::new(2, Value::Int(i as i64 + 1))
+        })
+        .unwrap();
+        sim.run_random(seed, 50_000_000).unwrap();
+        assert!(sim.all_terminated(), "seed {seed}");
+        for i in 0..4 {
+            let (_, bus) = sim.op_counts(i);
+            assert!(
+                (bus as u128) <= bounds::b_bound(2, i + 1),
+                "seed {seed} q{i}: {bus}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dyadic_precision_guard() {
+    // ε down to 2^-62 is representable; the constructor guards beyond.
+    let tiny = Dyadic::two_to_minus(62);
+    assert!(tiny > Dyadic::zero());
+    let result = std::panic::catch_unwind(|| Dyadic::new(1, 63));
+    assert!(result.is_err());
+}
+
+#[test]
+fn bounds_panic_on_bad_parameters() {
+    for bad in [
+        std::panic::catch_unwind(|| bounds::kset_space_lower_bound(4, 4, 1)),
+        std::panic::catch_unwind(|| bounds::kset_space_lower_bound(4, 2, 3)),
+        std::panic::catch_unwind(|| bounds::kset_space_lower_bound(4, 2, 0)),
+    ] {
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! E7 integration: the Theorem 21(1) / Corollary 34 reduction for
+//! ε-approximate agreement.
+//!
+//! Π̃ is the compressed midpoint protocol (n processes, m < n
+//! components): wait-free by construction, ε-correct only when m ≥ n.
+//! Two simulators extract a 2-process wait-free protocol; we check the
+//! extraction is wait-free with few M-operations (the quantitative half
+//! of Theorem 21), replays legally, and — for small ε — violates
+//! ε-agreement, matching the impossibility side.
+
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::core::replay;
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::approx::{rounds_for_epsilon, MidpointApprox};
+use revisionist_simulations::smr::value::{Dyadic, Value};
+use revisionist_simulations::tasks::agreement::ApproximateAgreement;
+use revisionist_simulations::tasks::task::ColorlessTask;
+
+fn build(
+    n: usize,
+    m: usize,
+    f: usize,
+    eps_exp: u32,
+    inputs: &[Dyadic],
+) -> Simulation<MidpointApprox> {
+    let vals: Vec<Value> = inputs.iter().map(|&d| Value::Dyadic(d)).collect();
+    let config = SimulationConfig::new(n, m, f, 0);
+    let rounds = rounds_for_epsilon(eps_exp);
+    let inputs2: Vec<Dyadic> = inputs.to_vec();
+    Simulation::new(config, vals, move |i| {
+        // Simulated process index: the simulation assigns simulator i's
+        // input to all its processes. Slot choice cycles over m.
+        MidpointApprox::compressed(i, m, inputs2[i], rounds)
+    })
+    .expect("feasible")
+}
+
+#[test]
+fn extraction_is_wait_free_and_replays() {
+    let inputs = [Dyadic::zero(), Dyadic::one()];
+    for seed in 0..20 {
+        let mut sim = build(4, 2, 2, 6, &inputs);
+        sim.run_random(seed, 2_000_000).unwrap();
+        assert!(sim.all_terminated(), "seed {seed}");
+        let rounds = rounds_for_epsilon(6);
+        let report = replay::validate(&sim, |i| {
+            MidpointApprox::compressed(i, 2, [Dyadic::zero(), Dyadic::one()][i], rounds)
+        })
+        .unwrap();
+        assert!(report.is_ok(), "seed {seed}: {:#?}", report.errors);
+    }
+}
+
+#[test]
+fn extracted_step_complexity_is_bounded() {
+    // Lemma 31: each simulator applies at most 2·b(i)+1 M-operations;
+    // H-steps at most (2f+7)·b(f)+3 per simulator.
+    let inputs = [Dyadic::zero(), Dyadic::one()];
+    let m = 2;
+    let f = 2;
+    for seed in 0..20 {
+        let mut sim = build(4, m, f, 8, &inputs);
+        sim.run_random(seed, 2_000_000).unwrap();
+        for i in 0..f {
+            let (scans, bus) = sim.op_counts(i);
+            let b = bounds::b_bound(m, i + 1);
+            assert!((bus as u128) <= b, "seed {seed}: q{i} {bus} BUs > {b}");
+            assert!(
+                (scans as u128) <= b + 1,
+                "seed {seed}: q{i} {scans} scans > {}",
+                b + 1
+            );
+        }
+        // Total H-steps under the Lemma 31 bound.
+        let total = sim.real().log().len() as u128;
+        assert!(total <= f as u128 * bounds::simulation_step_bound(m, f));
+    }
+}
+
+#[test]
+fn small_epsilon_extraction_violates_the_task() {
+    // ε = 2^-8 with m = 2 components among n = 4: the bound
+    // min{⌊4/2⌋+1, …} = 3 > 2 = m, so no correct OF protocol exists at
+    // this m; our Π̃ correspondingly fails, and the simulation
+    // *extracts* a 2-process wait-free run whose outputs are > ε apart.
+    let eps_exp = 8;
+    let task = ApproximateAgreement::new(Dyadic::two_to_minus(eps_exp));
+    let inputs = [Dyadic::zero(), Dyadic::one()];
+    let input_vals: Vec<Value> = inputs.iter().map(|&d| Value::Dyadic(d)).collect();
+    let mut found = false;
+    for seed in 0..300 {
+        let mut sim = build(4, 2, 2, eps_exp, &inputs);
+        sim.run_random(seed, 2_000_000).unwrap();
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if task.validate(&input_vals, &outs).is_err() {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "expected an ε-agreement violation in the extraction");
+}
+
+#[test]
+fn outputs_always_stay_in_input_range() {
+    // Range validity survives even in the broken regime (midpoints and
+    // copies never leave [min, max]) — and so must the extraction.
+    let task = ApproximateAgreement::new(Dyadic::one()); // only range matters
+    let inputs = [Dyadic::zero(), Dyadic::one()];
+    let input_vals: Vec<Value> = inputs.iter().map(|&d| Value::Dyadic(d)).collect();
+    for seed in 0..30 {
+        let mut sim = build(4, 2, 2, 6, &inputs);
+        sim.run_random(seed, 2_000_000).unwrap();
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        task.validate(&input_vals, &outs)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn crossover_shapes_match_corollary_34() {
+    // The measured upper-bound step complexity (2·log₂(1/ε) + 1) always
+    // exceeds the L = ½·log₃(1/ε) lower bound, and the ratio is the
+    // constant log₂3 ≈ 1.585 × 4.
+    for eps_exp in [4u32, 8, 16, 24] {
+        let upper = (2 * rounds_for_epsilon(eps_exp) + 1) as f64;
+        let lower = bounds::approx_step_lower_bound(eps_exp);
+        assert!(upper > lower, "eps_exp={eps_exp}: {upper} <= {lower}");
+        let ratio = upper / lower;
+        assert!(
+            (6.0..7.5).contains(&ratio),
+            "eps_exp={eps_exp}: ratio {ratio} drifted (expected ≈ 4·log₂3 ≈ 6.3)"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the `revisionist-simulations` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_revisionist-simulations"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn bounds_table_prints() {
+    let (stdout, _, ok) = run(&["bounds"]);
+    assert!(ok);
+    assert!(stdout.contains("lower"));
+    assert!(stdout.contains("64"));
+}
+
+#[test]
+fn bounds_grid_point_shows_mechanism() {
+    let (stdout, _, ok) = run(&["bounds", "8", "2", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("lower bound (Corollary 33): 4"));
+    assert!(stdout.contains("feasible"));
+    assert!(stdout.contains("infeasible"));
+}
+
+#[test]
+fn bounds_rejects_bad_parameters() {
+    let (_, stderr, ok) = run(&["bounds", "4", "9", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("need 1 <= x <= k < n"));
+}
+
+#[test]
+fn simulate_runs_and_replays() {
+    let (stdout, _, ok) =
+        run(&["simulate", "--n", "4", "--m", "2", "--f", "2", "--seed", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("H-steps"));
+    assert!(stdout.contains("Lemma 26/27 replay: LEGAL"));
+}
+
+#[test]
+fn simulate_seed_14_extracts_the_violation() {
+    let (stdout, _, ok) =
+        run(&["simulate", "--n", "4", "--m", "2", "--f", "2", "--seed", "14"]);
+    assert!(ok);
+    assert!(stdout.contains("EXTRACTED VIOLATION"));
+}
+
+#[test]
+fn simulate_rejects_infeasible() {
+    let (_, stderr, ok) = run(&["simulate", "--n", "4", "--m", "3", "--f", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("infeasible"));
+}
+
+#[test]
+fn aug_spec_checks() {
+    let (stdout, _, ok) = run(&["aug", "--f", "3", "--m", "2", "--seed", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("SATISFIED"));
+}
+
+#[test]
+fn audit_reports_impossible_with_evidence() {
+    let (stdout, _, ok) = run(&[
+        "audit", "--n", "4", "--k", "1", "--x", "1", "--m", "2", "--schedules",
+        "100",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("IMPOSSIBLE"));
+    assert!(stdout.contains("evidence"));
+}
+
+#[test]
+fn audit_reports_consistent_at_the_bound() {
+    let (stdout, _, ok) =
+        run(&["audit", "--n", "4", "--k", "1", "--x", "1", "--m", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("CONSISTENT"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn sweep_prints_a_row() {
+    let (stdout, _, ok) =
+        run(&["sweep", "--n", "4", "--m", "2", "--f", "2", "--runs", "20"]);
+    assert!(ok);
+    assert!(stdout.contains("budgets hold: true"));
+}

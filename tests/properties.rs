@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning all crates.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::smr::value::{Dyadic, Value};
+use revisionist_simulations::snapshot::client::AugOp;
+use revisionist_simulations::snapshot::real::RealSystem;
+use revisionist_simulations::snapshot::spec;
+use revisionist_simulations::snapshot::timestamp::Timestamp;
+use revisionist_simulations::tasks::agreement::{ApproximateAgreement, KSetAgreement};
+use revisionist_simulations::tasks::sperner::{verify_sperner, Complex, Labeling};
+use revisionist_simulations::tasks::task::ColorlessTask;
+
+fn dyadic() -> impl Strategy<Value = Dyadic> {
+    (-1_000_000i64..1_000_000, 0u32..20).prop_map(|(n, e)| Dyadic::new(n, e))
+}
+
+proptest! {
+    // --- Dyadic arithmetic is exact and ordered. ---
+
+    #[test]
+    fn dyadic_midpoint_is_between(a in dyadic(), b in dyadic()) {
+        let m = a.midpoint(b);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(lo <= m && m <= hi);
+    }
+
+    #[test]
+    fn dyadic_midpoint_halves_distance(a in dyadic(), b in dyadic()) {
+        let m = a.midpoint(b);
+        let d = (a - b).abs();
+        prop_assert_eq!((m - a).abs() + (m - b).abs(), d);
+    }
+
+    #[test]
+    fn dyadic_add_sub_roundtrip(a in dyadic(), b in dyadic()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    // --- Timestamps: lexicographic order properties (Lemma 7 / Cor 8). ---
+
+    #[test]
+    fn generated_timestamp_dominates_counts(
+        counts in proptest::collection::vec(0usize..100, 1..6),
+        i in 0usize..6,
+    ) {
+        let i = i % counts.len();
+        let t = Timestamp::generate(i, &counts);
+        let base = Timestamp::new(counts.iter().map(|&c| c as u32).collect());
+        prop_assert!(base < t);
+    }
+
+    #[test]
+    fn timestamps_from_same_scan_differ_across_processes(
+        counts in proptest::collection::vec(0usize..100, 2..6),
+        i in 0usize..6, j in 0usize..6,
+    ) {
+        let i = i % counts.len();
+        let j = j % counts.len();
+        prop_assume!(i != j);
+        prop_assert_ne!(
+            Timestamp::generate(i, &counts),
+            Timestamp::generate(j, &counts)
+        );
+    }
+
+    // --- Task validators are subset-closed (colorlessness). ---
+
+    #[test]
+    fn kset_validation_is_monotone_under_output_subsets(
+        k in 1usize..4,
+        outputs in proptest::collection::btree_set(0i64..6, 1..5),
+    ) {
+        let task = KSetAgreement::new(k);
+        let inputs: Vec<Value> = (0..6).map(Value::Int).collect();
+        let outs: Vec<Value> = outputs.iter().copied().map(Value::Int).collect();
+        if task.validate(&inputs, &outs).is_ok() {
+            for drop in 0..outs.len() {
+                let mut sub = outs.clone();
+                sub.remove(drop);
+                if !sub.is_empty() {
+                    prop_assert!(task.validate(&inputs, &sub).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_agreement_validation_is_symmetric(
+        a in dyadic(), b in dyadic(), eps_exp in 0u32..10,
+    ) {
+        let task = ApproximateAgreement::new(Dyadic::two_to_minus(eps_exp));
+        let inputs = vec![
+            Value::Dyadic(Dyadic::integer(-2_000_000)),
+            Value::Dyadic(Dyadic::integer(2_000_000)),
+        ];
+        let ab = task.validate(&inputs, &[Value::Dyadic(a), Value::Dyadic(b)]);
+        let ba = task.validate(&inputs, &[Value::Dyadic(b), Value::Dyadic(a)]);
+        prop_assert_eq!(ab.is_ok(), ba.is_ok());
+    }
+
+    // --- Sperner's lemma: random Sperner labelings are always odd. ---
+
+    #[test]
+    fn sperner_count_is_odd_dim2(seed in 0u64..500) {
+        let complex = Complex::standard(2).subdivide(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labeling = Labeling::random_sperner(&complex, &mut rng);
+        let count = verify_sperner(&complex, &labeling).unwrap();
+        prop_assert!(count % 2 == 1);
+    }
+
+    #[test]
+    fn sperner_count_is_odd_dim3(seed in 0u64..100) {
+        let complex = Complex::standard(3).subdivide(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labeling = Labeling::random_sperner(&complex, &mut rng);
+        let count = verify_sperner(&complex, &labeling).unwrap();
+        prop_assert!(count % 2 == 1);
+    }
+
+    // --- Bounds formulas. ---
+
+    #[test]
+    fn feasibility_equals_below_bound(n in 2usize..50, k in 1usize..10, x in 1usize..10) {
+        prop_assume!(x <= k && k < n);
+        let bound = bounds::kset_space_lower_bound(n, k, x);
+        for m in 1..=n {
+            prop_assert_eq!(bounds::simulation_feasible(n, m, k + 1, x), m < bound);
+        }
+    }
+
+    #[test]
+    fn budgets_are_monotone(m in 2usize..6, i in 1usize..5) {
+        prop_assert!(bounds::b_bound(m, i) <= bounds::b_bound(m, i + 1));
+        prop_assert!(bounds::a_bound(m, m - 1) <= bounds::a_bound(m, m));
+    }
+
+    // --- Augmented snapshot: random runs always satisfy the §3 spec. ---
+
+    #[test]
+    fn augmented_snapshot_spec_holds_on_random_runs(
+        seed in 0u64..300, f in 2usize..5, m in 1usize..4,
+    ) {
+        let rs = random_aug_run(f, m, 3, seed);
+        let report = spec::check(&rs, m);
+        prop_assert!(report.is_ok(), "errors: {:?}", report.errors);
+    }
+}
+
+fn random_aug_run(f: usize, m: usize, ops_per_proc: usize, seed: u64) -> RealSystem {
+    let mut rs = RealSystem::new(f, m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = vec![ops_per_proc; f];
+    let mut counter = 0i64;
+    loop {
+        let live: Vec<usize> = (0..f)
+            .filter(|&p| remaining[p] > 0 || !rs.is_idle(p))
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let pid = live[rng.gen_range(0..live.len())];
+        if rs.is_idle(pid) {
+            remaining[pid] -= 1;
+            let op = if rng.gen_bool(0.5) {
+                AugOp::Scan
+            } else {
+                let r = rng.gen_range(1..=m);
+                let mut comps: Vec<usize> = (0..m).collect();
+                for i in (1..comps.len()).rev() {
+                    comps.swap(i, rng.gen_range(0..=i));
+                }
+                comps.truncate(r);
+                let values = comps
+                    .iter()
+                    .map(|_| {
+                        counter += 1;
+                        Value::Int(counter)
+                    })
+                    .collect();
+                AugOp::BlockUpdate { components: comps, values }
+            };
+            rs.begin(pid, op);
+        }
+        rs.step(pid);
+    }
+    rs
+}

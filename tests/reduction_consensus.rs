@@ -1,0 +1,195 @@
+//! E6 integration: the Corollary 33 reduction, end to end.
+//!
+//! For a grid of (n, m, f): partition feasibility must coincide with
+//! `m < bound`; feasible simulations must be wait-free under round-robin
+//! and random schedules; every finished run must pass the Lemma 26/27
+//! replay; equal inputs must force valid outputs; and below the bound
+//! some schedule must extract a consensus violation.
+
+use revisionist_simulations::core::bounds;
+use revisionist_simulations::core::replay;
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::tasks::agreement::{consensus, KSetAgreement};
+use revisionist_simulations::tasks::task::ColorlessTask;
+
+fn build(n: usize, m: usize, inputs: &[i64], d: usize) -> Simulation<PhasedRacing> {
+    let vals: Vec<Value> = inputs.iter().map(|&v| Value::Int(v)).collect();
+    let config = SimulationConfig::new(n, m, inputs.len(), d);
+    let vals2 = vals.clone();
+    Simulation::new(config, vals, move |i| PhasedRacing::new(m, vals2[i].clone()))
+        .expect("feasible")
+}
+
+#[test]
+fn feasibility_grid_matches_corollary_33() {
+    for n in 2..=24 {
+        for k in 1..n.min(6) {
+            for x in 1..=k {
+                let bound = bounds::kset_space_lower_bound(n, k, x);
+                for m in 1..=n {
+                    assert_eq!(
+                        bounds::simulation_feasible(n, m, k + 1, x),
+                        m < bound,
+                        "n={n} k={k} x={x} m={m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_wait_free_on_many_schedules() {
+    for seed in 0..40 {
+        let mut sim = build(4, 2, &[1, 2], 0);
+        sim.run_random(seed, 2_000_000).unwrap();
+        assert!(sim.all_terminated(), "seed {seed}: simulation must be wait-free");
+    }
+}
+
+#[test]
+fn every_finished_run_passes_the_replay() {
+    for seed in 0..25 {
+        let mut sim = build(4, 2, &[1, 2], 0);
+        sim.run_random(seed, 2_000_000).unwrap();
+        let report =
+            replay::validate(&sim, |i| PhasedRacing::new(2, Value::Int([1, 2][i])))
+                .unwrap();
+        assert!(report.is_ok(), "seed {seed}: {:#?}", report.errors);
+    }
+}
+
+#[test]
+fn below_bound_extracts_consensus_violation() {
+    let inputs = [Value::Int(1), Value::Int(2)];
+    let mut found = false;
+    for seed in 0..300 {
+        let mut sim = build(4, 2, &[1, 2], 0);
+        sim.run_random(seed, 2_000_000).unwrap();
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if consensus().validate(&inputs, &outs).is_err() {
+            found = true;
+            // The violating run must STILL satisfy Lemma 26/27: the
+            // extracted execution is a legal execution of Π.
+            let report =
+                replay::validate(&sim, |i| PhasedRacing::new(2, Value::Int([1, 2][i])))
+                    .unwrap();
+            assert!(report.is_ok(), "{:#?}", report.errors);
+            break;
+        }
+    }
+    assert!(found, "no schedule extracted a violation");
+}
+
+#[test]
+fn equal_inputs_always_agree() {
+    for seed in 0..20 {
+        let mut sim = build(4, 2, &[7, 7], 0);
+        sim.run_random(seed, 2_000_000).unwrap();
+        for out in sim.outputs() {
+            assert_eq!(out, Some(Value::Int(7)), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn kset_reduction_with_three_simulators() {
+    // k = 2: f = 3 simulators, m = 2 components, n = 6 processes
+    // (bound for n=6, k=2, x=1 is ⌊5/2⌋+1 = 3 > m = 2; partition uses
+    // 3·2 = 6 ≤ 6 processes). The extracted 3-process protocol is
+    // wait-free; wait-free 2-set agreement among 3 processes is
+    // impossible, and indeed some schedules produce 3 distinct outputs.
+    // We feed the escalation-free racing variant, whose violations are
+    // easier to reach (~3% of seeds; the escalating variant violates in
+    // ~0.25%).
+    let inputs = [Value::Int(1), Value::Int(2), Value::Int(3)];
+    let task = KSetAgreement::new(2);
+    let mut violations = 0;
+    for seed in 0..200 {
+        let vals = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let config = SimulationConfig::new(6, 2, 3, 0);
+        let mut sim = Simulation::new(config, vals, |i| {
+            PhasedRacing::without_escalation(2, Value::Int([1, 2, 3][i]))
+        })
+        .unwrap();
+        sim.run_random(seed, 8_000_000).unwrap();
+        assert!(sim.all_terminated(), "seed {seed}");
+        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+        if task.validate(&inputs, &outs).is_err() {
+            violations += 1;
+        }
+    }
+    assert!(violations > 0, "expected some 2-set agreement violations");
+}
+
+#[test]
+fn mixed_direct_covering_wait_free() {
+    // x-obstruction-free shape: d = 1 direct simulator.
+    for seed in 0..15 {
+        let mut sim = build(5, 2, &[1, 2, 3], 1);
+        sim.run_random(seed, 4_000_000).unwrap();
+        assert!(sim.all_terminated(), "seed {seed}");
+        let report = replay::validate(&sim, |i| {
+            PhasedRacing::new(2, Value::Int([1, 2, 3][i]))
+        })
+        .unwrap();
+        assert!(report.is_ok(), "seed {seed}: {:#?}", report.errors);
+    }
+}
+
+#[test]
+fn block_update_budgets_hold_across_the_grid() {
+    for (n, m, f) in [(4, 2, 2), (6, 2, 3), (6, 3, 2)] {
+        for seed in 0..10 {
+            let inputs: Vec<i64> = (1..=f as i64).collect();
+            let mut sim = build(n, m, &inputs, 0);
+            sim.run_random(seed, 8_000_000).unwrap();
+            for i in 0..f {
+                let (_, bus) = sim.op_counts(i);
+                assert!(
+                    (bus as u128) <= bounds::b_bound(m, i + 1),
+                    "n={n} m={m} f={f} seed={seed}: q{i} applied {bus} > b({})",
+                    i + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "extended stress campaign (~minutes); run with: cargo test -- --ignored"]
+fn extended_stress_campaign() {
+    use revisionist_simulations::core::stats;
+    use revisionist_simulations::core::simulation::SimulationConfig;
+    for (n, m, f) in [(4usize, 2usize, 2usize), (6, 2, 3), (6, 3, 2), (8, 2, 4), (9, 3, 3)] {
+        let config = SimulationConfig::new(n, m, f, 0);
+        let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+        let point = stats::sweep(
+            config,
+            &inputs,
+            move |i| PhasedRacing::new(m, Value::Int(i as i64 + 1)),
+            &consensus(),
+            0..500,
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(point.wait_free, point.runs, "wait-freedom at {n},{m},{f}");
+        assert_eq!(point.replay_ok, point.runs, "replay at {n},{m},{f}");
+        assert!(point.budgets_hold(), "budgets at {n},{m},{f}: {point:?}");
+        eprintln!("{}", point.row());
+    }
+}
+
+#[test]
+fn simulator_zero_never_sees_yields() {
+    // Theorem 20 feeding Lemma 30: q0's Block-Updates are all atomic,
+    // so its count stays within a(m).
+    for seed in 0..10 {
+        let mut sim = build(4, 2, &[1, 2], 0);
+        sim.run_random(seed, 2_000_000).unwrap();
+        let (_, bus) = sim.op_counts(0);
+        assert!((bus as u128) <= bounds::a_bound(2, 2));
+    }
+}

@@ -1,0 +1,118 @@
+//! E8/E9 integration: the §5 transfer — nondeterministic solo
+//! terminating protocols inherit every obstruction-free space lower
+//! bound.
+//!
+//! The chain exercised here: a randomized (nondeterministic) protocol
+//! over an m-component snapshot → Theorem 35 determinization Π′ over
+//! the *same* object → Π′ is obstruction-free → the Theorem 21
+//! reduction applies to Π′'s space. Plus the Corollary 36 ABA-free
+//! tagging for multi-register protocols.
+
+use revisionist_simulations::smr::explore::{Explorer, Limits};
+use revisionist_simulations::smr::object::{Object, ObjectId};
+use revisionist_simulations::smr::process::{Process, ProcessId, SnapshotProcess};
+use revisionist_simulations::smr::sched::{Obstruction, Random};
+use revisionist_simulations::smr::system::System;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::solo::aba::{check_aba_freedom, AbaTagged};
+use revisionist_simulations::solo::convert::{determinized_system, shortest_solo_path};
+use revisionist_simulations::solo::machine::{EpState, NondetMachine, RandomizedRacing};
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use std::sync::Arc;
+
+#[test]
+fn determinization_preserves_space_across_m() {
+    for m in 1..=4 {
+        let machine = Arc::new(RandomizedRacing::new(m));
+        let sys = determinized_system(machine, &[Value::Int(1)], 50_000);
+        assert_eq!(sys.space_complexity(), m);
+    }
+}
+
+#[test]
+fn determinized_protocol_is_obstruction_free_small_grid() {
+    for m in 1..=2 {
+        for inputs in [vec![Value::Int(1)], vec![Value::Int(1), Value::Int(2)]] {
+            let machine = Arc::new(RandomizedRacing::new(m));
+            let sys = determinized_system(Arc::clone(&machine), &inputs, 50_000);
+            let explorer =
+                Explorer::new(Limits { max_depth: 10, max_configs: 50_000 });
+            let report = explorer.check_solo_termination(&sys, 50).unwrap();
+            assert!(
+                report.is_clean(),
+                "m={m}, {} procs: {:?}",
+                inputs.len(),
+                report.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn determinized_protocol_terminates_under_obstruction_adversary() {
+    let machine = Arc::new(RandomizedRacing::new(2));
+    for seed in 0..10 {
+        let mut sys = determinized_system(
+            Arc::clone(&machine),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            50_000,
+        );
+        let mut sched = Obstruction::new(1, 30, 200, seed);
+        sys.run(&mut sched, 300_000).unwrap();
+        assert!(sys.all_terminated(), "seed {seed}");
+    }
+}
+
+#[test]
+fn solo_path_lengths_decrease_along_determinized_runs() {
+    // The Theorem 35 invariant: with every solo step the shortest-path
+    // length drops by one.
+    let machine = Arc::new(RandomizedRacing::new(2));
+    let mut sys = determinized_system(Arc::clone(&machine), &[Value::Int(5)], 50_000);
+    let start = EpState::initial(machine.initial(&Value::Int(5)), 2);
+    let expected = shortest_solo_path(machine.as_ref(), &start, 50_000).unwrap();
+    let mut steps = 0;
+    while !sys.is_terminated(ProcessId(0)) {
+        sys.step(ProcessId(0)).unwrap();
+        steps += 1;
+        assert!(steps <= expected + 1, "solo run exceeded the shortest path");
+    }
+    assert_eq!(steps, expected, "solo run should follow a shortest path");
+}
+
+#[test]
+fn tagged_protocols_are_aba_free_under_all_tested_schedules() {
+    for seed in 0..30 {
+        let processes: Vec<Box<dyn Process>> = (0..3)
+            .map(|i| {
+                Box::new(SnapshotProcess::new(
+                    AbaTagged::new(PhasedRacing::new(2, Value::Int(i as i64)), i),
+                    ObjectId(0),
+                )) as Box<dyn Process>
+            })
+            .collect();
+        let mut sys = System::new(vec![Object::snapshot(2)], processes);
+        sys.run(&mut Random::seeded(seed), 100_000).unwrap();
+        check_aba_freedom(sys.trace()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn nondeterminism_is_real_but_determinization_is_deterministic() {
+    // Same schedule twice ⇒ identical traces (Π′ is deterministic),
+    // even though Π has branching transitions.
+    let machine = Arc::new(RandomizedRacing::new(2));
+    let inputs = [Value::Int(1), Value::Int(2)];
+    let mut a = determinized_system(Arc::clone(&machine), &inputs, 50_000);
+    let mut b = determinized_system(Arc::clone(&machine), &inputs, 50_000);
+    a.run(&mut Random::seeded(11), 20_000).unwrap();
+    b.run(&mut Random::seeded(11), 20_000).unwrap();
+    assert_eq!(a.trace(), b.trace());
+    // And Π branches: some state has at least two successors.
+    let s = machine.initial(&Value::Int(1));
+    let view = revisionist_simulations::solo::machine::MachineResponse::View(vec![
+        Value::Int(2),
+        Value::Nil,
+    ]);
+    assert!(machine.transitions(&s, &view).len() >= 2);
+}

@@ -1,0 +1,124 @@
+//! The subdivided-path structure of the approximate-agreement protocol
+//! complex — the combinatorial content of the Hoest–Shavit \[36\] step
+//! lower bound that Corollary 34 consumes, computed exactly.
+//!
+//! For the 2-process midpoint protocol with inputs {0, 1} and `r`
+//! rounds, the terminal-configuration adjacency graph is a *path*:
+//! `2·2^r + 1` nodes and exactly one fewer edges, connected, with
+//! adjacent configurations' outputs exactly `2^{-r}` apart at most.
+//! Crossing from the all-0 corner to the all-1 corner with ε-steps
+//! needs `≥ 1/ε` nodes — so the protocol needs `Ω(log 1/ε)` rounds.
+
+use revisionist_simulations::protocols::approx::approx_system;
+use revisionist_simulations::protocols::racing::racing_system;
+use revisionist_simulations::smr::explore::Limits;
+use revisionist_simulations::smr::value::{Dyadic, Value};
+use revisionist_simulations::tasks::chain::terminal_adjacency;
+use std::collections::BTreeSet;
+
+#[test]
+fn approx_protocol_complex_is_a_subdivided_path() {
+    for rounds in 1..=4u32 {
+        let sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        let report = terminal_adjacency(
+            &sys,
+            Limits { max_depth: 40, max_configs: 3_000_000 },
+        )
+        .unwrap();
+        assert!(!report.truncated, "rounds {rounds}: truncated");
+        let nodes = report.nodes.len();
+        let edges = report.edges.len();
+        // The subdivided path: 2^{r+1} + 1 nodes for r ≥ 2 (3 at r = 1,
+        // where both extremes coincide with the midpoint corner), with
+        // nodes − 1 edges and a single component — a path.
+        let expected = if rounds == 1 { 3 } else { (1 << (rounds + 1)) + 1 };
+        assert_eq!(nodes, expected, "rounds {rounds}");
+        assert_eq!(edges, nodes - 1, "rounds {rounds}");
+        assert!(report.is_connected(), "rounds {rounds}");
+        // Adjacent configurations' outputs differ by at most ε = 2^-r —
+        // and exactly ε is attained (the bound is tight).
+        assert_eq!(
+            report.max_edge_spread(),
+            Some(Dyadic::two_to_minus(rounds)),
+            "rounds {rounds}"
+        );
+        // The corners are reached for r ≥ 2: some configuration outputs
+        // 0 for both processes, some outputs 1 for both (the laggard
+        // jumps to the finisher's final value; at r = 1 no round-2
+        // entry exists to jump to, so the extreme outputs are 0 and 1
+        // held by single processes only).
+        let all = |v: Dyadic| {
+            report.nodes.iter().any(|n| {
+                n.outputs.iter().all(|o| *o == Value::Dyadic(v))
+            })
+        };
+        if rounds >= 2 {
+            assert!(all(Dyadic::zero()), "rounds {rounds}: missing 0-corner");
+            assert!(all(Dyadic::one()), "rounds {rounds}: missing 1-corner");
+        }
+        // The extreme output values 0 and 1 appear regardless.
+        let any = |v: Dyadic| {
+            report.nodes.iter().any(|n| {
+                n.outputs.contains(&Value::Dyadic(v))
+            })
+        };
+        assert!(any(Dyadic::zero()) && any(Dyadic::one()), "rounds {rounds}");
+        // Crossing the path in ε-steps forces ≥ 1/ε nodes.
+        assert!(nodes >= 1 << rounds, "rounds {rounds}");
+    }
+}
+
+#[test]
+fn chain_node_count_doubles_per_round() {
+    // The geometric growth that makes log(1/ε) rounds necessary:
+    // from round 2 on, each round doubles the path length.
+    let mut counts = Vec::new();
+    for rounds in 2..=4u32 {
+        let sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        let report = terminal_adjacency(
+            &sys,
+            Limits { max_depth: 40, max_configs: 3_000_000 },
+        )
+        .unwrap();
+        counts.push(report.nodes.len());
+    }
+    for w in counts.windows(2) {
+        assert_eq!(w[1] - 1, 2 * (w[0] - 1), "{counts:?}");
+    }
+}
+
+#[test]
+fn output_values_refine_dyadically() {
+    // Distinct output values after r rounds: the dyadics of denominator
+    // 2^r in [0, 1] (2^r + 1 of them).
+    for rounds in 1..=3u32 {
+        let sys = approx_system(&[Dyadic::zero(), Dyadic::one()], rounds);
+        let report = terminal_adjacency(
+            &sys,
+            Limits { max_depth: 40, max_configs: 3_000_000 },
+        )
+        .unwrap();
+        let values: BTreeSet<Value> = report
+            .nodes
+            .iter()
+            .flat_map(|n| n.outputs.clone())
+            .collect();
+        assert_eq!(values.len(), (1 << rounds) + 1, "rounds {rounds}");
+    }
+}
+
+#[test]
+fn racing_consensus_chain_has_fatal_edges_below_the_bound() {
+    // The FLP-flavored counterpart: the m = 1 racing "consensus" has a
+    // connected chain whose corners decide differently — fatal edges
+    // must exist (and they are exactly where agreement breaks).
+    let inputs = [Value::Int(1), Value::Int(2)];
+    let sys = racing_system(1, &inputs);
+    let report = terminal_adjacency(
+        &sys,
+        Limits { max_depth: 30, max_configs: 2_000_000 },
+    )
+    .unwrap();
+    assert!(report.is_connected());
+    assert!(!report.disagreement_edges().is_empty());
+}

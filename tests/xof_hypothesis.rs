@@ -1,0 +1,101 @@
+//! Lemma 32's hypothesis, demonstrated: the x-obstruction-free case of
+//! Theorem 21 (d = x direct simulators) needs Π to be
+//! x-obstruction-free. Feeding a protocol that is only 1-OF (the
+//! contrarian protocol) live-locks the two direct simulators under a
+//! direct-only schedule, while the covering simulator still terminates;
+//! feeding a 2-OF-in-practice protocol (phased racing) terminates
+//! everything under the same schedule.
+
+use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::protocols::contrarian::Contrarian;
+use revisionist_simulations::protocols::racing::PhasedRacing;
+use revisionist_simulations::smr::process::SnapshotProtocol;
+use revisionist_simulations::smr::value::Value;
+
+/// Steps simulator `i` until its current M-operation completes (or it
+/// terminates). Returns false if it terminated.
+fn run_one_m_op<P: SnapshotProtocol>(sim: &mut Simulation<P>, i: usize) -> bool {
+    if sim.output(i).is_some() {
+        return false;
+    }
+    let before = sim
+        .real()
+        .oplog()
+        .iter()
+        .filter(|rec| rec.pid == i)
+        .count();
+    loop {
+        if !sim.step(i).unwrap() {
+            return false; // terminated via local computation
+        }
+        let after = sim
+            .real()
+            .oplog()
+            .iter()
+            .filter(|rec| rec.pid == i)
+            .count();
+        if after > before {
+            return true;
+        }
+    }
+}
+
+#[test]
+fn non_xof_protocol_livelocks_the_direct_simulators() {
+    // f = 3, d = 2: one covering simulator (q0) + two direct (q1, q2).
+    // n = 1*1 + 2 = 3 simulated contrarian processes over m = 1.
+    let config = SimulationConfig::new(3, 1, 3, 2);
+    assert!(config.is_feasible());
+    let inputs = vec![Value::Bool(true), Value::Bool(true), Value::Bool(false)];
+    let mut sim = Simulation::new(config, inputs, |i| {
+        Contrarian::new([true, true, false][i])
+    })
+    .unwrap();
+    // Scan+update alternation between the two direct simulators (each
+    // performs a full scan *and* its update before handing over): their
+    // simulated processes scan each other's bit and overwrite it,
+    // forever.
+    for _ in 0..200 {
+        run_one_m_op(&mut sim, 1);
+        run_one_m_op(&mut sim, 1);
+        run_one_m_op(&mut sim, 2);
+        run_one_m_op(&mut sim, 2);
+    }
+    assert!(sim.output(1).is_none(), "q1 should be live-locked");
+    assert!(sim.output(2).is_none(), "q2 should be live-locked");
+    // The covering simulator is unaffected: give it steps and it
+    // terminates (the simulation's wait-freedom for covering simulators
+    // does not depend on Π beyond obstruction-freedom).
+    let mut guard = 0;
+    while sim.output(0).is_none() {
+        let progressed = sim.step(0).unwrap();
+        assert!(progressed || sim.output(0).is_some());
+        guard += 1;
+        assert!(guard < 10_000, "covering simulator failed to terminate");
+    }
+    assert_eq!(sim.output(0), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn xof_protocol_terminates_direct_simulators_under_the_same_schedule() {
+    // Same shape, but Π = phased racing (converges under pairs): the
+    // direct simulators terminate under the identical alternation.
+    let config = SimulationConfig::new(4, 2, 3, 2);
+    assert!(config.is_feasible()); // 1*2 + 2 = 4 <= 4
+    let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+    let mut sim = Simulation::new(config, inputs, |i| {
+        PhasedRacing::new(2, Value::Int([1, 2, 3][i]))
+    })
+    .unwrap();
+    let mut rounds = 0;
+    while (sim.output(1).is_none() || sim.output(2).is_none()) && rounds < 2_000 {
+        run_one_m_op(&mut sim, 1);
+        run_one_m_op(&mut sim, 2);
+        rounds += 1;
+    }
+    assert!(sim.output(1).is_some(), "q1 should terminate with racing Π");
+    assert!(sim.output(2).is_some(), "q2 should terminate with racing Π");
+    // Their outputs agree (two processes of a racing protocol running
+    // by themselves solve consensus between them).
+    assert_eq!(sim.output(1), sim.output(2));
+}
