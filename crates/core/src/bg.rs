@@ -287,8 +287,8 @@ mod tests {
         // Interleave all three proposers step by step.
         let vals = [Value::Int(10), Value::Int(20), Value::Int(30)];
         for stage in 0..2 {
-            for i in 0..3 {
-                let done = sa.propose_step(i, &vals[i]);
+            for (i, val) in vals.iter().enumerate() {
+                let done = sa.propose_step(i, val);
                 assert_eq!(done, stage == 1);
             }
         }

@@ -272,8 +272,8 @@ pub fn validate<P: SnapshotProtocol>(
     // Lemma 27: exactly one process per simulator outputs, with the
     // simulator's value.
     let mut outputs = Vec::new();
-    for i in 0..f {
-        let done: Vec<&Value> = phases[i]
+    for (i, row) in phases.iter().enumerate() {
+        let done: Vec<&Value> = row
             .iter()
             .filter_map(|p| match p {
                 Phase::Done(y) => Some(y),

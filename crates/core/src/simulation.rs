@@ -50,7 +50,9 @@ impl SimulationConfig {
 }
 
 enum Sim<P> {
-    Covering(CoveringSimulator<P>),
+    // Boxed: a covering simulator owns `m` protocol replicas plus the
+    // revision log, dwarfing the direct variant.
+    Covering(Box<CoveringSimulator<P>>),
     Direct(DirectSimulator<P>),
 }
 
@@ -97,10 +99,10 @@ impl<P: SnapshotProtocol> Simulation<P> {
             if i < covering_count {
                 let procs: Vec<P> =
                     (0..config.m).map(|_| make_protocol(i)).collect();
-                sims.push(Sim::Covering(CoveringSimulator::new(
+                sims.push(Sim::Covering(Box::new(CoveringSimulator::new(
                     procs,
                     config.solo_budget,
-                )));
+                ))));
             } else {
                 sims.push(Sim::Direct(DirectSimulator::new(make_protocol(i))));
             }

@@ -75,6 +75,108 @@ impl SweepPoint {
     }
 }
 
+/// Measurements from one seeded simulation run. Folding these into a
+/// [`SweepPoint`] uses only sums, maxima and counts — commutative,
+/// associative operations — so the aggregate is identical no matter how
+/// runs are partitioned across worker threads.
+#[derive(Clone, Debug)]
+struct RunStats {
+    wait_free: bool,
+    h_steps: usize,
+    block_updates: Vec<usize>,
+    revisions: usize,
+    task_violation: bool,
+    replay_ok: bool,
+    hidden_steps: usize,
+}
+
+/// Executes one seeded run and measures it.
+fn run_one<P: SnapshotProtocol>(
+    config: SimulationConfig,
+    inputs: &[Value],
+    make_protocol: impl Fn(usize) -> P + Copy,
+    task: &dyn ColorlessTask,
+    seed: u64,
+    max_h_steps: usize,
+) -> Result<RunStats, ModelError> {
+    let f = config.f;
+    let mut stats = RunStats {
+        wait_free: false,
+        h_steps: 0,
+        block_updates: vec![0; f],
+        revisions: 0,
+        task_violation: false,
+        replay_ok: false,
+        hidden_steps: 0,
+    };
+    let mut sim = Simulation::new(config, inputs.to_vec(), make_protocol)?;
+    sim.run_random(seed, max_h_steps)?;
+    if !sim.all_terminated() {
+        return Ok(stats);
+    }
+    stats.wait_free = true;
+    // Proposition 24: each simulator alternates Scan and Block-Update,
+    // ending with a Scan (or a revision/local tail).
+    for i in 0..f {
+        let (scans, bus) = sim.op_counts(i);
+        debug_assert!(
+            scans == bus || scans == bus + 1,
+            "Proposition 24 violated: {scans} scans vs {bus} block-updates"
+        );
+        stats.block_updates[i] = bus;
+        stats.revisions += sim.revisions(i).len();
+    }
+    stats.h_steps = sim.real().log().len();
+    let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
+    stats.task_violation = task.validate(inputs, &outs).is_err();
+    if let Ok(report) = replay::validate(&sim, make_protocol) {
+        if report.is_ok() {
+            stats.replay_ok = true;
+            stats.hidden_steps = report.hidden_steps;
+        }
+    }
+    Ok(stats)
+}
+
+fn empty_point(config: SimulationConfig) -> SweepPoint {
+    SweepPoint {
+        config,
+        runs: 0,
+        wait_free: 0,
+        replay_ok: 0,
+        max_block_updates: vec![0; config.f],
+        budgets: (1..=config.f).map(|i| bounds::b_bound(config.m, i)).collect(),
+        max_h_steps: 0,
+        mean_h_steps: 0.0,
+        task_violations: 0,
+        revisions: 0,
+        hidden_steps: 0,
+    }
+}
+
+/// Folds one run's measurements into the aggregate; returns the H-step
+/// contribution to the mean.
+fn fold_run(point: &mut SweepPoint, stats: &RunStats) -> usize {
+    point.runs += 1;
+    if !stats.wait_free {
+        return 0;
+    }
+    point.wait_free += 1;
+    point.max_h_steps = point.max_h_steps.max(stats.h_steps);
+    for (max, &bus) in point.max_block_updates.iter_mut().zip(&stats.block_updates) {
+        *max = (*max).max(bus);
+    }
+    point.revisions += stats.revisions;
+    if stats.task_violation {
+        point.task_violations += 1;
+    }
+    if stats.replay_ok {
+        point.replay_ok += 1;
+        point.hidden_steps += stats.hidden_steps;
+    }
+    stats.h_steps
+}
+
 /// Runs `seeds` random-schedule simulations of `config` with processes
 /// built by `make_protocol`, validating against `task`, and aggregates
 /// the results.
@@ -91,56 +193,83 @@ pub fn sweep<P: SnapshotProtocol>(
     seeds: std::ops::Range<u64>,
     max_h_steps: usize,
 ) -> Result<SweepPoint, ModelError> {
-    let f = config.f;
-    let mut point = SweepPoint {
-        config,
-        runs: 0,
-        wait_free: 0,
-        replay_ok: 0,
-        max_block_updates: vec![0; f],
-        budgets: (1..=f).map(|i| bounds::b_bound(config.m, i)).collect(),
-        max_h_steps: 0,
-        mean_h_steps: 0.0,
-        task_violations: 0,
-        revisions: 0,
-        hidden_steps: 0,
-    };
+    let mut point = empty_point(config);
     let mut total_h = 0usize;
     for seed in seeds {
-        let mut sim = Simulation::new(config, inputs.to_vec(), make_protocol)?;
-        sim.run_random(seed, max_h_steps)?;
-        point.runs += 1;
-        if !sim.all_terminated() {
-            continue;
+        let stats = run_one(config, inputs, make_protocol, task, seed, max_h_steps)?;
+        total_h += fold_run(&mut point, &stats);
+    }
+    if point.wait_free > 0 {
+        point.mean_h_steps = total_h as f64 / point.wait_free as f64;
+    }
+    Ok(point)
+}
+
+/// Parallel [`sweep`]: the seed range fans out across `threads` worker
+/// threads (`0` = one per core) through a shared atomic cursor. Every
+/// field of the result — including `mean_h_steps` — is identical to the
+/// sequential [`sweep`] because runs are independent, per-run
+/// measurements are merged in seed order, and the merge operations are
+/// commutative sums and maxima.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-seed failing run, matching what
+/// sequential [`sweep`] would report.
+pub fn sweep_parallel<P: SnapshotProtocol>(
+    config: SimulationConfig,
+    inputs: &[Value],
+    make_protocol: impl Fn(usize) -> P + Copy + Send + Sync,
+    task: &dyn ColorlessTask,
+    seeds: std::ops::Range<u64>,
+    max_h_steps: usize,
+    threads: usize,
+) -> Result<SweepPoint, ModelError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    };
+    let span = seeds.end.saturating_sub(seeds.start);
+    let chunk: u64 = span.div_ceil(threads as u64 * 8).clamp(1, 64);
+    let cursor = AtomicU64::new(seeds.start);
+    type Outcome = (u64, Result<RunStats, ModelError>);
+    let results: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(span as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<Outcome> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= seeds.end {
+                        break;
+                    }
+                    for seed in start..(start + chunk).min(seeds.end) {
+                        let outcome = run_one(
+                            config, inputs, make_protocol, task, seed, max_h_steps,
+                        );
+                        let failed = outcome.is_err();
+                        local.push((seed, outcome));
+                        if failed {
+                            break;
+                        }
+                    }
+                }
+                results.lock().expect("sweep results lock").extend(local);
+            });
         }
-        point.wait_free += 1;
-        // Proposition 24: each simulator alternates Scan and
-        // Block-Update, ending with a Scan (or a revision/local tail).
-        for i in 0..f {
-            let (scans, bus) = sim.op_counts(i);
-            debug_assert!(
-                scans == bus || scans == bus + 1,
-                "Proposition 24 violated: {scans} scans vs {bus} block-updates"
-            );
-        }
-        let h = sim.real().log().len();
-        total_h += h;
-        point.max_h_steps = point.max_h_steps.max(h);
-        for i in 0..f {
-            let (_, bus) = sim.op_counts(i);
-            point.max_block_updates[i] = point.max_block_updates[i].max(bus);
-            point.revisions += sim.revisions(i).len();
-        }
-        let outs: Vec<Value> = sim.outputs().into_iter().flatten().collect();
-        if task.validate(inputs, &outs).is_err() {
-            point.task_violations += 1;
-        }
-        if let Ok(report) = replay::validate(&sim, make_protocol) {
-            if report.is_ok() {
-                point.replay_ok += 1;
-                point.hidden_steps += report.hidden_steps;
-            }
-        }
+    });
+    let mut results = results.into_inner().expect("sweep results lock");
+    results.sort_by_key(|(seed, _)| *seed);
+
+    let mut point = empty_point(config);
+    let mut total_h = 0usize;
+    for (_, outcome) in results {
+        let stats = outcome?;
+        total_h += fold_run(&mut point, &stats);
     }
     if point.wait_free > 0 {
         point.mean_h_steps = total_h as f64 / point.wait_free as f64;
@@ -173,6 +302,30 @@ mod tests {
         assert!(point.budgets_hold(), "{:?}", point);
         assert!(point.max_h_steps >= point.mean_h_steps as usize);
         assert!(!point.row().is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let config = SimulationConfig::new(4, 2, 2, 0);
+        let inputs = vec![Value::Int(1), Value::Int(2)];
+        let make = |i: usize| PhasedRacing::new(2, Value::Int([1, 2][i]));
+        let seq = sweep(config, &inputs, make, &consensus(), 0..40, 2_000_000)
+            .unwrap();
+        for threads in [1, 3, 8] {
+            let par = sweep_parallel(
+                config, &inputs, make, &consensus(), 0..40, 2_000_000, threads,
+            )
+            .unwrap();
+            assert_eq!(par.runs, seq.runs, "threads = {threads}");
+            assert_eq!(par.wait_free, seq.wait_free);
+            assert_eq!(par.replay_ok, seq.replay_ok);
+            assert_eq!(par.max_block_updates, seq.max_block_updates);
+            assert_eq!(par.max_h_steps, seq.max_h_steps);
+            assert_eq!(par.task_violations, seq.task_violations);
+            assert_eq!(par.revisions, seq.revisions);
+            assert_eq!(par.hidden_steps, seq.hidden_steps);
+            assert!((par.mean_h_steps - seq.mean_h_steps).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@ use rsim_smr::process::SnapshotProtocol;
 use rsim_smr::value::Value;
 use rsim_snapshot::thread_mode::SharedAug;
 
+/// Per-simulator result: output, `(scans, block_updates)`, revisions.
+type SimulatorResult = (Value, (usize, usize), usize);
+
 /// Result of a threaded run.
 #[derive(Clone, Debug)]
 pub struct ThreadedOutcome {
@@ -57,7 +60,7 @@ where
     }
     let aug = SharedAug::new(config.f, config.m);
     let covering_count = config.f - config.d;
-    let mut results: Vec<Option<(Value, (usize, usize), usize)>> =
+    let mut results: Vec<Option<SimulatorResult>> =
         (0..config.f).map(|_| None).collect();
 
     std::thread::scope(|scope| {
@@ -69,14 +72,9 @@ where
                 if i < covering_count {
                     let procs: Vec<P> = (0..config.m).map(|_| make(i)).collect();
                     let mut sim = CoveringSimulator::new(procs, config.solo_budget);
-                    loop {
-                        match sim.next_op().expect("solo budget exhausted") {
-                            Some(op) => {
-                                let outcome = aug.apply(i, op);
-                                sim.on_outcome(&outcome);
-                            }
-                            None => break,
-                        }
+                    while let Some(op) = sim.next_op().expect("solo budget exhausted") {
+                        let outcome = aug.apply(i, op);
+                        sim.on_outcome(&outcome);
                     }
                     (
                         sim.output().expect("terminated").clone(),
@@ -85,14 +83,9 @@ where
                     )
                 } else {
                     let mut sim = DirectSimulator::new(make(i));
-                    loop {
-                        match sim.next_op() {
-                            Some(op) => {
-                                let outcome = aug.apply(i, op);
-                                sim.on_outcome(&outcome);
-                            }
-                            None => break,
-                        }
+                    while let Some(op) = sim.next_op() {
+                        let outcome = aug.apply(i, op);
+                        sim.on_outcome(&outcome);
                     }
                     (
                         sim.output().expect("terminated").clone(),

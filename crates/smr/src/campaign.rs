@@ -1,0 +1,617 @@
+//! Deterministic randomised campaign runner.
+//!
+//! A *campaign* is a matrix of seeded runs — scheduler specs × a seed
+//! range — over systems produced by a caller-supplied factory. The
+//! runner fans the matrix across worker threads, records the seed of
+//! every run so any failure replays exactly (`campaign --seed N`), and
+//! aggregates distinct-configurations/terminations/violations into a
+//! machine-readable report.
+//!
+//! Determinism: run outcomes depend only on `(scheduler spec, seed)`,
+//! never on which worker executed them. Records are merged in matrix
+//! order, and the distinct-configuration count is the size of a shared
+//! [`FingerprintCache`] — a set union, so it too is independent of
+//! thread interleaving. A campaign report is identical at any thread
+//! count.
+
+use crate::fingerprint::FingerprintCache;
+use crate::sched::{Crash, Obstruction, Quantum, Random, RoundRobin, Scheduler};
+use crate::system::System;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A buildable scheduler description — the "which adversary" half of a
+/// run's identity (the seed is the other half).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerSpec {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`Random`] seeded with the run seed.
+    Random,
+    /// [`Quantum`] with the given quantum.
+    Quantum(usize),
+    /// [`Obstruction`] with isolated-set bound `x`, chaos prefix and
+    /// burst length.
+    Obstruction {
+        /// Maximum size of the eventually-isolated set.
+        x: usize,
+        /// Random steps before bursts begin.
+        chaos_steps: usize,
+        /// Steps per isolated burst.
+        burst_len: usize,
+    },
+    /// [`Crash`] with a crash budget and per-step crash probability.
+    Crash {
+        /// Maximum processes to crash.
+        max_crashes: usize,
+        /// Per-step crash probability.
+        probability: f64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Parses a spec from its CLI syntax:
+    ///
+    /// * `rr` / `round-robin`
+    /// * `random`
+    /// * `quantum:<q>`
+    /// * `obstruction:<x>` (chaos 32, bursts 64)
+    /// * `crash:<max>` (probability 0.05)
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec.
+    pub fn parse(spec: &str) -> Result<SchedulerSpec, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        let numeric = |what: &str| -> Result<usize, String> {
+            arg.ok_or_else(|| format!("{head} needs `:<{what}>`"))?
+                .parse::<usize>()
+                .map_err(|_| format!("bad {what} in scheduler spec `{spec}`"))
+        };
+        match head {
+            "rr" | "round-robin" => Ok(SchedulerSpec::RoundRobin),
+            "random" => Ok(SchedulerSpec::Random),
+            "quantum" => {
+                let q = numeric("quantum")?;
+                if q == 0 {
+                    return Err("quantum must be >= 1".into());
+                }
+                Ok(SchedulerSpec::Quantum(q))
+            }
+            "obstruction" => Ok(SchedulerSpec::Obstruction {
+                x: numeric("x")?,
+                chaos_steps: 32,
+                burst_len: 64,
+            }),
+            "crash" => Ok(SchedulerSpec::Crash {
+                max_crashes: numeric("max-crashes")?,
+                probability: 0.05,
+            }),
+            _ => Err(format!(
+                "unknown scheduler `{spec}` (expected rr, random, \
+                 quantum:<q>, obstruction:<x>, crash:<max>)"
+            )),
+        }
+    }
+
+    /// Builds the scheduler for one run.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::RoundRobin => Box::new(RoundRobin::new()),
+            SchedulerSpec::Random => Box::new(Random::seeded(seed)),
+            SchedulerSpec::Quantum(q) => Box::new(Quantum::new(q)),
+            SchedulerSpec::Obstruction { x, chaos_steps, burst_len } => {
+                Box::new(Obstruction::new(x, chaos_steps, burst_len, seed))
+            }
+            SchedulerSpec::Crash { max_crashes, probability } => {
+                Box::new(Crash::new(max_crashes, probability, seed))
+            }
+        }
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerSpec::RoundRobin => write!(f, "rr"),
+            SchedulerSpec::Random => write!(f, "random"),
+            SchedulerSpec::Quantum(q) => write!(f, "quantum:{q}"),
+            SchedulerSpec::Obstruction { x, .. } => write!(f, "obstruction:{x}"),
+            SchedulerSpec::Crash { max_crashes, .. } => {
+                write!(f, "crash:{max_crashes}")
+            }
+        }
+    }
+}
+
+/// Campaign shape: the scheduler mix, the seed range, per-run budget
+/// and worker count.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Scheduler mix; every spec runs against every seed.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// First seed of the range.
+    pub seed_start: u64,
+    /// Seeds per scheduler (total runs = `schedulers.len() * runs`).
+    pub runs: usize,
+    /// Step budget per run.
+    pub budget: usize,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 100,
+            budget: 2_000,
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of a single run; `(scheduler, seed)` replays it exactly.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The scheduler spec, in its parseable syntax.
+    pub scheduler: String,
+    /// The run seed (seeds the scheduler and the system factory).
+    pub seed: u64,
+    /// Steps actually taken.
+    pub steps: usize,
+    /// Did every process terminate within budget?
+    pub terminated: bool,
+    /// Check failure on the final configuration, if any.
+    pub violation: Option<String>,
+    /// Runtime error, if the run aborted.
+    pub error: Option<String>,
+}
+
+impl RunRecord {
+    fn is_failure(&self) -> bool {
+        self.violation.is_some() || self.error.is_some()
+    }
+}
+
+/// Per-scheduler aggregate.
+#[derive(Clone, Debug)]
+pub struct SchedulerTally {
+    /// The scheduler spec, in its parseable syntax.
+    pub scheduler: String,
+    /// Runs executed with this scheduler.
+    pub runs: usize,
+    /// Runs in which every process terminated.
+    pub terminated: usize,
+    /// Runs with a violation or error.
+    pub failures: usize,
+    /// Total steps across the runs.
+    pub total_steps: usize,
+}
+
+/// Aggregated campaign outcome. All fields are deterministic functions
+/// of the [`CampaignConfig`] and the system factory.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+    /// Total runs executed.
+    pub total_runs: usize,
+    /// Runs in which every process terminated within budget.
+    pub terminated_runs: usize,
+    /// Distinct configurations visited across all runs (fingerprint
+    /// cache size — a set union, thread-count independent).
+    pub distinct_configs: usize,
+    /// Total steps across all runs.
+    pub total_steps: usize,
+    /// Per-scheduler tallies, in scheduler-mix order.
+    pub per_scheduler: Vec<SchedulerTally>,
+    /// Every failing run, in matrix order; each replays from its seed.
+    pub failures: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Did every run terminate with no violations or errors?
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.terminated_runs == self.total_runs
+    }
+
+    /// Renders the report as JSON (hand-rolled: the workspace builds
+    /// offline, without serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schedulers\": [{}],\n",
+            self.config
+                .schedulers
+                .iter()
+                .map(|s| json_string(&s.to_string()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"seed_start\": {},\n", self.config.seed_start));
+        out.push_str(&format!("  \"runs_per_scheduler\": {},\n", self.config.runs));
+        out.push_str(&format!("  \"budget\": {},\n", self.config.budget));
+        out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
+        out.push_str(&format!("  \"terminated_runs\": {},\n", self.terminated_runs));
+        out.push_str(&format!("  \"distinct_configs\": {},\n", self.distinct_configs));
+        out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
+        out.push_str("  \"per_scheduler\": [\n");
+        for (i, t) in self.per_scheduler.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scheduler\": {}, \"runs\": {}, \"terminated\": {}, \
+                 \"failures\": {}, \"total_steps\": {}}}{}\n",
+                json_string(&t.scheduler),
+                t.runs,
+                t.terminated,
+                t.failures,
+                t.total_steps,
+                if i + 1 < self.per_scheduler.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"failures\": [\n");
+        for (i, r) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scheduler\": {}, \"seed\": {}, \"steps\": {}, \
+                 \"terminated\": {}, \"violation\": {}, \"error\": {}}}{}\n",
+                json_string(&r.scheduler),
+                r.seed,
+                r.steps,
+                r.terminated,
+                r.violation.as_deref().map_or("null".into(), json_string),
+                r.error.as_deref().map_or("null".into(), json_string),
+                if i + 1 < self.failures.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping for the characters our messages
+/// can contain.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Executes one run and records its outcome. The final configuration is
+/// validated with `check`; intermediate configurations are fingerprinted
+/// into `cache` when one is supplied.
+fn execute_run(
+    spec: &SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    system: &mut System,
+    check: &dyn Fn(&System) -> Option<String>,
+    cache: Option<&FingerprintCache>,
+) -> RunRecord {
+    let mut record = RunRecord {
+        scheduler: spec.to_string(),
+        seed,
+        steps: 0,
+        terminated: false,
+        violation: None,
+        error: None,
+    };
+    let mut scheduler = spec.build(seed);
+    if let Some(cache) = cache {
+        cache.insert(&system.config_key());
+        while record.steps < budget && !system.all_terminated() {
+            let Some(pid) = scheduler.next(system) else { break };
+            if system.is_terminated(pid) {
+                continue;
+            }
+            if let Err(err) = system.step(pid) {
+                record.error = Some(err.to_string());
+                return record;
+            }
+            record.steps += 1;
+            cache.insert(&system.config_key());
+        }
+    } else {
+        match system.run(scheduler.as_mut(), budget) {
+            Ok(steps) => record.steps = steps,
+            Err(err) => {
+                record.error = Some(err.to_string());
+                return record;
+            }
+        }
+    }
+    record.terminated = system.all_terminated();
+    record.violation = check(system);
+    record
+}
+
+/// Replays one run of a campaign: same `(spec, seed)` → same outcome.
+/// This is what `campaign --seed N` uses to reproduce a failure.
+pub fn replay_run<F>(
+    spec: &SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    factory: F,
+    check: &dyn Fn(&System) -> Option<String>,
+) -> RunRecord
+where
+    F: Fn(u64) -> System,
+{
+    let mut system = factory(seed);
+    execute_run(spec, seed, budget, &mut system, check, None)
+}
+
+/// Runs the full campaign matrix (scheduler mix × seed range) across
+/// worker threads.
+///
+/// `factory(seed)` builds the system for a run; `check` validates the
+/// final configuration (return a description to flag a violation).
+/// Runtime errors inside a run are recorded as failures, not
+/// propagated.
+pub fn run_campaign<F>(
+    config: &CampaignConfig,
+    factory: F,
+    check: &(dyn Fn(&System) -> Option<String> + Sync),
+) -> CampaignReport
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let total = config.schedulers.len() * config.runs;
+    let threads = if config.threads > 0 {
+        config.threads
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    };
+    let cache = FingerprintCache::for_threads(threads);
+    let records: Mutex<Vec<(usize, RunRecord)>> =
+        Mutex::new(Vec::with_capacity(total));
+    let cursor = AtomicUsize::new(0);
+    let chunk = total.div_ceil(threads * 8).clamp(1, 256);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, RunRecord)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    for index in start..(start + chunk).min(total) {
+                        // Matrix order: scheduler-major, then seed.
+                        let spec = &config.schedulers[index / config.runs];
+                        let seed =
+                            config.seed_start + (index % config.runs) as u64;
+                        let mut system = factory(seed);
+                        let record = execute_run(
+                            spec,
+                            seed,
+                            config.budget,
+                            &mut system,
+                            check,
+                            Some(&cache),
+                        );
+                        local.push((index, record));
+                    }
+                }
+                records.lock().expect("records lock").extend(local);
+            });
+        }
+    });
+    let mut records = records.into_inner().expect("records lock");
+    records.sort_by_key(|(index, _)| *index);
+
+    let mut report = CampaignReport {
+        config: config.clone(),
+        total_runs: records.len(),
+        terminated_runs: 0,
+        distinct_configs: cache.len(),
+        total_steps: 0,
+        per_scheduler: config
+            .schedulers
+            .iter()
+            .map(|s| SchedulerTally {
+                scheduler: s.to_string(),
+                runs: 0,
+                terminated: 0,
+                failures: 0,
+                total_steps: 0,
+            })
+            .collect(),
+        failures: Vec::new(),
+    };
+    for (index, record) in records {
+        let tally = &mut report.per_scheduler[index / config.runs];
+        tally.runs += 1;
+        tally.total_steps += record.steps;
+        report.total_steps += record.steps;
+        if record.terminated {
+            tally.terminated += 1;
+            report.terminated_runs += 1;
+        }
+        if record.is_failure() {
+            tally.failures += 1;
+            report.failures.push(record);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Object, ObjectId};
+    use crate::process::{Process, ProtocolStep, SnapshotProcess, SnapshotProtocol};
+    use crate::value::Value;
+
+    /// Terminates after `n` updates, outputs its last view of slot 0.
+    #[derive(Clone, Debug)]
+    struct Stepper {
+        n: usize,
+    }
+
+    impl SnapshotProtocol for Stepper {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.n == 0 {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.n -= 1;
+                ProtocolStep::Update(0, Value::Int(self.n as i64))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    fn factory(_seed: u64) -> System {
+        let procs: Vec<Box<dyn Process>> = (0..3)
+            .map(|_| {
+                Box::new(SnapshotProcess::new(Stepper { n: 3 }, ObjectId(0)))
+                    as Box<dyn Process>
+            })
+            .collect();
+        System::new(vec![Object::snapshot(1)], procs)
+    }
+
+    #[test]
+    fn spec_parse_round_trips() {
+        for spec in ["rr", "random", "quantum:2", "obstruction:2", "crash:1"] {
+            let parsed = SchedulerSpec::parse(spec).unwrap();
+            assert_eq!(parsed.to_string(), spec);
+        }
+        assert_eq!(
+            SchedulerSpec::parse("round-robin").unwrap(),
+            SchedulerSpec::RoundRobin
+        );
+        assert!(SchedulerSpec::parse("quantum:0").is_err());
+        assert!(SchedulerSpec::parse("quantum").is_err());
+        assert!(SchedulerSpec::parse("frobnicate").is_err());
+        assert!(SchedulerSpec::parse("crash:x").is_err());
+    }
+
+    #[test]
+    fn campaign_terminates_and_aggregates() {
+        let config = CampaignConfig {
+            schedulers: vec![
+                SchedulerSpec::RoundRobin,
+                SchedulerSpec::Random,
+                SchedulerSpec::Quantum(2),
+            ],
+            seed_start: 0,
+            runs: 20,
+            budget: 1_000,
+            threads: 4,
+        };
+        let report = run_campaign(&config, factory, &|_| None);
+        assert_eq!(report.total_runs, 60);
+        assert_eq!(report.terminated_runs, 60);
+        assert!(report.is_clean());
+        assert!(report.distinct_configs > 0);
+        assert_eq!(report.per_scheduler.len(), 3);
+        assert!(report.per_scheduler.iter().all(|t| t.runs == 20));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let mk = |threads| CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Crash {
+                max_crashes: 1,
+                probability: 0.1,
+            }],
+            seed_start: 7,
+            runs: 25,
+            budget: 500,
+            threads,
+        };
+        let base = run_campaign(&mk(1), factory, &|_| None);
+        for threads in [2, 8] {
+            let report = run_campaign(&mk(threads), factory, &|_| None);
+            assert_eq!(report.total_runs, base.total_runs);
+            assert_eq!(report.terminated_runs, base.terminated_runs);
+            assert_eq!(report.distinct_configs, base.distinct_configs);
+            assert_eq!(report.total_steps, base.total_steps);
+        }
+    }
+
+    #[test]
+    fn violations_record_replayable_seeds() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 10,
+            budget: 1_000,
+            threads: 2,
+        };
+        // Flag runs whose seed is even: a deterministic pseudo-check.
+        let check = |sys: &System| {
+            let key = sys.config_key();
+            let _ = key;
+            None::<String>
+        };
+        let _ = check;
+        let flagging = |sys: &System| -> Option<String> {
+            sys.output(crate::process::ProcessId(0))
+                .filter(|v| *v == Value::Int(0))
+                .map(|v| format!("p0 output {v}"))
+        };
+        let report = run_campaign(&config, factory, &flagging);
+        for failure in &report.failures {
+            let spec = SchedulerSpec::parse(&failure.scheduler).unwrap();
+            let replayed = replay_run(
+                &spec,
+                failure.seed,
+                config.budget,
+                factory,
+                &flagging,
+            );
+            assert_eq!(replayed.violation, failure.violation);
+            assert_eq!(replayed.steps, failure.steps);
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 5,
+            budget: 200,
+            threads: 1,
+        };
+        let report = run_campaign(&config, factory, &|_| None);
+        let json = report.to_json();
+        assert!(json.contains("\"total_runs\": 5"));
+        assert!(json.contains("\"schedulers\": [\"random\"]"));
+        assert!(json.contains("\"failures\": ["));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -9,12 +9,32 @@
 //! * obstruction-freedom: from every reachable configuration, every solo
 //!   execution terminates ([`Explorer::check_solo_termination`]);
 //! * x-obstruction-freedom via [`Explorer::check_group_termination`].
+//!
+//! # Sequential and parallel modes
+//!
+//! [`Explorer::explore`] is the classic single-threaded DFS with a
+//! mutable check; it stops at the first violation in DFS order.
+//!
+//! [`Explorer::explore_parallel`] is a level-synchronised breadth-first
+//! frontier over schedule prefixes: at each depth, worker threads steal
+//! chunks of the frontier, expand and check configurations in parallel,
+//! and pre-filter duplicates through the sharded
+//! [`FingerprintCache`](crate::fingerprint::FingerprintCache). Chunk
+//! results are merged in frontier order and deduplicated canonically,
+//! which makes every report field — `configs_visited`, `terminals`,
+//! and the first violation — **bit-for-bit identical at every thread
+//! count**. The violation reported is the first in canonical schedule
+//! order (shortest schedule first, then lexicographic by process id),
+//! independent of which thread happened to find it.
 
 use crate::error::ModelError;
+use crate::fingerprint::{fingerprint, FingerprintCache};
 use crate::process::ProcessId;
 use crate::system::System;
 use crate::value::Value;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Exploration limits.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +61,9 @@ pub struct ExploreReport {
     /// Whether exploration was cut off by [`Limits`].
     pub truncated: bool,
     /// The first violation found, if any: the schedule that produced it
-    /// and a description.
+    /// and a description. Sequential mode reports the first violation
+    /// in DFS order; parallel mode reports the first in canonical
+    /// (breadth-first, lexicographic) schedule order.
     pub violation: Option<(Vec<ProcessId>, String)>,
 }
 
@@ -52,16 +74,49 @@ impl ExploreReport {
     }
 }
 
+/// A check evaluated on every visited configuration by the parallel
+/// explorer; returns a violation description to flag the configuration.
+pub type ParallelCheck<'a> = &'a (dyn Fn(&System) -> Option<String> + Sync);
+
 /// Bounded exhaustive explorer over schedules of a [`System`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Explorer {
     limits: Limits,
+    threads: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer { limits: Limits::default(), threads: 1 }
+    }
 }
 
 impl Explorer {
-    /// Creates an explorer with the given limits.
+    /// Creates an explorer with the given limits (single-threaded until
+    /// configured with [`Explorer::with_threads`]).
     pub fn new(limits: Limits) -> Self {
-        Explorer { limits }
+        Explorer { limits, threads: 1 }
+    }
+
+    /// Sets the worker-thread count used by the `*_parallel` methods.
+    /// `0` means one worker per available CPU core.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
     }
 
     /// Explores all schedules from `initial`, invoking `check` on every
@@ -82,11 +137,11 @@ impl Explorer {
             truncated: false,
             violation: None,
         };
-        let mut seen: HashSet<String> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         // DFS stack of (configuration, schedule so far).
         let mut stack: Vec<(System, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
         while let Some((sys, schedule)) = stack.pop() {
-            if !seen.insert(sys.config_key()) {
+            if !seen.insert(fingerprint(&sys.config_key())) {
                 continue;
             }
             report.configs_visited += 1;
@@ -121,6 +176,151 @@ impl Explorer {
         Ok(report)
     }
 
+    /// Parallel exhaustive exploration: a level-synchronised frontier
+    /// over schedule prefixes, with worker threads stealing chunks of
+    /// each level and a sharded fingerprint cache deduplicating
+    /// configurations.
+    ///
+    /// Every field of the returned report is deterministic — identical
+    /// at 1, 2, or N threads — because chunk results are merged in
+    /// frontier order and the violation chosen is the canonically first
+    /// (shortest schedule, then lexicographically smallest).
+    ///
+    /// Unlike [`Explorer::explore`], the check must be `Fn + Sync`; it
+    /// runs concurrently on many configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from stepping the system (the
+    /// canonically first error when several workers fail).
+    pub fn explore_parallel(
+        &self,
+        initial: &System,
+        check: ParallelCheck,
+    ) -> Result<ExploreReport, ModelError> {
+        self.explore_parallel_inner(initial, check, false)
+            .map(|(report, _)| report)
+    }
+
+    fn explore_parallel_inner(
+        &self,
+        initial: &System,
+        check: ParallelCheck,
+        collect_terminals: bool,
+    ) -> Result<(ExploreReport, Vec<Vec<Value>>), ModelError> {
+        let threads = self.resolved_threads();
+        let cache = FingerprintCache::for_threads(threads);
+        let mut report = ExploreReport {
+            configs_visited: 0,
+            terminals: 0,
+            truncated: false,
+            violation: None,
+        };
+        let mut terminal_outputs: Vec<Vec<Value>> = Vec::new();
+        let mut seen_outputs: HashSet<String> = HashSet::new();
+
+        cache.insert(&initial.config_key());
+        report.configs_visited = 1;
+        let mut frontier: Vec<(System, Vec<ProcessId>)> =
+            vec![(initial.clone(), Vec::new())];
+
+        while !frontier.is_empty() {
+            let level = self.run_level(&frontier, check, &cache, threads);
+
+            // Merge chunk results in frontier order: every aggregate
+            // below is then independent of worker scheduling.
+            let mut chunks = level.into_inner().expect("level results lock");
+            chunks.sort_by_key(|c| c.start);
+            if let Some((_, err)) = chunks
+                .iter()
+                .filter_map(|c| c.error.as_ref())
+                .min_by_key(|(idx, _)| *idx)
+            {
+                return Err(err.clone());
+            }
+            let mut violation: Option<(usize, Vec<ProcessId>, String)> = None;
+            let mut children: Vec<(System, Vec<ProcessId>, u64)> = Vec::new();
+            for chunk in chunks {
+                report.terminals += chunk.terminals;
+                report.truncated |= chunk.truncated;
+                if let Some((idx, sched, msg)) = chunk.violation {
+                    if violation.as_ref().is_none_or(|(best, _, _)| idx < *best) {
+                        violation = Some((idx, sched, msg));
+                    }
+                }
+                if collect_terminals {
+                    for outs in chunk.terminal_outputs {
+                        if seen_outputs.insert(format!("{outs:?}")) {
+                            terminal_outputs.push(outs);
+                        }
+                    }
+                }
+                children.extend(chunk.children);
+            }
+            if let Some((_, sched, msg)) = violation {
+                report.violation = Some((sched, msg));
+                break;
+            }
+
+            // Canonical dedup: children arrive ordered by (parent
+            // frontier index, process id) — exactly the breadth-first
+            // lexicographic order — so the first occurrence of each
+            // configuration carries its canonical schedule.
+            let mut next = Vec::new();
+            for (sys, sched, fp) in children {
+                if !cache.insert_fingerprint(fp) {
+                    continue;
+                }
+                if report.configs_visited >= self.limits.max_configs {
+                    report.truncated = true;
+                    break;
+                }
+                report.configs_visited += 1;
+                next.push((sys, sched));
+            }
+            if report.truncated && next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        Ok((report, terminal_outputs))
+    }
+
+    /// Runs one frontier level across `threads` workers stealing chunks
+    /// through a shared atomic cursor.
+    fn run_level(
+        &self,
+        frontier: &[(System, Vec<ProcessId>)],
+        check: ParallelCheck,
+        cache: &FingerprintCache,
+        threads: usize,
+    ) -> Mutex<Vec<LevelChunk>> {
+        let results: Mutex<Vec<LevelChunk>> = Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+        let chunk_size = frontier.len().div_ceil(threads * 4).max(1);
+        let max_depth = self.limits.max_depth;
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(frontier.len()) {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk_size, Ordering::Relaxed);
+                    if start >= frontier.len() {
+                        break;
+                    }
+                    let end = (start + chunk_size).min(frontier.len());
+                    let chunk = expand_chunk(
+                        &frontier[start..end],
+                        start,
+                        check,
+                        cache,
+                        max_depth,
+                    );
+                    results.lock().expect("level results lock").push(chunk);
+                });
+            }
+        });
+        results
+    }
+
     /// Collects the set of output vectors over all reachable terminal
     /// configurations. Each vector is indexed by process.
     ///
@@ -147,6 +347,22 @@ impl Explorer {
         Ok((outputs, report))
     }
 
+    /// Parallel [`Explorer::terminal_outputs`]: same output set, same
+    /// report determinism guarantees as [`Explorer::explore_parallel`].
+    /// Outputs are returned in canonical first-reached order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from stepping the system.
+    pub fn terminal_outputs_parallel(
+        &self,
+        initial: &System,
+    ) -> Result<(Vec<Vec<Value>>, ExploreReport), ModelError> {
+        let (report, outputs) =
+            self.explore_parallel_inner(initial, &|_| None, true)?;
+        Ok((outputs, report))
+    }
+
     /// Checks obstruction-freedom empirically: from every reachable
     /// configuration (within limits), every live process terminates when
     /// run solo for at most `solo_budget` steps.
@@ -160,6 +376,20 @@ impl Explorer {
         solo_budget: usize,
     ) -> Result<ExploreReport, ModelError> {
         self.check_group_termination(initial, 1, solo_budget)
+    }
+
+    /// Parallel [`Explorer::check_solo_termination`] (Theorem 35's
+    /// hypothesis checked across all cores).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from stepping the system.
+    pub fn check_solo_termination_parallel(
+        &self,
+        initial: &System,
+        solo_budget: usize,
+    ) -> Result<ExploreReport, ModelError> {
+        self.check_group_termination_parallel(initial, 1, solo_budget)
     }
 
     /// Checks x-obstruction-freedom empirically: from every reachable
@@ -179,59 +409,160 @@ impl Explorer {
         x: usize,
         budget: usize,
     ) -> Result<ExploreReport, ModelError> {
-        let n = initial.process_count();
-        let quanta: &[usize] = if x == 1 { &[1] } else { &[1, 2, 3] };
-        self.explore(initial, &mut |sys| {
-            let live: Vec<ProcessId> = (0..n)
-                .map(ProcessId)
-                .filter(|&p| !sys.is_terminated(p))
-                .collect();
-            if live.is_empty() {
-                return None;
-            }
-            // Rotations of the live set give n candidate groups of size
-            // ≤ x; for x = 1 this is exactly "every solo execution".
-            for start in 0..live.len() {
-                let group: Vec<ProcessId> = (0..x.min(live.len()))
-                    .map(|k| live[(start + k) % live.len()])
-                    .collect();
-                for &quantum in quanta {
-                    let mut fork = sys.clone();
-                    let mut steps = 0;
-                    'run: while steps < budget {
-                        let mut progressed = false;
-                        for &p in &group {
-                            for _ in 0..quantum {
-                                if fork.is_terminated(p) {
-                                    break;
-                                }
-                                if fork.step(p).is_err() {
-                                    return Some(format!(
-                                        "step error during group run of {group:?}"
-                                    ));
-                                }
-                                steps += 1;
-                                progressed = true;
-                                if steps >= budget {
-                                    break 'run;
-                                }
-                            }
-                        }
-                        if !progressed {
-                            break;
-                        }
-                    }
-                    if group.iter().any(|&p| !fork.is_terminated(p)) {
-                        return Some(format!(
-                            "group {group:?} failed to terminate within {budget} \
-                             steps (quantum {quantum})"
-                        ));
-                    }
-                }
-            }
-            None
+        self.explore(initial, &mut |sys| group_termination_check(sys, x, budget))
+    }
+
+    /// Parallel [`Explorer::check_group_termination`]: the group-run
+    /// check — the expensive part — fans out across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from stepping the system.
+    pub fn check_group_termination_parallel(
+        &self,
+        initial: &System,
+        x: usize,
+        budget: usize,
+    ) -> Result<ExploreReport, ModelError> {
+        self.explore_parallel(initial, &move |sys| {
+            group_termination_check(sys, x, budget)
         })
     }
+}
+
+/// One worker chunk's share of a frontier level.
+struct LevelChunk {
+    /// Index of the first frontier entry in this chunk.
+    start: usize,
+    terminals: usize,
+    truncated: bool,
+    /// Lowest-index violation within the chunk.
+    violation: Option<(usize, Vec<ProcessId>, String)>,
+    /// Children in (parent index, process id) order, with fingerprints.
+    children: Vec<(System, Vec<ProcessId>, u64)>,
+    /// Output vectors of terminal configurations in this chunk.
+    terminal_outputs: Vec<Vec<Value>>,
+    /// Lowest-index step error within the chunk.
+    error: Option<(usize, ModelError)>,
+}
+
+/// Checks and expands one chunk of frontier entries.
+fn expand_chunk(
+    entries: &[(System, Vec<ProcessId>)],
+    start: usize,
+    check: ParallelCheck,
+    cache: &FingerprintCache,
+    max_depth: usize,
+) -> LevelChunk {
+    let mut out = LevelChunk {
+        start,
+        terminals: 0,
+        truncated: false,
+        violation: None,
+        children: Vec::new(),
+        terminal_outputs: Vec::new(),
+        error: None,
+    };
+    for (offset, (sys, schedule)) in entries.iter().enumerate() {
+        let idx = start + offset;
+        if let Some(msg) = check(sys) {
+            out.violation = Some((idx, schedule.clone(), msg));
+            // Later entries in the chunk cannot improve on this index.
+            break;
+        }
+        if sys.all_terminated() {
+            out.terminals += 1;
+            out.terminal_outputs.push(
+                sys.outputs().into_iter().map(Option::unwrap).collect(),
+            );
+            continue;
+        }
+        if schedule.len() >= max_depth {
+            out.truncated = true;
+            continue;
+        }
+        for i in 0..sys.process_count() {
+            let pid = ProcessId(i);
+            if sys.is_terminated(pid) {
+                continue;
+            }
+            let mut fork = sys.clone();
+            if let Err(err) = fork.step(pid) {
+                if out.error.is_none() {
+                    out.error = Some((idx, err));
+                }
+                continue;
+            }
+            let fp = fingerprint(&fork.config_key());
+            // Concurrent pre-filter: configurations deduplicated at an
+            // earlier level never reach the merge. Within-level
+            // duplicates are resolved canonically by the merge itself.
+            if cache.contains_fingerprint(fp) {
+                continue;
+            }
+            let mut sched = schedule.clone();
+            sched.push(pid);
+            out.children.push((fork, sched, fp));
+        }
+    }
+    out
+}
+
+/// The x-obstruction-freedom check run on one configuration: every
+/// rotation-group of at most `x` live processes, under quanta 1/2/3,
+/// must terminate within `budget` steps. Shared by the sequential and
+/// parallel explorer paths.
+fn group_termination_check(sys: &System, x: usize, budget: usize) -> Option<String> {
+    let n = sys.process_count();
+    let quanta: &[usize] = if x == 1 { &[1] } else { &[1, 2, 3] };
+    let live: Vec<ProcessId> = (0..n)
+        .map(ProcessId)
+        .filter(|&p| !sys.is_terminated(p))
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+    // Rotations of the live set give n candidate groups of size
+    // ≤ x; for x = 1 this is exactly "every solo execution".
+    for start in 0..live.len() {
+        let group: Vec<ProcessId> = (0..x.min(live.len()))
+            .map(|k| live[(start + k) % live.len()])
+            .collect();
+        for &quantum in quanta {
+            let mut fork = sys.clone();
+            let mut steps = 0;
+            'run: while steps < budget {
+                let mut progressed = false;
+                for &p in &group {
+                    for _ in 0..quantum {
+                        if fork.is_terminated(p) {
+                            break;
+                        }
+                        if fork.step(p).is_err() {
+                            return Some(format!(
+                                "step error during group run of {group:?}"
+                            ));
+                        }
+                        steps += 1;
+                        progressed = true;
+                        if steps >= budget {
+                            break 'run;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            if group.iter().any(|&p| !fork.is_terminated(p)) {
+                return Some(format!(
+                    "group {group:?} failed to terminate within {budget} \
+                     steps (quantum {quantum})"
+                ));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -286,10 +617,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_terminal_outputs_match_sequential() {
+        let explorer = Explorer::default().with_threads(4);
+        let (seq, seq_report) =
+            Explorer::default().terminal_outputs(&two_process_system()).unwrap();
+        let (par, par_report) =
+            explorer.terminal_outputs_parallel(&two_process_system()).unwrap();
+        let mut seq_sorted: Vec<String> =
+            seq.iter().map(|o| format!("{o:?}")).collect();
+        let mut par_sorted: Vec<String> =
+            par.iter().map(|o| format!("{o:?}")).collect();
+        seq_sorted.sort();
+        par_sorted.sort();
+        assert_eq!(seq_sorted, par_sorted);
+        assert_eq!(seq_report.configs_visited, par_report.configs_visited);
+        assert_eq!(seq_report.terminals, par_report.terminals);
+    }
+
+    #[test]
     fn solo_termination_holds_for_terminating_protocol() {
         let explorer = Explorer::default();
         let report = explorer
             .check_solo_termination(&two_process_system(), 10)
+            .unwrap();
+        assert!(report.is_clean(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn parallel_solo_termination_holds() {
+        let explorer = Explorer::default().with_threads(0);
+        let report = explorer
+            .check_solo_termination_parallel(&two_process_system(), 10)
             .unwrap();
         assert!(report.is_clean(), "violation: {:?}", report.violation);
     }
@@ -317,6 +675,11 @@ mod tests {
         let explorer = Explorer::new(Limits { max_depth: 3, max_configs: 1000 });
         let report = explorer.check_solo_termination(&sys, 20).unwrap();
         assert!(!report.is_clean());
+        let report = explorer
+            .with_threads(2)
+            .check_solo_termination_parallel(&sys, 20)
+            .unwrap();
+        assert!(!report.is_clean());
     }
 
     #[test]
@@ -333,6 +696,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_violation_is_canonical() {
+        // The canonical (BFS-lexicographic) first schedule on which p0
+        // has output: p0 runs solo for its 3 steps (scan, update, scan).
+        let check = |sys: &System| {
+            sys.output(ProcessId(0)).map(|v| format!("p0 output {v}"))
+        };
+        for threads in [1, 2, 8] {
+            let explorer = Explorer::default().with_threads(threads);
+            let report = explorer
+                .explore_parallel(&two_process_system(), &check)
+                .unwrap();
+            let (schedule, msg) = report.violation.unwrap();
+            assert!(msg.contains("p0 output"));
+            assert_eq!(
+                schedule,
+                vec![ProcessId(0), ProcessId(0), ProcessId(0)],
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn dedup_bounds_visited_configs() {
         let explorer = Explorer::default();
         let report = explorer
@@ -341,5 +726,26 @@ mod tests {
         // Without dedup the tree has hundreds of nodes; with dedup the
         // distinct-configuration count is small.
         assert!(report.configs_visited < 100);
+    }
+
+    #[test]
+    fn parallel_depth_truncation_matches_flag() {
+        let explorer = Explorer::new(Limits { max_depth: 1, max_configs: 1000 })
+            .with_threads(2);
+        let report = explorer
+            .explore_parallel(&two_process_system(), &|_| None)
+            .unwrap();
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn parallel_config_budget_truncates() {
+        let explorer = Explorer::new(Limits { max_depth: 64, max_configs: 3 })
+            .with_threads(2);
+        let report = explorer
+            .explore_parallel(&two_process_system(), &|_| None)
+            .unwrap();
+        assert!(report.truncated);
+        assert!(report.configs_visited <= 3);
     }
 }

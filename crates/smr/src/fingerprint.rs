@@ -1,0 +1,172 @@
+//! Sharded configuration-fingerprint cache.
+//!
+//! Exhaustive exploration and campaign runs deduplicate configurations
+//! by a stable 64-bit fingerprint of [`crate::system::System::config_key`].
+//! A single `HashSet` behind one lock serialises every worker thread;
+//! this cache splits the fingerprint space across `2^k` independently
+//! locked shards so concurrent inserts from different shards never
+//! contend.
+//!
+//! Determinism: the fingerprint function is a fixed FNV-1a over the
+//! configuration key — no per-process or per-run hash randomisation —
+//! so the set of fingerprints (and therefore every count derived from
+//! it) is identical across runs and thread counts. Set membership is
+//! order-independent, which is what makes the parallel explorer's
+//! `configs_visited` reproducible bit-for-bit.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Stable 64-bit FNV-1a fingerprint of a configuration key.
+///
+/// Deliberately not `std::hash::DefaultHasher`, whose per-instance
+/// randomisation would make fingerprints differ between runs.
+pub fn fingerprint(key: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for byte in key.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A concurrent set of configuration fingerprints, sharded by hash.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_smr::fingerprint::FingerprintCache;
+///
+/// let cache = FingerprintCache::new(8);
+/// assert!(cache.insert("config-a"));
+/// assert!(!cache.insert("config-a"));
+/// assert!(cache.contains("config-a"));
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FingerprintCache {
+    shards: Box<[Mutex<HashSet<u64>>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    /// Cached total size, maintained on successful inserts so `len()`
+    /// does not take every shard lock.
+    size: AtomicUsize,
+}
+
+impl FingerprintCache {
+    /// Creates a cache with at least `shards` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        FingerprintCache {
+            shards: (0..count).map(|_| Mutex::new(HashSet::new())).collect(),
+            mask: count as u64 - 1,
+            size: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cache sized for `threads` worker threads (4 shards per thread
+    /// keeps the collision probability per lock acquisition low).
+    pub fn for_threads(threads: usize) -> Self {
+        FingerprintCache::new(threads.max(1) * 4)
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<HashSet<u64>> {
+        // Shard on the high bits: FNV-1a mixes them well, and the low
+        // bits then still select hash buckets inside the shard.
+        &self.shards[((fp >> 32) & self.mask) as usize]
+    }
+
+    /// Inserts the configuration, returning `true` if it was new.
+    pub fn insert(&self, key: &str) -> bool {
+        self.insert_fingerprint(fingerprint(key))
+    }
+
+    /// Inserts a precomputed fingerprint, returning `true` if new.
+    pub fn insert_fingerprint(&self, fp: u64) -> bool {
+        let new = self.shard(fp).lock().expect("shard lock").insert(fp);
+        if new {
+            self.size.fetch_add(1, Ordering::Relaxed);
+        }
+        new
+    }
+
+    /// Is the configuration already present?
+    pub fn contains(&self, key: &str) -> bool {
+        self.contains_fingerprint(fingerprint(key))
+    }
+
+    /// Is the fingerprint already present?
+    pub fn contains_fingerprint(&self, fp: u64) -> bool {
+        self.shard(fp).lock().expect("shard lock").contains(&fp)
+    }
+
+    /// Number of distinct configurations inserted.
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fingerprint(""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let cache = FingerprintCache::new(4);
+        assert!(cache.insert("x"));
+        assert!(!cache.insert("x"));
+        assert!(cache.insert("y"));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(FingerprintCache::new(0).shard_count(), 1);
+        assert_eq!(FingerprintCache::new(3).shard_count(), 4);
+        assert_eq!(FingerprintCache::new(8).shard_count(), 8);
+        assert_eq!(FingerprintCache::for_threads(3).shard_count(), 16);
+    }
+
+    #[test]
+    fn concurrent_inserts_count_once_each() {
+        let cache = FingerprintCache::for_threads(4);
+        let keys: Vec<String> = (0..2000).map(|i| format!("cfg-{i}")).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for key in &keys {
+                        cache.insert(key);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), keys.len());
+        assert!(keys.iter().all(|k| cache.contains(k)));
+    }
+}

@@ -16,7 +16,13 @@
 //! * [`sched`] — adversarial schedulers (round-robin, random, solo,
 //!   fixed, x-obstruction, crash).
 //! * [`explore`] — bounded exhaustive model checking: all interleavings
-//!   of small systems, solo/group termination checks.
+//!   of small systems, solo/group termination checks; sequential DFS and
+//!   a deterministic parallel frontier engine.
+//! * [`fingerprint`] — the sharded configuration-fingerprint cache used
+//!   by the parallel explorer and campaign runner.
+//! * [`campaign`] — seeded randomised campaign runner: many runs across
+//!   protocol families and scheduler mixes, fanned over cores, each run
+//!   replayable from its recorded seed.
 //! * [`history`] / [`linearizability`] — operation histories and a
 //!   Wing–Gong linearizability checker for implemented objects.
 //! * [`trace`] — per-process column diagrams and summaries of
@@ -52,8 +58,10 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod error;
 pub mod explore;
+pub mod fingerprint;
 pub mod history;
 pub mod linearizability;
 pub mod object;

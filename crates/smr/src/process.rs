@@ -57,7 +57,14 @@ impl Poised {
 }
 
 /// A deterministic process state machine.
-pub trait Process: fmt::Debug {
+///
+/// `Send + Sync` is required so configurations
+/// ([`crate::system::System`]) can migrate between — and frontier
+/// slices be shared by — worker threads of the parallel explorer and
+/// the campaign runner; process state is plain data (no interior
+/// mutability), so in practice every implementation satisfies both
+/// automatically.
+pub trait Process: fmt::Debug + Send + Sync {
     /// What the process is poised to do in its current state.
     fn poised(&self) -> Poised;
 
@@ -108,7 +115,7 @@ pub enum ProtocolStep {
 /// update or the output. The trait requires `Clone` because the
 /// revisionist simulation snapshots and rolls back protocol states when
 /// revising the past.
-pub trait SnapshotProtocol: Clone + fmt::Debug {
+pub trait SnapshotProtocol: Clone + fmt::Debug + Send + Sync {
     /// Handles the result of a scan: returns the update the process is
     /// now poised to perform, or its output.
     fn on_scan(&mut self, view: &[Value]) -> ProtocolStep;

@@ -192,11 +192,13 @@ pub struct Obstruction {
 impl Obstruction {
     /// Creates an x-obstruction adversary.
     ///
-    /// * `x` — maximum size of the eventually-isolated set.
+    /// * `x` — maximum size of the eventually-isolated set. `0` is
+    ///   clamped to `1` (an empty obstruction set could schedule
+    ///   nothing; the weakest meaningful adversary runs solo bursts).
     /// * `chaos_steps` — how many fully random steps precede the bursts.
     /// * `burst_len` — how many steps each isolated burst lasts.
     pub fn new(x: usize, chaos_steps: usize, burst_len: usize, seed: u64) -> Self {
-        assert!(x >= 1, "obstruction set must allow at least one process");
+        let x = x.max(1);
         Obstruction {
             rng: StdRng::seed_from_u64(seed),
             x,
@@ -394,6 +396,55 @@ mod tests {
         let mut sched = Obstruction::new(2, 10, 50, 7);
         sys.run(&mut sched, 100_000).unwrap();
         assert!(sys.all_terminated());
+    }
+
+    #[test]
+    fn quantum_larger_than_run_finishes_each_process_in_turn() {
+        // Quantum far above any process's total step count degenerates
+        // to run-to-completion, one process at a time, no panic.
+        let mut sys = system(3, 2);
+        sys.run(&mut Quantum::new(1_000_000), 10_000).unwrap();
+        assert!(sys.all_terminated());
+        let pids: Vec<usize> = sys.trace().iter().map(|e| e.pid.0).collect();
+        // Each process's steps form one contiguous block.
+        let mut blocks = vec![pids[0]];
+        for w in pids.windows(2) {
+            if w[1] != w[0] {
+                blocks.push(w[1]);
+            }
+        }
+        assert_eq!(blocks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn obstruction_with_x_zero_clamps_to_solo_bursts() {
+        // x = 0 would mean an empty isolated set; it is clamped to 1
+        // instead of panicking, and the schedule still terminates the
+        // system.
+        let mut sys = system(3, 3);
+        let mut sched = Obstruction::new(0, 5, 50, 11);
+        sys.run(&mut sched, 100_000).unwrap();
+        assert!(sys.all_terminated());
+    }
+
+    #[test]
+    fn obstruction_single_process_system() {
+        // One process: chaos and bursts must both keep picking it.
+        let mut sys = system(1, 4);
+        let mut sched = Obstruction::new(2, 3, 10, 5);
+        sys.run(&mut sched, 10_000).unwrap();
+        assert!(sys.all_terminated());
+    }
+
+    #[test]
+    fn crash_with_zero_budget_never_crashes() {
+        // max_crashes = 0 even with crash probability 1: the adversary
+        // is just a random scheduler and every process finishes.
+        let mut sys = system(4, 3);
+        let mut sched = Crash::new(0, 1.0, 9);
+        sys.run(&mut sched, 100_000).unwrap();
+        assert!(sys.all_terminated());
+        assert!(sched.crashed().is_empty());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property-based tests for the sharded fingerprint cache: under
+//! arbitrary interleavings of insert/contains across shards and
+//! threads, the cache must agree exactly with a reference `HashSet` —
+//! no configuration lost, none double-counted.
+
+use proptest::prelude::*;
+use rsim_smr::fingerprint::{fingerprint, FingerprintCache};
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn sequential_ops_match_reference_hashset(
+        keys in proptest::collection::vec(0u64..512, 1..200),
+        shards in 1usize..32,
+    ) {
+        let cache = FingerprintCache::new(shards);
+        let mut reference: HashSet<u64> = HashSet::new();
+        for key in &keys {
+            let rendered = format!("cfg-{key}");
+            // contains before insert must agree with the reference...
+            prop_assert_eq!(
+                cache.contains(&rendered),
+                reference.contains(&fingerprint(&rendered))
+            );
+            // ...and insert must report new/duplicate exactly as the
+            // reference does.
+            prop_assert_eq!(
+                cache.insert(&rendered),
+                reference.insert(fingerprint(&rendered))
+            );
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+        for key in &keys {
+            prop_assert!(cache.contains(&format!("cfg-{key}")));
+        }
+        prop_assert!(!cache.contains("never-inserted"));
+    }
+
+    #[test]
+    fn concurrent_inserts_match_reference_hashset(
+        keys in proptest::collection::vec(0u64..256, 1..300),
+        shards in 1usize..16,
+        threads in 2usize..6,
+    ) {
+        let cache = FingerprintCache::new(shards);
+        // Every thread races to insert every key: maximal contention on
+        // duplicates. The set must still match the reference exactly,
+        // and each distinct key must be counted exactly once.
+        let new_inserts = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let keys = &keys;
+                let new_inserts = &new_inserts;
+                scope.spawn(move || {
+                    // Each thread walks the keys from a different
+                    // offset so shard lock acquisition interleaves.
+                    for i in 0..keys.len() {
+                        let key = keys[(i + t * 7) % keys.len()];
+                        if cache.insert(&format!("cfg-{key}")) {
+                            new_inserts.fetch_add(
+                                1,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let reference: HashSet<u64> = keys
+            .iter()
+            .map(|key| fingerprint(&format!("cfg-{key}")))
+            .collect();
+        prop_assert_eq!(cache.len(), reference.len());
+        // Exactly one of the racing inserts per distinct key won.
+        prop_assert_eq!(new_inserts.into_inner(), reference.len());
+        for key in &keys {
+            prop_assert!(cache.contains(&format!("cfg-{key}")));
+        }
+    }
+
+    #[test]
+    fn shard_choice_is_invisible_to_membership(
+        keys in proptest::collection::btree_set(0u64..10_000, 1..64),
+    ) {
+        // The same key set inserted into caches with different shard
+        // counts yields identical membership and size.
+        let one = FingerprintCache::new(1);
+        let many = FingerprintCache::new(16);
+        for key in &keys {
+            one.insert(&format!("k{key}"));
+            many.insert(&format!("k{key}"));
+        }
+        prop_assert_eq!(one.len(), many.len());
+        prop_assert_eq!(one.len(), keys.len());
+        for key in &keys {
+            prop_assert_eq!(
+                one.contains(&format!("k{key}")),
+                many.contains(&format!("k{key}"))
+            );
+        }
+    }
+}

@@ -74,9 +74,9 @@ proptest! {
     fn batch_counts_are_monotone_and_additive(bs in batches()) {
         let (_, views) = apply(&bs);
         for w in views.windows(2) {
-            for pid in 0..2 {
-                let before = count_batches(&w[0][pid]);
-                let after = count_batches(&w[1][pid]);
+            for (before_view, after_view) in w[0].iter().zip(w[1].iter()) {
+                let before = count_batches(before_view);
+                let after = count_batches(after_view);
                 prop_assert!(after == before || after == before + 1);
             }
         }

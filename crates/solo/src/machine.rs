@@ -51,9 +51,11 @@ pub enum MachineResponse {
 /// `transitions` must return a nonempty, deterministic-ordered list
 /// (the determinization of Theorem 35 picks "the first state", so the
 /// order is part of the protocol's specification).
-pub trait NondetMachine: fmt::Debug {
-    /// The machine's state type.
-    type State: Clone + Eq + Ord + Hash + fmt::Debug;
+pub trait NondetMachine: fmt::Debug + Send + Sync {
+    /// The machine's state type (`Send + Sync` so determinized
+    /// processes satisfy the [`rsim_smr::process::Process`] thread
+    /// bounds).
+    type State: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync;
 
     /// Number of components of the shared object.
     fn components(&self) -> usize;

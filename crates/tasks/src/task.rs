@@ -32,7 +32,10 @@ impl Error for TaskViolation {}
 /// Implementations must be insensitive to multiplicity and order
 /// (colorlessness); the provided [`ColorlessTask::validate`] helper
 /// deduplicates before calling [`ColorlessTask::validate_sets`].
-pub trait ColorlessTask: fmt::Debug {
+///
+/// `Send + Sync` so one task can validate runs on many sweep/campaign
+/// worker threads; tasks are plain descriptions, never mutable state.
+pub trait ColorlessTask: fmt::Debug + Send + Sync {
     /// The task's name (for reporting).
     fn name(&self) -> String;
 

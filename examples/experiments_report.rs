@@ -5,8 +5,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use revisionist_simulations::core::bounds;
-use revisionist_simulations::core::replay;
 use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
+use revisionist_simulations::core::stats;
 use revisionist_simulations::protocols::approx::{approx_system, rounds_for_epsilon};
 use revisionist_simulations::protocols::racing::{racing_system, PhasedRacing};
 use revisionist_simulations::smr::explore::{Explorer, Limits};
@@ -109,45 +109,39 @@ fn e4_e5_simulation_and_replay() {
     for (n, m, f, d) in
         [(4usize, 2usize, 2usize, 0usize), (6, 2, 3, 0), (6, 3, 2, 0), (5, 2, 3, 1)]
     {
-        let mut max_bus = vec![0usize; f];
-        let mut max_h = 0usize;
-        let mut replay_ok = 0;
         let runs = 50u64;
-        for seed in 0..runs {
-            let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
-            let config = SimulationConfig::new(n, m, f, d);
-            let mut sim = Simulation::new(config, inputs, move |i| {
-                PhasedRacing::new(m, Value::Int(i as i64 + 1))
-            })
-            .unwrap();
-            sim.run_random(seed, 20_000_000).unwrap();
-            assert!(sim.all_terminated());
-            max_h = max_h.max(sim.real().log().len());
-            for i in 0..f {
-                max_bus[i] = max_bus[i].max(sim.op_counts(i).1);
-            }
-            let report = replay::validate(&sim, move |i| {
-                PhasedRacing::new(m, Value::Int(i as i64 + 1))
-            })
-            .unwrap();
-            if report.is_ok() {
-                replay_ok += 1;
-            }
-        }
+        let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
+        let config = SimulationConfig::new(n, m, f, d);
+        // The seed grid fans out across all cores; the aggregate is
+        // identical to the sequential sweep.
+        let point = stats::sweep_parallel(
+            config,
+            &inputs,
+            move |i| PhasedRacing::new(m, Value::Int(i as i64 + 1)),
+            &consensus(),
+            0..runs,
+            20_000_000,
+            0,
+        )
+        .unwrap();
+        assert_eq!(point.wait_free, point.runs);
         let budgets: Vec<String> = (0..f)
             .map(|i| {
                 if i < f - d {
-                    format!("{}≤{}", max_bus[i], bounds::b_bound(m, i + 1))
+                    format!("{}≤{}", point.max_block_updates[i], bounds::b_bound(m, i + 1))
                 } else {
                     // Direct simulators' Block-Update counts track Π's
                     // step complexity, not b(i).
-                    format!("{} (direct)", max_bus[i])
+                    format!("{} (direct)", point.max_block_updates[i])
                 }
             })
             .collect();
         println!(
-            "- n={n} m={m} f={f} d={d}: {runs}/{runs} wait-free, replay \
-             {replay_ok}/{runs}; max H-steps {max_h}; max BU per sim vs b(i): [{}]",
+            "- n={n} m={m} f={f} d={d}: {}/{runs} wait-free, replay \
+             {}/{runs}; max H-steps {}; max BU per sim vs b(i): [{}]",
+            point.wait_free,
+            point.replay_ok,
+            point.max_h_steps,
             budgets.join(", ")
         );
     }
@@ -289,8 +283,9 @@ fn e8_solo_conversion() {
         &[Value::Int(1), Value::Int(2)],
         100_000,
     );
-    let explorer = Explorer::new(Limits { max_depth: 12, max_configs: 60_000 });
-    let report = explorer.check_solo_termination(&sys, 50).unwrap();
+    let explorer = Explorer::new(Limits { max_depth: 12, max_configs: 60_000 })
+        .with_threads(0);
+    let report = explorer.check_solo_termination_parallel(&sys, 50).unwrap();
     println!(
         "- Determinized randomized racing (m=2, 2 procs): solo termination from all \
          {} reachable configs: {}",

@@ -78,8 +78,9 @@ fn main() {
         ("racing m=2", racing_system(2, &inputs), 60usize),
         ("ladder R=4", ladder_system(&inputs, 4), 80),
     ] {
-        let explorer = Explorer::new(Limits { max_depth: 18, max_configs: 150_000 });
-        let report = explorer.check_solo_termination(&sys, budget).unwrap();
+        let explorer = Explorer::new(Limits { max_depth: 18, max_configs: 150_000 })
+            .with_threads(0);
+        let report = explorer.check_solo_termination_parallel(&sys, budget).unwrap();
         println!(
             "{name}: solo termination from {} reachable configs: {}{}",
             report.configs_visited,

@@ -33,7 +33,7 @@ fn main() {
             .iter()
             .map(|n| {
                 let o: Vec<String> =
-                    n.outputs.iter().map(|v| fmt_value(v)).collect();
+                    n.outputs.iter().map(fmt_value).collect();
                 format!("({})", o.join(","))
             })
             .collect();

@@ -1,0 +1,26 @@
+# Developer task runner. `just ci` mirrors .github/workflows/ci.yml.
+
+# Build, test, lint — the full gate.
+ci: build test clippy
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q --workspace
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Quick seeded campaign: 5 schedulers x 200 seeds over phased racing.
+smoke-campaign:
+    cargo run --release -- campaign --procs 3 --runs 200 \
+        --sched rr,random,quantum:2,obstruction:2,crash:1 --json
+
+# Per-experiment Criterion benches (CRITERION_SAMPLES trims sample count).
+bench:
+    cargo bench -p rsim-bench
+
+# Regenerate the numbers in EXPERIMENTS.md.
+report:
+    cargo run --release --example experiments_report

@@ -1,0 +1,233 @@
+//! Offline shim for the subset of `criterion` 0.5 used by the bench
+//! crate: `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Each benchmark is timed as a plain wall-clock mean over
+//! `sample_size` iterations (after one warm-up call) and printed as a
+//! single line. There are no statistics, outlier analysis, plots, or
+//! CLI filters. The `CRITERION_SAMPLES` environment variable overrides
+//! the per-benchmark iteration count (CI smoke runs set it to 1).
+
+pub use std::hint::black_box;
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    total_ns: &'a mut u128,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `sample` iterations of `routine` (plus one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        *self.total_ns += start.elapsed().as_nanos();
+        *self.iters += self.samples as u64;
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn report(path: &str, total_ns: u128, iters: u64) {
+    if iters == 0 {
+        println!("{path:<56} (not measured)");
+        return;
+    }
+    let mean = total_ns as f64 / iters as f64;
+    let (value, unit) = if mean >= 1e9 {
+        (mean / 1e9, "s ")
+    } else if mean >= 1e6 {
+        (mean / 1e6, "ms")
+    } else if mean >= 1e3 {
+        (mean / 1e3, "µs")
+    } else {
+        (mean, "ns")
+    };
+    println!("{path:<56} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples(n);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (mut total_ns, mut iters) = (0u128, 0u64);
+        routine(&mut Bencher {
+            samples: self.samples,
+            total_ns: &mut total_ns,
+            iters: &mut iters,
+        });
+        report(&format!("{}/{}", self.name, id.id), total_ns, iters);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (mut total_ns, mut iters) = (0u128, 0u64);
+        routine(
+            &mut Bencher {
+                samples: self.samples,
+                total_ns: &mut total_ns,
+                iters: &mut iters,
+            },
+            input,
+        );
+        report(&format!("{}/{}", self.name, id.id), total_ns, iters);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: env_samples(10),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (mut total_ns, mut iters) = (0u128, 0u64);
+        let samples = env_samples(10);
+        routine(&mut Bencher {
+            samples,
+            total_ns: &mut total_ns,
+            iters: &mut iters,
+        });
+        report(name, total_ns, iters);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let (mut total_ns, mut iters) = (0u128, 0u64);
+        let mut b = Bencher { samples: 5, total_ns: &mut total_ns, iters: &mut iters };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(iters, 5);
+        assert_eq!(count, 6); // warm-up + samples
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3usize, |b, &x| {
+            b.iter(|| ran += x)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The miniature test runner: per-case deterministic RNG and config.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed — the case is discarded.
+    Reject(String),
+    /// `prop_assert!` failed — the property is falsified.
+    Fail(String),
+}
+
+/// Runner configuration (upstream `ProptestConfig`). Only `cases` is
+/// supported.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override (used by CI smoke runs).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Deterministic per-case RNG: seeded from the property name and case
+/// index so each property sees a stable, independent input stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of property `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+        }
+    }
+
+    /// Uniform draw in `[0, span)`; `span` must be `1..=2^64`.
+    pub fn draw(&mut self, span: u128) -> u128 {
+        assert!(span >= 1, "empty draw span");
+        if span >= 1 << 64 {
+            return u128::from(self.rng.next_u64());
+        }
+        u128::from(self.rng.gen_range(0..span as u64))
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_case_same_stream() {
+        let mut a = TestRng::for_case("p", 3);
+        let mut b = TestRng::for_case("p", 3);
+        for _ in 0..64 {
+            assert_eq!(a.draw(1000), b.draw(1000));
+        }
+    }
+
+    #[test]
+    fn cases_get_distinct_streams() {
+        let mut a = TestRng::for_case("p", 0);
+        let mut b = TestRng::for_case("p", 1);
+        let same = (0..32).filter(|_| a.draw(1 << 40) == b.draw(1 << 40)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn with_cases_sets_count() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+    }
+}

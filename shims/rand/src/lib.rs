@@ -1,0 +1,235 @@
+//! Offline shim for the subset of `rand` 0.8 used by this workspace.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a tiny, self-contained replacement: [`rngs::StdRng`] is an
+//! xoshiro256++ generator seeded through SplitMix64 (the standard
+//! seeding recipe), and [`Rng`] provides `gen_range` over integer
+//! ranges plus `gen_bool`. Runs are deterministic per seed, which is
+//! all the repository relies on — schedulers, sweeps, and campaigns
+//! only need reproducibility, not any particular stream.
+//!
+//! The stream differs from upstream `rand`'s `StdRng` (ChaCha12), so
+//! seed-indexed *outcomes* differ from a build against crates.io; every
+//! test in the repo treats seeds as opaque reproducibility handles.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod sealed {
+    /// SplitMix64: expands a 64-bit seed into a well-mixed stream; used
+    /// only to initialise the xoshiro state.
+    pub fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly (upstream's
+/// `SampleUniform` analogue). The `i128` round-trip covers every
+/// primitive integer type up to 64 bits.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows back from `i128` (always in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be drawn from uniformly by [`Rng::gen_range`].
+/// Mirrors upstream's `SampleRange<T>` shape — a single generic impl —
+/// so the element type is inferred from the call site
+/// (`rng.gen_range(0..2)` is `usize` when the result is used as one).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample using `next` as the word source.
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        let draw = widening_draw((hi - lo) as u128, next);
+        T::from_i128(lo + draw as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        let draw = widening_draw((hi - lo) as u128 + 1, next);
+        T::from_i128(lo + draw as i128)
+    }
+}
+
+/// Uniform draw in `[0, span)` by rejection sampling 64-bit words
+/// (span 0 means the full 2^64 range).
+fn widening_draw(span: u128, next: &mut dyn FnMut() -> u64) -> u128 {
+    debug_assert!(span > 0 && span <= 1 << 64);
+    if span == 1 << 64 {
+        return next() as u128;
+    }
+    let span64 = span as u64;
+    // Largest multiple of span that fits in u64, for unbiased rejection.
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let word = next();
+        if word <= zone {
+            return (word % span64) as u128;
+        }
+    }
+}
+
+/// The user-facing generator trait: the subset of `rand::Rng` the
+/// workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 bits of the word give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{sealed::splitmix64, Rng, SeedableRng};
+
+    /// xoshiro256++ generator — the shim's stand-in for `rand`'s
+    /// `StdRng`. Fast, 256-bit state, deterministic per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden state; SplitMix64
+            // cannot produce four zero words from any seed, but guard
+            // anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0usize..7);
+            assert!(x < 7);
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -7,8 +7,14 @@
 //! * `simulate --n N --m M --f F [--d D] [--seed S] [--trace]` — run
 //!   one revisionist simulation over phased racing and report
 //!   everything: outputs, budgets, revisions, replay validation.
-//! * `sweep --n N --m M --f F [--runs R]` — batch statistics (the
-//!   Theorem 21 contradiction frequency among them).
+//! * `sweep --n N --m M --f F [--runs R] [--threads T]` — batch
+//!   statistics (the Theorem 21 contradiction frequency among them),
+//!   fanned across cores with a deterministic aggregate.
+//! * `campaign --protocol P --procs N [--sched S1,S2,...] [--runs R]
+//!   [--budget B] [--seed-start S] [--threads T] [--json]` — a seeded
+//!   randomised campaign over a protocol family and scheduler mix;
+//!   every failure records its seed, and `--seed S --sched SPEC`
+//!   replays a single run exactly.
 //! * `aug --f F --m M [--ops K] [--seed S]` — drive the augmented
 //!   snapshot under a random contended schedule and specification-check
 //!   the run.
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
         "bounds" => cmd_bounds(&args[1..]),
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
+        "campaign" => cmd_campaign(&flags),
         "aug" => cmd_aug(&flags),
         "audit" => cmd_audit(&flags),
         "report" => {
@@ -66,7 +73,11 @@ fn print_usage() {
          USAGE:\n\
          \x20 revisionist-simulations bounds [N K X]\n\
          \x20 revisionist-simulations simulate --n N --m M --f F [--d D] [--seed S] [--trace]\n\
-         \x20 revisionist-simulations sweep --n N --m M --f F [--runs R]\n\
+         \x20 revisionist-simulations sweep --n N --m M --f F [--runs R] [--threads T]\n\
+         \x20 revisionist-simulations campaign [--protocol racing|contrarian|ladder]\n\
+         \x20\x20\x20\x20 [--procs N] [--m M] [--sched rr,random,quantum:2,obstruction:1,crash:1]\n\
+         \x20\x20\x20\x20 [--runs R] [--budget B] [--seed-start S] [--threads T] [--json]\n\
+         \x20\x20\x20\x20 [--seed S]  (replay one run with the first --sched spec)\n\
          \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S]\n\
          \x20 revisionist-simulations audit --n N --k K --x X --m M [--schedules S]\n\
          \x20 revisionist-simulations report"
@@ -278,14 +289,16 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("infeasible partition");
         return ExitCode::FAILURE;
     }
+    let threads = get(flags, "threads", 0);
     let inputs: Vec<Value> = (1..=f as i64).map(Value::Int).collect();
-    let point = stats::sweep(
+    let point = stats::sweep_parallel(
         config,
         &inputs,
         move |i| PhasedRacing::new(m, Value::Int(i as i64 + 1)),
         &consensus(),
         0..runs,
         50_000_000,
+        threads,
     )
     .expect("sweep");
     println!("  n   m   f | runs   wf replay  viol |    maxH    meanH | maxBU≤b(i)");
@@ -296,6 +309,150 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
         point.revisions,
         point.hidden_steps
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::protocols::contrarian::contrarian_system;
+    use revisionist_simulations::protocols::ladder::ladder_system;
+    use revisionist_simulations::protocols::racing::racing_system;
+    use revisionist_simulations::smr::campaign::{
+        replay_run, run_campaign, CampaignConfig, SchedulerSpec,
+    };
+    use revisionist_simulations::smr::system::System;
+
+    let protocol = flags.get("protocol").map_or("racing", String::as_str);
+    let procs = get(flags, "procs", 3);
+    let m = get(flags, "m", 2);
+    let rounds = get(flags, "rounds", 3);
+    let specs: Vec<SchedulerSpec> = {
+        let raw = flags.get("sched").map_or("random", String::as_str);
+        let mut parsed = Vec::new();
+        for part in raw.split(',').filter(|p| !p.is_empty()) {
+            match SchedulerSpec::parse(part) {
+                Ok(spec) => parsed.push(spec),
+                Err(e) => {
+                    eprintln!("bad --sched: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        parsed
+    };
+    if specs.is_empty() {
+        eprintln!("--sched needs at least one scheduler spec");
+        return ExitCode::FAILURE;
+    }
+
+    let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
+    let factory: Box<dyn Fn(u64) -> System + Sync> = match protocol {
+        "racing" => {
+            let inputs = inputs.clone();
+            Box::new(move |_seed| racing_system(m, &inputs))
+        }
+        "ladder" => {
+            let inputs = inputs.clone();
+            Box::new(move |_seed| ladder_system(&inputs, rounds))
+        }
+        "contrarian" => Box::new(move |seed| {
+            // Input bits vary with the seed so the campaign covers all
+            // 2^procs input assignments (deterministically per seed).
+            let bits: Vec<bool> = (0..procs).map(|i| (seed >> i) & 1 == 1).collect();
+            contrarian_system(&bits)
+        }),
+        other => {
+            eprintln!("unknown --protocol {other} (racing, contrarian, ladder)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Terminated runs of the agreement protocols must satisfy
+    // consensus; a violation is the observable Theorem 21 artifact and
+    // is recorded with its replayable seed. The contrarian family has
+    // no output task — there the campaign measures termination only.
+    let validate_consensus = protocol != "contrarian";
+    let check = move |sys: &System| -> Option<String> {
+        if !validate_consensus || !sys.all_terminated() {
+            return None;
+        }
+        let outs: Vec<Value> = sys.outputs().into_iter().flatten().collect();
+        consensus().validate(&inputs, &outs).err().map(|e| e.to_string())
+    };
+
+    let budget = get(flags, "budget", 2_000);
+    if let Some(seed) = flags.get("seed") {
+        let Ok(seed) = seed.parse::<u64>() else {
+            eprintln!("bad --seed");
+            return ExitCode::FAILURE;
+        };
+        let record = replay_run(&specs[0], seed, budget, &factory, &check);
+        println!(
+            "replay {} seed {}: {} steps, {}",
+            record.scheduler,
+            record.seed,
+            record.steps,
+            if record.terminated { "terminated" } else { "not terminated" }
+        );
+        match (&record.violation, &record.error) {
+            (Some(v), _) => println!("  VIOLATION: {v}"),
+            (None, Some(e)) => println!("  ERROR: {e}"),
+            (None, None) => println!("  clean"),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = CampaignConfig {
+        schedulers: specs,
+        seed_start: get(flags, "seed-start", 0) as u64,
+        runs: get(flags, "runs", 100),
+        budget,
+        threads: get(flags, "threads", 0),
+    };
+    let report = run_campaign(&config, factory, &check);
+    if flags.contains_key("json") {
+        print!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "campaign: protocol={protocol} procs={procs} schedulers=[{}] \
+         seeds={}..{}",
+        config
+            .schedulers
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        config.seed_start,
+        config.seed_start + config.runs as u64,
+    );
+    println!(
+        "  {} runs: {} terminated, {} distinct configs, {} total steps",
+        report.total_runs,
+        report.terminated_runs,
+        report.distinct_configs,
+        report.total_steps,
+    );
+    for tally in &report.per_scheduler {
+        println!(
+            "  {:<14} {} runs, {} terminated, {} failures",
+            tally.scheduler, tally.runs, tally.terminated, tally.failures
+        );
+    }
+    if report.failures.is_empty() {
+        println!("  no violations or errors");
+    } else {
+        println!("  {} failing runs (each replayable):", report.failures.len());
+        for r in report.failures.iter().take(10) {
+            println!(
+                "    --sched {} --seed {}: {}",
+                r.scheduler,
+                r.seed,
+                r.violation.as_deref().or(r.error.as_deref()).unwrap_or("?")
+            );
+        }
+        if report.failures.len() > 10 {
+            println!("    ... and {} more", report.failures.len() - 10);
+        }
+    }
     ExitCode::SUCCESS
 }
 

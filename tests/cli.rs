@@ -48,9 +48,11 @@ fn simulate_runs_and_replays() {
 }
 
 #[test]
-fn simulate_seed_14_extracts_the_violation() {
+fn simulate_seed_4_extracts_the_violation() {
+    // Seed values index the vendored StdRng stream (shims/rand); seed 4
+    // is a schedule whose extracted outputs violate consensus.
     let (stdout, _, ok) =
-        run(&["simulate", "--n", "4", "--m", "2", "--f", "2", "--seed", "14"]);
+        run(&["simulate", "--n", "4", "--m", "2", "--f", "2", "--seed", "4"]);
     assert!(ok);
     assert!(stdout.contains("EXTRACTED VIOLATION"));
 }

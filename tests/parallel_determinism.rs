@@ -1,0 +1,129 @@
+//! Determinism regression tests for the parallel exploration engine
+//! and the campaign runner: every report field must be bit-for-bit
+//! identical at 1, 2, and N worker threads.
+
+use revisionist_simulations::protocols::contrarian::contrarian_system;
+use revisionist_simulations::protocols::racing::racing_system;
+use revisionist_simulations::smr::campaign::{
+    run_campaign, CampaignConfig, SchedulerSpec,
+};
+use revisionist_simulations::smr::explore::{Explorer, ExploreReport, Limits};
+use revisionist_simulations::smr::process::ProcessId;
+use revisionist_simulations::smr::system::System;
+use revisionist_simulations::smr::value::Value;
+
+fn racing3() -> System {
+    racing_system(2, &[Value::Int(1), Value::Int(2), Value::Int(3)])
+}
+
+fn assert_same_report(a: &ExploreReport, b: &ExploreReport, label: &str) {
+    assert_eq!(a.configs_visited, b.configs_visited, "{label}: configs_visited");
+    assert_eq!(a.terminals, b.terminals, "{label}: terminals");
+    assert_eq!(a.truncated, b.truncated, "{label}: truncated");
+    assert_eq!(a.violation, b.violation, "{label}: violation");
+}
+
+#[test]
+fn explorer_reports_identical_across_thread_counts() {
+    // The acceptance scenario: a racing 3-process system explored to
+    // depth 64 must produce identical report fields at 1 and N threads.
+    // The state space exceeds the config budget, so deterministic
+    // truncation is exercised too.
+    let limits = Limits { max_depth: 64, max_configs: 20_000 };
+    let base = Explorer::new(limits)
+        .with_threads(1)
+        .explore_parallel(&racing3(), &|_| None)
+        .unwrap();
+    assert!(base.configs_visited > 100, "non-trivial state space");
+    assert!(base.terminals > 0);
+    for threads in [2, 4, 0] {
+        let report = Explorer::new(limits)
+            .with_threads(threads)
+            .explore_parallel(&racing3(), &|_| None)
+            .unwrap();
+        assert_same_report(&base, &report, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn explorer_violation_schedule_is_canonical_across_thread_counts() {
+    // Flag any configuration where process 2 has terminated; many
+    // schedules reach one, so the reported (canonically first) schedule
+    // is a real tie-break test across thread counts.
+    let limits = Limits { max_depth: 64, max_configs: 20_000 };
+    let check = |sys: &System| {
+        sys.output(ProcessId(2)).map(|v| format!("p2 decided {v}"))
+    };
+    let base = Explorer::new(limits)
+        .with_threads(1)
+        .explore_parallel(&racing3(), &check)
+        .unwrap();
+    let (schedule, _) = base.violation.clone().expect("p2 can decide");
+    assert!(!schedule.is_empty());
+    for threads in [2, 4, 0] {
+        let report = Explorer::new(limits)
+            .with_threads(threads)
+            .explore_parallel(&racing3(), &check)
+            .unwrap();
+        assert_same_report(&base, &report, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn solo_termination_check_identical_across_thread_counts() {
+    let limits = Limits { max_depth: 8, max_configs: 5_000 };
+    let base = Explorer::new(limits)
+        .with_threads(1)
+        .check_solo_termination_parallel(&racing3(), 60)
+        .unwrap();
+    let seq = Explorer::new(limits).check_solo_termination(&racing3(), 60).unwrap();
+    assert_eq!(base.is_clean(), seq.is_clean());
+    for threads in [3, 0] {
+        let report = Explorer::new(limits)
+            .with_threads(threads)
+            .check_solo_termination_parallel(&racing3(), 60)
+            .unwrap();
+        assert_same_report(&base, &report, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn fixed_seed_campaign_identical_across_thread_counts() {
+    let mk = |threads: usize| CampaignConfig {
+        schedulers: vec![
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::Random,
+            SchedulerSpec::Obstruction { x: 1, chaos_steps: 16, burst_len: 32 },
+            SchedulerSpec::Crash { max_crashes: 1, probability: 0.1 },
+        ],
+        seed_start: 3,
+        runs: 30,
+        budget: 1_500,
+        threads,
+    };
+    let factory = |seed: u64| {
+        let bits: Vec<bool> = (0..3).map(|i| (seed >> i) & 1 == 1).collect();
+        contrarian_system(&bits)
+    };
+    let base = run_campaign(&mk(1), factory, &|_| None);
+    for threads in [2, 8, 0] {
+        let report = run_campaign(&mk(threads), factory, &|_| None);
+        assert_eq!(report.total_runs, base.total_runs, "threads={threads}");
+        assert_eq!(report.terminated_runs, base.terminated_runs);
+        assert_eq!(report.distinct_configs, base.distinct_configs);
+        assert_eq!(report.total_steps, base.total_steps);
+        assert_eq!(report.failures.len(), base.failures.len());
+        for (a, b) in report.failures.iter().zip(&base.failures) {
+            assert_eq!(a.scheduler, b.scheduler);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.violation, b.violation);
+        }
+        for (a, b) in report.per_scheduler.iter().zip(&base.per_scheduler) {
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.terminated, b.terminated);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.total_steps, b.total_steps);
+        }
+    }
+}
