@@ -1,0 +1,84 @@
+//! Temporary review repro: are terminals/truncated deterministic across
+//! thread counts when a violation is reported?
+
+use revisionist_simulations::protocols::racing::racing_system;
+use revisionist_simulations::smr::explore::{Explorer, Limits};
+use revisionist_simulations::smr::process::ProcessId;
+use revisionist_simulations::smr::system::System;
+use revisionist_simulations::smr::value::Value;
+
+fn racing3() -> System {
+    racing_system(2, &[Value::Int(1), Value::Int(2), Value::Int(3)])
+}
+
+#[test]
+fn violation_level_counts_across_threads() {
+    let limits = Limits { max_depth: 64, max_configs: 20_000 };
+    let mut mismatches = Vec::new();
+    for (name, check) in [
+        (
+            "p0-decided-1-terminal",
+            Box::new(|sys: &System| -> Option<String> {
+                if sys.all_terminated() && sys.output(ProcessId(0)) == Some(Value::Int(1)) {
+                    return Some("v".into());
+                }
+                None
+            }) as Box<dyn Fn(&System) -> Option<String> + Sync>,
+        ),
+        (
+            "p2-decided-any",
+            Box::new(|sys: &System| -> Option<String> {
+                sys.output(ProcessId(2)).map(|_| "v".into())
+            }),
+        ),
+        (
+            "p0-decided-any",
+            Box::new(|sys: &System| -> Option<String> {
+                sys.output(ProcessId(0)).map(|_| "v".into())
+            }),
+        ),
+        (
+            "p1-decided-2",
+            Box::new(|sys: &System| -> Option<String> {
+                (sys.output(ProcessId(1)) == Some(Value::Int(2))).then(|| "v".into())
+            }),
+        ),
+        (
+            "any-terminal",
+            Box::new(|sys: &System| -> Option<String> {
+                sys.all_terminated().then(|| "v".into())
+            }),
+        ),
+    ] {
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 3, 4, 8, 16, 32] {
+            let r = Explorer::new(limits)
+                .with_threads(threads)
+                .explore_parallel(&racing3(), &*check)
+                .unwrap();
+            reports.push((threads, r));
+        }
+        let (_, base) = reports[0].clone();
+        for (threads, r) in &reports[1..] {
+            if r.terminals != base.terminals
+                || r.configs_visited != base.configs_visited
+                || r.truncated != base.truncated
+                || r.violation != base.violation
+            {
+                mismatches.push(format!(
+                    "{name} threads={threads}: terminals {} vs {}, visited {} vs {}, truncated {} vs {}",
+                    r.terminals, base.terminals,
+                    r.configs_visited, base.configs_visited,
+                    r.truncated, base.truncated,
+                ));
+            }
+        }
+        eprintln!(
+            "{name}: base terminals={} visited={} viol_len={:?}",
+            base.terminals,
+            base.configs_visited,
+            base.violation.as_ref().map(|(s, _)| s.len())
+        );
+    }
+    assert!(mismatches.is_empty(), "MISMATCHES:\n{}", mismatches.join("\n"));
+}
