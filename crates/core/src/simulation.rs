@@ -62,6 +62,7 @@ pub struct Simulation<P> {
     real: RealSystem,
     sims: Vec<Sim<P>>,
     in_flight: Vec<bool>,
+    crashed: Vec<bool>,
     inputs: Vec<Value>,
 }
 
@@ -111,6 +112,7 @@ impl<P: SnapshotProtocol> Simulation<P> {
             real: RealSystem::new(config.f, config.m),
             sims,
             in_flight: vec![false; config.f],
+            crashed: vec![false; config.f],
             inputs,
             config,
         })
@@ -147,6 +149,32 @@ impl<P: SnapshotProtocol> Simulation<P> {
     /// Have all simulators terminated?
     pub fn all_terminated(&self) -> bool {
         (0..self.config.f).all(|i| self.output(i).is_some())
+    }
+
+    /// Crash-stops simulator `i`: it takes no further H-steps, exactly
+    /// like a crashed real process in the paper's model (§2). An
+    /// operation left in flight stays incomplete in `H` — the augmented
+    /// snapshot is non-blocking, so survivors are never stuck behind it.
+    pub fn crash(&mut self, i: usize) {
+        self.crashed[i] = true;
+    }
+
+    /// Has simulator `i` crash-stopped?
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Number of crash-stopped simulators.
+    pub fn crash_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// Have all non-crashed simulators terminated? This is the
+    /// termination condition of the crash-tolerant runs: the paper's
+    /// simulation promises outputs from the survivors only.
+    pub fn survivors_terminated(&self) -> bool {
+        (0..self.config.f)
+            .all(|i| self.crashed[i] || self.output(i).is_some())
     }
 
     /// The covering simulator `i` (panics if `i` is direct).
@@ -196,6 +224,9 @@ impl<P: SnapshotProtocol> Simulation<P> {
     /// Propagates a failed local simulation (protocol not
     /// obstruction-free within the solo budget).
     pub fn step(&mut self, i: usize) -> Result<bool, ModelError> {
+        if self.crashed[i] {
+            return Ok(false);
+        }
         if self.output(i).is_some() && !self.in_flight[i] {
             return Ok(false);
         }
@@ -231,7 +262,7 @@ impl<P: SnapshotProtocol> Simulation<P> {
     pub fn run_round_robin(&mut self, max_h_steps: usize) -> Result<usize, ModelError> {
         let mut steps = 0;
         let mut made_progress = true;
-        while steps < max_h_steps && made_progress && !self.all_terminated() {
+        while steps < max_h_steps && made_progress && !self.survivors_terminated() {
             made_progress = false;
             for i in 0..self.config.f {
                 if steps >= max_h_steps {
@@ -254,9 +285,11 @@ impl<P: SnapshotProtocol> Simulation<P> {
     pub fn run_random(&mut self, seed: u64, max_h_steps: usize) -> Result<usize, ModelError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut steps = 0;
-        while steps < max_h_steps && !self.all_terminated() {
+        while steps < max_h_steps && !self.survivors_terminated() {
             let live: Vec<usize> = (0..self.config.f)
-                .filter(|&i| self.output(i).is_none() || self.in_flight[i])
+                .filter(|&i| {
+                    !self.crashed[i] && (self.output(i).is_none() || self.in_flight[i])
+                })
                 .collect();
             if live.is_empty() {
                 break;
@@ -405,6 +438,74 @@ mod tests {
         }
         assert_eq!(sim.output(0), Some(&Value::Int(1)));
         assert_eq!(sim.output(1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn survivor_terminates_despite_a_mid_operation_crash() {
+        // §4: the simulation tolerates up to f − 1 crashes. Crash
+        // simulator 0 at every point of its first operation in turn;
+        // simulator 1 must still terminate with a valid output.
+        for crash_after in 0..6 {
+            let mut sim = consensus_sim(4, 2, &[1, 2]);
+            for _ in 0..crash_after {
+                sim.step(0).unwrap();
+            }
+            sim.crash(0);
+            assert!(sim.is_crashed(0));
+            assert_eq!(sim.crash_count(), 1);
+            sim.run_round_robin(2_000_000).unwrap();
+            assert!(
+                sim.survivors_terminated(),
+                "crash_after {crash_after}: survivor blocked"
+            );
+            assert!(!sim.all_terminated(), "the crashed simulator never outputs");
+            let out = sim.output(1).cloned().expect("survivor output");
+            assert!(
+                out == Value::Int(1) || out == Value::Int(2),
+                "crash_after {crash_after}: invalid output {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_simulators_take_no_further_h_steps() {
+        let mut sim = consensus_sim(4, 2, &[1, 2]);
+        for _ in 0..3 {
+            sim.step(0).unwrap();
+        }
+        sim.crash(0);
+        let victim_steps =
+            sim.real().log().iter().filter(|e| e.pid == 0).count();
+        assert!(!sim.step(0).unwrap(), "a crashed simulator refuses to step");
+        sim.run_round_robin(2_000_000).unwrap();
+        assert_eq!(
+            sim.real().log().iter().filter(|e| e.pid == 0).count(),
+            victim_steps,
+            "the crash must freeze the victim's H-step count"
+        );
+    }
+
+    #[test]
+    fn f_minus_1_crashes_leave_one_survivor_running() {
+        // Three simulators, two crashes (= f − 1): the lone survivor
+        // still terminates under both schedules.
+        let n = 5;
+        let m = 2;
+        let inputs = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let config = SimulationConfig::new(n, m, 3, 1);
+        let mut sim = Simulation::new(config, inputs, move |i| {
+            PhasedRacing::new(m, Value::Int([1, 2, 3][i]))
+        })
+        .unwrap();
+        sim.step(0).unwrap();
+        sim.crash(0);
+        sim.step(2).unwrap();
+        sim.step(2).unwrap();
+        sim.crash(2);
+        assert_eq!(sim.crash_count(), 2);
+        sim.run_round_robin(2_000_000).unwrap();
+        assert!(sim.survivors_terminated());
+        assert!(sim.output(1).is_some());
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //! thread interleaving. A campaign report is identical at any thread
 //! count.
 
+use crate::error::ModelError;
+use crate::fault::{FaultPlan, FaultScheduler};
 use crate::fingerprint::FingerprintCache;
+use crate::json::Json;
+use crate::process::ProcessId;
 use crate::sched::{Crash, Obstruction, Quantum, Random, RoundRobin, Scheduler};
 use crate::system::System;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A buildable scheduler description — the "which adversary" half of a
 /// run's identity (the seed is the other half).
@@ -61,16 +68,20 @@ impl SchedulerSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformed spec.
-    pub fn parse(spec: &str) -> Result<SchedulerSpec, String> {
+    /// Returns [`ModelError::BadSpec`] naming the malformed spec.
+    pub fn parse(spec: &str) -> Result<SchedulerSpec, ModelError> {
+        let bad = |reason: String| ModelError::BadSpec {
+            spec: spec.to_string(),
+            reason,
+        };
         let (head, arg) = match spec.split_once(':') {
             Some((h, a)) => (h, Some(a)),
             None => (spec, None),
         };
-        let numeric = |what: &str| -> Result<usize, String> {
-            arg.ok_or_else(|| format!("{head} needs `:<{what}>`"))?
+        let numeric = |what: &str| -> Result<usize, ModelError> {
+            arg.ok_or_else(|| bad(format!("{head} needs `:<{what}>`")))?
                 .parse::<usize>()
-                .map_err(|_| format!("bad {what} in scheduler spec `{spec}`"))
+                .map_err(|_| bad(format!("bad {what}")))
         };
         match head {
             "rr" | "round-robin" => Ok(SchedulerSpec::RoundRobin),
@@ -78,7 +89,7 @@ impl SchedulerSpec {
             "quantum" => {
                 let q = numeric("quantum")?;
                 if q == 0 {
-                    return Err("quantum must be >= 1".into());
+                    return Err(bad("quantum must be >= 1".into()));
                 }
                 Ok(SchedulerSpec::Quantum(q))
             }
@@ -91,9 +102,10 @@ impl SchedulerSpec {
                 max_crashes: numeric("max-crashes")?,
                 probability: 0.05,
             }),
-            _ => Err(format!(
-                "unknown scheduler `{spec}` (expected rr, random, \
-                 quantum:<q>, obstruction:<x>, crash:<max>)"
+            _ => Err(bad(
+                "unknown scheduler (expected rr, random, quantum:<q>, \
+                 obstruction:<x>, crash:<max>)"
+                    .into(),
             )),
         }
     }
@@ -156,6 +168,147 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Hardening knobs for [`run_campaign_with`], separate from
+/// [`CampaignConfig`] so the campaign *shape* (which determines the
+/// report) stays distinct from *how defensively* it executes.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Wall-clock watchdog: once elapsed, workers stop claiming runs
+    /// and the report records how many were skipped. Skipping under a
+    /// wall-clock limit is inherently machine-dependent; the report
+    /// says so rather than silently dropping runs.
+    pub wall_limit: Option<Duration>,
+    /// Run-count watchdog: stop after this many runs complete in this
+    /// session (deterministic truncation, used to exercise `--resume`).
+    pub stop_after: Option<usize>,
+    /// Fingerprint-cache memory budget in entries; when exceeded the
+    /// cache degrades to bounded-LRU shards and `distinct_configs`
+    /// becomes approximate (flagged in the report). `None` = unbounded.
+    pub cache_budget: Option<usize>,
+    /// Write a checkpoint after every `N` completed runs (and once at
+    /// the end of the session). Requires [`CampaignOptions::checkpoint_path`].
+    pub checkpoint_every: Option<usize>,
+    /// Where checkpoints are written (atomically: tmp file + rename).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume state from an earlier checkpoint: completed runs are not
+    /// re-executed and the fingerprint set is restored, so the final
+    /// aggregates are bit-for-bit those of an uninterrupted campaign.
+    pub resume_from: Option<CampaignCheckpoint>,
+}
+
+/// A campaign checkpoint: which matrix indices already ran (with their
+/// records) plus the fingerprint set at that point. Restoring both is
+/// what makes resumed aggregates — including `distinct_configs` —
+/// identical to an uninterrupted run.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignCheckpoint {
+    /// Completed `(matrix index, record)` pairs.
+    pub completed: Vec<(usize, RunRecord)>,
+    /// Sorted fingerprint set at checkpoint time.
+    pub fingerprints: Vec<u64>,
+}
+
+impl CampaignCheckpoint {
+    /// Serialises the checkpoint as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"completed\": [\n");
+        for (i, (index, r)) in self.completed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
+                 \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
+                 \"error\": {}}}{}\n",
+                index,
+                json_string(&r.scheduler),
+                r.seed,
+                r.steps,
+                r.terminated,
+                r.violation.as_deref().map_or("null".into(), json_string),
+                r.error.as_deref().map_or("null".into(), json_string),
+                if i + 1 < self.completed.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"fingerprints\": [");
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fp.to_string());
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a checkpoint from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] on malformed or missing fields.
+    pub fn parse(text: &str) -> Result<CampaignCheckpoint, ModelError> {
+        let bad = |reason: &str| ModelError::BadSpec {
+            spec: "checkpoint".into(),
+            reason: reason.into(),
+        };
+        let doc = Json::parse(text)?;
+        let mut checkpoint = CampaignCheckpoint::default();
+        for entry in doc
+            .get("completed")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `completed` array"))?
+        {
+            let field = |key: &str| {
+                entry.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
+            };
+            let index =
+                field("index")?.as_usize().ok_or_else(|| bad("bad `index`"))?;
+            let opt_str = |key: &str| -> Option<String> {
+                entry.get(key)?.as_str().map(str::to_string)
+            };
+            checkpoint.completed.push((
+                index,
+                RunRecord {
+                    scheduler: field("scheduler")?
+                        .as_str()
+                        .ok_or_else(|| bad("bad `scheduler`"))?
+                        .to_string(),
+                    seed: field("seed")?.as_u64().ok_or_else(|| bad("bad `seed`"))?,
+                    steps: field("steps")?
+                        .as_usize()
+                        .ok_or_else(|| bad("bad `steps`"))?,
+                    terminated: field("terminated")?
+                        .as_bool()
+                        .ok_or_else(|| bad("bad `terminated`"))?,
+                    violation: opt_str("violation"),
+                    error: opt_str("error"),
+                },
+            ));
+        }
+        for fp in doc
+            .get("fingerprints")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `fingerprints` array"))?
+        {
+            checkpoint
+                .fingerprints
+                .push(fp.as_u64().ok_or_else(|| bad("bad fingerprint"))?);
+        }
+        Ok(checkpoint)
+    }
+
+    /// Loads a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] if the file cannot be read or
+    /// parsed.
+    pub fn load(path: &Path) -> Result<CampaignCheckpoint, ModelError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ModelError::BadSpec {
+            spec: path.display().to_string(),
+            reason: format!("cannot read checkpoint: {e}"),
+        })?;
+        CampaignCheckpoint::parse(&text)
+    }
+}
+
 /// Outcome of a single run; `(scheduler, seed)` replays it exactly.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
@@ -213,12 +366,24 @@ pub struct CampaignReport {
     pub per_scheduler: Vec<SchedulerTally>,
     /// Every failing run, in matrix order; each replays from its seed.
     pub failures: Vec<RunRecord>,
+    /// Runs not executed because a watchdog fired (wall-clock or
+    /// run-count); 0 for a complete campaign.
+    pub skipped_runs: usize,
+    /// Why runs were skipped, when they were. Never silent: a truncated
+    /// campaign always says so here.
+    pub truncation: Option<String>,
+    /// The fingerprint cache hit its memory budget: `distinct_configs`
+    /// is an over-count from that point on.
+    pub cache_truncated: bool,
 }
 
 impl CampaignReport {
-    /// Did every run terminate with no violations or errors?
+    /// Did every run terminate with no violations or errors, with no
+    /// runs skipped by a watchdog?
     pub fn is_clean(&self) -> bool {
-        self.failures.is_empty() && self.terminated_runs == self.total_runs
+        self.failures.is_empty()
+            && self.terminated_runs == self.total_runs
+            && self.skipped_runs == 0
     }
 
     /// Renders the report as JSON (hand-rolled: the workspace builds
@@ -241,6 +406,15 @@ impl CampaignReport {
         out.push_str(&format!("  \"terminated_runs\": {},\n", self.terminated_runs));
         out.push_str(&format!("  \"distinct_configs\": {},\n", self.distinct_configs));
         out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
+        out.push_str(&format!("  \"skipped_runs\": {},\n", self.skipped_runs));
+        out.push_str(&format!(
+            "  \"truncation\": {},\n",
+            self.truncation.as_deref().map_or("null".into(), json_string)
+        ));
+        out.push_str(&format!(
+            "  \"cache_truncated\": {},\n",
+            self.cache_truncated
+        ));
         out.push_str("  \"per_scheduler\": [\n");
         for (i, t) in self.per_scheduler.iter().enumerate() {
             out.push_str(&format!(
@@ -360,15 +534,104 @@ where
     execute_run(spec, seed, budget, &mut system, check, None)
 }
 
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Executes one run with panic isolation: a panicking run (factory,
+/// scheduler, or check) becomes a structured
+/// [`ModelError::WorkerPanic`] record carrying its replay coordinates
+/// instead of tearing down the worker.
+fn run_one_guarded<F>(
+    spec: &SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    factory: &F,
+    check: &(dyn Fn(&System) -> Option<String> + Sync),
+    cache: Option<&FingerprintCache>,
+) -> RunRecord
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut system = factory(seed);
+        execute_run(spec, seed, budget, &mut system, check, cache)
+    }));
+    match attempt {
+        Ok(record) => record,
+        Err(payload) => RunRecord {
+            scheduler: spec.to_string(),
+            seed,
+            steps: 0,
+            terminated: false,
+            violation: None,
+            error: Some(
+                ModelError::WorkerPanic {
+                    context: format!("campaign run `{spec}` seed {seed}"),
+                    message: panic_message(payload.as_ref()),
+                }
+                .to_string(),
+            ),
+        },
+    }
+}
+
+/// Writes a checkpoint atomically (tmp file + rename). A failed write
+/// is reported on stderr, never silently dropped, and does not abort
+/// the campaign.
+fn write_checkpoint(
+    path: &Path,
+    mut completed: Vec<(usize, RunRecord)>,
+    cache: &FingerprintCache,
+) {
+    completed.sort_by_key(|(index, _)| *index);
+    let checkpoint = CampaignCheckpoint {
+        completed,
+        fingerprints: cache.snapshot(),
+    };
+    let tmp = path.with_extension("tmp");
+    let result = std::fs::write(&tmp, checkpoint.to_json())
+        .and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
+    }
+}
+
+/// Why workers stopped claiming runs (0 = still running).
+const STOP_NONE: usize = 0;
+const STOP_WALL: usize = 1;
+const STOP_COUNT: usize = 2;
+
 /// Runs the full campaign matrix (scheduler mix × seed range) across
-/// worker threads.
+/// worker threads. Equivalent to [`run_campaign_with`] with default
+/// [`CampaignOptions`].
 ///
 /// `factory(seed)` builds the system for a run; `check` validates the
 /// final configuration (return a description to flag a violation).
-/// Runtime errors inside a run are recorded as failures, not
-/// propagated.
+/// Runtime errors and panics inside a run are recorded as failures,
+/// not propagated.
 pub fn run_campaign<F>(
     config: &CampaignConfig,
+    factory: F,
+    check: &(dyn Fn(&System) -> Option<String> + Sync),
+) -> CampaignReport
+where
+    F: Fn(u64) -> System + Sync,
+{
+    run_campaign_with(config, &CampaignOptions::default(), factory, check)
+}
+
+/// [`run_campaign`] with hardening options: wall-clock and run-count
+/// watchdogs (graceful, reported truncation), periodic checkpoints,
+/// resume from a checkpoint, and a fingerprint-cache memory budget.
+pub fn run_campaign_with<F>(
+    config: &CampaignConfig,
+    options: &CampaignOptions,
     factory: F,
     check: &(dyn Fn(&System) -> Option<String> + Sync),
 ) -> CampaignReport
@@ -381,43 +644,138 @@ where
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
     };
-    let cache = FingerprintCache::for_threads(threads);
-    let records: Mutex<Vec<(usize, RunRecord)>> =
-        Mutex::new(Vec::with_capacity(total));
+    let cache = FingerprintCache::for_threads_bounded(threads, options.cache_budget);
+
+    // Restore resume state: completed runs keep their records and are
+    // never re-executed; their fingerprints re-seed the dedup set so
+    // `distinct_configs` matches an uninterrupted campaign exactly.
+    let mut already = vec![false; total];
+    let mut resumed: Vec<(usize, RunRecord)> = Vec::new();
+    if let Some(checkpoint) = &options.resume_from {
+        for fp in &checkpoint.fingerprints {
+            cache.insert_fingerprint(*fp);
+        }
+        for (index, record) in &checkpoint.completed {
+            if *index < total && !already[*index] {
+                already[*index] = true;
+                resumed.push((*index, record.clone()));
+            }
+        }
+    }
+
+    let deadline = options.wall_limit.map(|limit| Instant::now() + limit);
+    let records: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(resumed);
     let cursor = AtomicUsize::new(0);
+    let stop = AtomicUsize::new(STOP_NONE);
+    let executed = AtomicUsize::new(0);
+    let last_checkpoint = Mutex::new(0usize);
     let chunk = total.div_ceil(threads * 8).clamp(1, 256);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(total.max(1)) {
             scope.spawn(|| {
-                let mut local: Vec<(usize, RunRecord)> = Vec::new();
                 loop {
+                    if stop.load(Ordering::Relaxed) != STOP_NONE {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= total {
                         break;
                     }
+                    let mut local: Vec<(usize, RunRecord)> = Vec::new();
+                    // `index` is a matrix coordinate (spec, seed), not
+                    // just a subscript into `already`.
+                    #[allow(clippy::needless_range_loop)]
                     for index in start..(start + chunk).min(total) {
+                        if already[index] {
+                            continue;
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            let _ = stop.compare_exchange(
+                                STOP_NONE,
+                                STOP_WALL,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            );
+                            break;
+                        }
+                        if stop.load(Ordering::Relaxed) != STOP_NONE {
+                            break;
+                        }
                         // Matrix order: scheduler-major, then seed.
                         let spec = &config.schedulers[index / config.runs];
                         let seed =
                             config.seed_start + (index % config.runs) as u64;
-                        let mut system = factory(seed);
-                        let record = execute_run(
+                        let record = run_one_guarded(
                             spec,
                             seed,
                             config.budget,
-                            &mut system,
+                            &factory,
                             check,
                             Some(&cache),
                         );
                         local.push((index, record));
+                        let done = executed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if options.stop_after.is_some_and(|cap| done >= cap) {
+                            let _ = stop.compare_exchange(
+                                STOP_NONE,
+                                STOP_COUNT,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            );
+                            break;
+                        }
+                    }
+                    // Merge the chunk, then checkpoint if a full period
+                    // of runs completed since the last write.
+                    let to_checkpoint = {
+                        let mut recs = records.lock().expect("records lock");
+                        recs.extend(local);
+                        match (options.checkpoint_every, &options.checkpoint_path) {
+                            (Some(every), Some(_path)) if every > 0 => {
+                                let mut last = last_checkpoint
+                                    .lock()
+                                    .expect("checkpoint counter lock");
+                                if recs.len() >= *last + every {
+                                    *last = recs.len();
+                                    Some(recs.clone())
+                                } else {
+                                    None
+                                }
+                            }
+                            _ => None,
+                        }
+                    };
+                    if let (Some(completed), Some(path)) =
+                        (to_checkpoint, &options.checkpoint_path)
+                    {
+                        write_checkpoint(path, completed, &cache);
                     }
                 }
-                records.lock().expect("records lock").extend(local);
             });
         }
     });
     let mut records = records.into_inner().expect("records lock");
     records.sort_by_key(|(index, _)| *index);
+
+    // A final checkpoint captures everything this session completed, so
+    // a watchdog-truncated campaign is always resumable.
+    if let Some(path) = &options.checkpoint_path {
+        write_checkpoint(path, records.clone(), &cache);
+    }
+
+    let skipped_runs = total - records.len();
+    let truncation = match stop.load(Ordering::Relaxed) {
+        STOP_WALL => Some(format!(
+            "wall-clock limit reached: {skipped_runs} of {total} runs skipped"
+        )),
+        STOP_COUNT => Some(format!(
+            "run-count watchdog fired: {skipped_runs} of {total} runs skipped"
+        )),
+        _ if skipped_runs > 0 => {
+            Some(format!("{skipped_runs} of {total} runs skipped"))
+        }
+        _ => None,
+    };
 
     let mut report = CampaignReport {
         config: config.clone(),
@@ -437,6 +795,9 @@ where
             })
             .collect(),
         failures: Vec::new(),
+        skipped_runs,
+        truncation,
+        cache_truncated: cache.truncated(),
     };
     for (index, record) in records {
         let tally = &mut report.per_scheduler[index / config.runs];
@@ -450,6 +811,263 @@ where
         if record.is_failure() {
             tally.failures += 1;
             report.failures.push(record);
+        }
+    }
+    report
+}
+
+/// A fault campaign: a matrix of fault plans × seeds, each run
+/// executing the base scheduler wrapped in a [`FaultScheduler`]. This is
+/// how crash-placement spaces are certified exhaustively: enumerate
+/// every plan (e.g. [`FaultPlan::single_crash_plans`]) and require
+/// non-blocking progress of the survivors under all of them.
+#[derive(Clone, Debug)]
+pub struct FaultCampaignConfig {
+    /// The base scheduler every plan is applied on top of.
+    pub base: SchedulerSpec,
+    /// The plan space to fan over.
+    pub plans: Vec<FaultPlan>,
+    /// First seed of the range.
+    pub seed_start: u64,
+    /// Seeds per plan (total runs = `plans.len() * runs`).
+    pub runs: usize,
+    /// Step budget per run.
+    pub budget: usize,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+/// A check evaluated on the final configuration of a fault run, given
+/// the set of crashed processes; returns a description to flag a
+/// violation.
+pub type FaultCheck<'a> = &'a (dyn Fn(&System, &[ProcessId]) -> Option<String> + Sync);
+
+/// Outcome of one fault run; `(plan, scheduler, seed)` replays it.
+#[derive(Clone, Debug)]
+pub struct FaultRunRecord {
+    /// The fault plan, in its parseable syntax.
+    pub plan: String,
+    /// The base scheduler spec.
+    pub scheduler: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Steps actually taken.
+    pub steps: usize,
+    /// Processes the plan crashed during this run.
+    pub crashed: usize,
+    /// Did every *surviving* process terminate within budget? This is
+    /// the non-blocking progress certificate: crashed processes may
+    /// block nobody.
+    pub survivors_terminated: bool,
+    /// Check failure on the final configuration, if any.
+    pub violation: Option<String>,
+    /// Runtime error or worker panic, if the run aborted.
+    pub error: Option<String>,
+}
+
+impl FaultRunRecord {
+    fn is_failure(&self) -> bool {
+        !self.survivors_terminated || self.violation.is_some() || self.error.is_some()
+    }
+}
+
+/// Aggregated fault-campaign outcome.
+#[derive(Clone, Debug)]
+pub struct FaultCampaignReport {
+    /// The base scheduler spec.
+    pub scheduler: String,
+    /// Number of fault plans fanned over.
+    pub plans: usize,
+    /// Total runs executed (`plans × seeds`).
+    pub total_runs: usize,
+    /// Runs certified: survivors terminated, no violation, no error.
+    pub certified_runs: usize,
+    /// Total steps across all runs.
+    pub total_steps: usize,
+    /// Every failing run, in matrix order; each replays from its
+    /// `(plan, seed)`.
+    pub failures: Vec<FaultRunRecord>,
+}
+
+impl FaultCampaignReport {
+    /// Did every plan × seed certify?
+    pub fn is_certified(&self) -> bool {
+        self.failures.is_empty() && self.certified_runs == self.total_runs
+    }
+
+    /// Renders the report as JSON (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"scheduler\": {},\n",
+            json_string(&self.scheduler)
+        ));
+        out.push_str(&format!("  \"plans\": {},\n", self.plans));
+        out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
+        out.push_str(&format!("  \"certified_runs\": {},\n", self.certified_runs));
+        out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
+        out.push_str(&format!("  \"certified\": {},\n", self.is_certified()));
+        out.push_str("  \"failures\": [\n");
+        for (i, r) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"plan\": {}, \"scheduler\": {}, \"seed\": {}, \
+                 \"steps\": {}, \"crashed\": {}, \"survivors_terminated\": {}, \
+                 \"violation\": {}, \"error\": {}}}{}\n",
+                json_string(&r.plan),
+                json_string(&r.scheduler),
+                r.seed,
+                r.steps,
+                r.crashed,
+                r.survivors_terminated,
+                r.violation.as_deref().map_or("null".into(), json_string),
+                r.error.as_deref().map_or("null".into(), json_string),
+                if i + 1 < self.failures.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Executes one fault run (no panic guard; see
+/// [`run_fault_campaign`] for the guarded path).
+fn execute_fault_run<F>(
+    config: &FaultCampaignConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    factory: &F,
+    check: FaultCheck,
+) -> FaultRunRecord
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let mut record = FaultRunRecord {
+        plan: plan.to_string(),
+        scheduler: config.base.to_string(),
+        seed,
+        steps: 0,
+        crashed: 0,
+        survivors_terminated: false,
+        violation: None,
+        error: None,
+    };
+    let mut system = factory(seed);
+    let mut sched = FaultScheduler::new(config.base.build(seed), plan.clone());
+    match system.run(&mut sched, config.budget) {
+        Ok(steps) => record.steps = steps,
+        Err(err) => {
+            record.error = Some(err.to_string());
+            return record;
+        }
+    }
+    record.crashed = sched.crashed().len();
+    record.survivors_terminated = sched
+        .survivors(&system)
+        .iter()
+        .all(|&p| system.is_terminated(p));
+    record.violation = check(&system, sched.crashed());
+    record
+}
+
+/// Replays one fault run: same `(plan, base scheduler, seed)` → same
+/// outcome.
+pub fn replay_fault_run<F>(
+    config: &FaultCampaignConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    factory: F,
+    check: FaultCheck,
+) -> FaultRunRecord
+where
+    F: Fn(u64) -> System + Sync,
+{
+    execute_fault_run(config, plan, seed, &factory, check)
+}
+
+/// Runs the fault-campaign matrix (plan space × seed range) across
+/// worker threads, with the same determinism contract as
+/// [`run_campaign`]: records merge in matrix order, so the report is
+/// identical at any thread count. Worker panics become structured
+/// [`ModelError::WorkerPanic`] records naming the plan and seed.
+pub fn run_fault_campaign<F>(
+    config: &FaultCampaignConfig,
+    factory: F,
+    check: FaultCheck,
+) -> FaultCampaignReport
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let total = config.plans.len() * config.runs;
+    let threads = if config.threads > 0 {
+        config.threads
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    };
+    let records: Mutex<Vec<(usize, FaultRunRecord)>> =
+        Mutex::new(Vec::with_capacity(total));
+    let cursor = AtomicUsize::new(0);
+    let chunk = total.div_ceil(threads * 8).clamp(1, 256);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, FaultRunRecord)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    for index in start..(start + chunk).min(total) {
+                        // Matrix order: plan-major, then seed.
+                        let plan = &config.plans[index / config.runs];
+                        let seed =
+                            config.seed_start + (index % config.runs) as u64;
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            execute_fault_run(config, plan, seed, &factory, check)
+                        }));
+                        let record = attempt.unwrap_or_else(|payload| {
+                            FaultRunRecord {
+                                plan: plan.to_string(),
+                                scheduler: config.base.to_string(),
+                                seed,
+                                steps: 0,
+                                crashed: 0,
+                                survivors_terminated: false,
+                                violation: None,
+                                error: Some(
+                                    ModelError::WorkerPanic {
+                                        context: format!(
+                                            "fault run plan `{plan}` seed {seed}"
+                                        ),
+                                        message: panic_message(payload.as_ref()),
+                                    }
+                                    .to_string(),
+                                ),
+                            }
+                        });
+                        local.push((index, record));
+                    }
+                }
+                records.lock().expect("records lock").extend(local);
+            });
+        }
+    });
+    let mut records = records.into_inner().expect("records lock");
+    records.sort_by_key(|(index, _)| *index);
+
+    let mut report = FaultCampaignReport {
+        scheduler: config.base.to_string(),
+        plans: config.plans.len(),
+        total_runs: records.len(),
+        certified_runs: 0,
+        total_steps: 0,
+        failures: Vec::new(),
+    };
+    for (_, record) in records {
+        report.total_steps += record.steps;
+        if record.is_failure() {
+            report.failures.push(record);
+        } else {
+            report.certified_runs += 1;
         }
     }
     report
@@ -613,5 +1231,279 @@ mod tests {
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_errors_are_structured_bad_specs() {
+        for bad in ["frobnicate", "quantum:x", "crash"] {
+            match SchedulerSpec::parse(bad) {
+                Err(ModelError::BadSpec { spec, reason }) => {
+                    assert_eq!(spec, bad);
+                    assert!(!reason.is_empty());
+                }
+                other => panic!("`{bad}` gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_run_yields_structured_worker_panic_record() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 6,
+            budget: 500,
+            threads: 2,
+        };
+        // Seed 3's factory panics; the campaign must survive, record a
+        // WorkerPanic failure with the seed, and finish the other runs.
+        let exploding = |seed: u64| {
+            assert!(seed != 3, "injected failure for seed 3");
+            factory(seed)
+        };
+        let report = run_campaign(&config, exploding, &|_| None);
+        assert_eq!(report.total_runs, 6);
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.seed, 3);
+        let err = failure.error.as_deref().unwrap();
+        assert!(err.contains("worker panic"), "error was: {err}");
+        assert!(err.contains("seed 3"), "error was: {err}");
+        assert!(err.contains("injected failure"), "error was: {err}");
+    }
+
+    #[test]
+    fn run_count_watchdog_truncates_gracefully() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 40,
+            budget: 500,
+            threads: 1,
+        };
+        let options = CampaignOptions {
+            stop_after: Some(10),
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign_with(&config, &options, factory, &|_| None);
+        assert_eq!(report.total_runs, 10);
+        assert_eq!(report.skipped_runs, 30);
+        let notice = report.truncation.as_deref().unwrap();
+        assert!(notice.contains("30 of 40"), "notice was: {notice}");
+        assert!(!report.is_clean(), "a truncated campaign is not clean");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let checkpoint = CampaignCheckpoint {
+            completed: vec![
+                (
+                    0,
+                    RunRecord {
+                        scheduler: "random".into(),
+                        seed: 5,
+                        steps: 17,
+                        terminated: true,
+                        violation: None,
+                        error: None,
+                    },
+                ),
+                (
+                    3,
+                    RunRecord {
+                        scheduler: "crash:1".into(),
+                        seed: 8,
+                        steps: 2,
+                        terminated: false,
+                        violation: Some("p0 output \"x\"".into()),
+                        error: None,
+                    },
+                ),
+            ],
+            fingerprints: vec![1, u64::MAX, 0xcbf2_9ce4_8422_2325],
+        };
+        let parsed = CampaignCheckpoint::parse(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed.fingerprints, checkpoint.fingerprints);
+        assert_eq!(parsed.completed.len(), 2);
+        assert_eq!(parsed.completed[0].0, 0);
+        assert_eq!(parsed.completed[1].1.violation.as_deref(), Some("p0 output \"x\""));
+        assert!(parsed.completed[1].1.error.is_none());
+        assert_eq!(parsed.completed[1].1.seed, 8);
+    }
+
+    #[test]
+    fn resumed_campaign_matches_uninterrupted_bit_for_bit() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random, SchedulerSpec::RoundRobin],
+            seed_start: 3,
+            runs: 15,
+            budget: 500,
+            threads: 2,
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "rsim-ckpt-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.checkpoint.json");
+
+        let uninterrupted = run_campaign(&config, factory, &|_| None);
+
+        // Interrupt after 12 of 30 runs; the final checkpoint captures
+        // what completed.
+        let interrupted = run_campaign_with(
+            &config,
+            &CampaignOptions {
+                stop_after: Some(12),
+                checkpoint_every: Some(4),
+                checkpoint_path: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+            factory,
+            &|_| None,
+        );
+        assert!(interrupted.skipped_runs > 0);
+
+        // Resume and compare aggregates bit-for-bit.
+        let checkpoint = CampaignCheckpoint::load(&path).unwrap();
+        assert!(!checkpoint.completed.is_empty());
+        let resumed = run_campaign_with(
+            &config,
+            &CampaignOptions {
+                resume_from: Some(checkpoint),
+                ..CampaignOptions::default()
+            },
+            factory,
+            &|_| None,
+        );
+        assert_eq!(resumed.total_runs, uninterrupted.total_runs);
+        assert_eq!(resumed.terminated_runs, uninterrupted.terminated_runs);
+        assert_eq!(resumed.distinct_configs, uninterrupted.distinct_configs);
+        assert_eq!(resumed.total_steps, uninterrupted.total_steps);
+        assert_eq!(resumed.skipped_runs, 0);
+        assert!(resumed.truncation.is_none());
+        for (a, b) in resumed
+            .per_scheduler
+            .iter()
+            .zip(uninterrupted.per_scheduler.iter())
+        {
+            assert_eq!(a.runs, b.runs);
+            assert_eq!(a.terminated, b.terminated);
+            assert_eq!(a.total_steps, b.total_steps);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_cache_budget_is_reported_as_truncation() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 20,
+            budget: 500,
+            threads: 1,
+        };
+        let options = CampaignOptions {
+            cache_budget: Some(8),
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign_with(&config, &options, factory, &|_| None);
+        assert!(report.cache_truncated, "an 8-entry budget must evict");
+        let json = report.to_json();
+        assert!(json.contains("\"cache_truncated\": true"));
+    }
+
+    #[test]
+    fn fault_campaign_certifies_single_crash_space() {
+        // Every single-crash placement over 3 processes × 8 crash
+        // points: survivors must always terminate (the protocol is
+        // wait-free, hence non-blocking under crash-stopped processes).
+        let config = FaultCampaignConfig {
+            base: SchedulerSpec::RoundRobin,
+            plans: FaultPlan::single_crash_plans(3, 7),
+            seed_start: 0,
+            runs: 2,
+            budget: 2_000,
+            threads: 2,
+        };
+        let report = run_fault_campaign(&config, factory, &|_, _| None);
+        assert_eq!(report.plans, 24);
+        assert_eq!(report.total_runs, 48);
+        assert!(report.is_certified(), "failures: {:?}", report.failures);
+        let json = report.to_json();
+        assert!(json.contains("\"certified\": true"));
+    }
+
+    #[test]
+    fn fault_campaign_is_thread_count_independent() {
+        let mk = |threads| FaultCampaignConfig {
+            base: SchedulerSpec::Random,
+            plans: FaultPlan::single_crash_plans(3, 5),
+            seed_start: 11,
+            runs: 3,
+            budget: 1_000,
+            threads,
+        };
+        let base = run_fault_campaign(&mk(1), factory, &|_, _| None);
+        for threads in [2, 8] {
+            let report = run_fault_campaign(&mk(threads), factory, &|_, _| None);
+            assert_eq!(report.total_runs, base.total_runs);
+            assert_eq!(report.certified_runs, base.certified_runs);
+            assert_eq!(report.total_steps, base.total_steps);
+        }
+    }
+
+    #[test]
+    fn fault_campaign_panic_names_plan_and_seed() {
+        let config = FaultCampaignConfig {
+            base: SchedulerSpec::RoundRobin,
+            plans: vec![
+                FaultPlan::none(),
+                FaultPlan::parse("crash@1:2").unwrap(),
+            ],
+            seed_start: 0,
+            runs: 2,
+            budget: 500,
+            threads: 2,
+        };
+        let exploding = |seed: u64| {
+            assert!(seed != 1, "injected fault-run failure");
+            factory(seed)
+        };
+        let report = run_fault_campaign(&config, exploding, &|_, _| None);
+        assert_eq!(report.total_runs, 4);
+        assert_eq!(report.failures.len(), 2, "one per plan at seed 1");
+        for failure in &report.failures {
+            assert_eq!(failure.seed, 1);
+            let err = failure.error.as_deref().unwrap();
+            assert!(err.contains("worker panic"), "error was: {err}");
+            assert!(err.contains("plan"), "error was: {err}");
+            assert!(err.contains("seed 1"), "error was: {err}");
+        }
+    }
+
+    #[test]
+    fn fault_replay_reproduces_campaign_records() {
+        let config = FaultCampaignConfig {
+            base: SchedulerSpec::Random,
+            plans: FaultPlan::single_crash_plans(3, 3),
+            seed_start: 0,
+            runs: 2,
+            budget: 1_000,
+            threads: 4,
+        };
+        // Flag every run so records survive into the report, then check
+        // each replays identically.
+        let flag_all = |_: &System, _: &[ProcessId]| Some("flag".to_string());
+        let report = run_fault_campaign(&config, factory, &flag_all);
+        assert_eq!(report.failures.len(), report.total_runs);
+        for record in report.failures.iter().take(6) {
+            let plan = FaultPlan::parse(&record.plan).unwrap();
+            let replayed =
+                replay_fault_run(&config, &plan, record.seed, factory, &flag_all);
+            assert_eq!(replayed.steps, record.steps);
+            assert_eq!(replayed.crashed, record.crashed);
+            assert_eq!(replayed.survivors_terminated, record.survivors_terminated);
+        }
     }
 }

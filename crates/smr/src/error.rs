@@ -23,6 +23,22 @@ pub enum ModelError {
     /// A replayed step was not the process's next step (Lemma 26
     /// validation failure).
     ReplayMismatch(String),
+    /// A malformed scheduler or fault-plan specification string.
+    BadSpec {
+        /// The spec as given.
+        spec: String,
+        /// Why it did not parse.
+        reason: String,
+    },
+    /// A worker thread panicked while executing a run or expanding a
+    /// frontier chunk. The payload names the work item so it can be
+    /// replayed (seed, fault plan, or schedule prefix).
+    WorkerPanic {
+        /// What the worker was doing (replay coordinates included).
+        context: String,
+        /// The panic message, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -41,6 +57,12 @@ impl fmt::Display for ModelError {
                 write!(f, "step budget {budget} exhausted: {context}")
             }
             ModelError::ReplayMismatch(msg) => write!(f, "replay mismatch: {msg}"),
+            ModelError::BadSpec { spec, reason } => {
+                write!(f, "bad spec `{spec}`: {reason}")
+            }
+            ModelError::WorkerPanic { context, message } => {
+                write!(f, "worker panic during {context}: {message}")
+            }
         }
     }
 }
@@ -60,6 +82,11 @@ mod tests {
             ModelError::WriterViolation { process: 1, component: 2 },
             ModelError::BudgetExhausted { budget: 10, context: "solo".into() },
             ModelError::ReplayMismatch("z".into()),
+            ModelError::BadSpec { spec: "quantum:".into(), reason: "bad quantum".into() },
+            ModelError::WorkerPanic {
+                context: "campaign run seed 3".into(),
+                message: "boom".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -33,8 +33,10 @@ use crate::process::ProcessId;
 use crate::system::System;
 use crate::value::Value;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Exploration limits.
 #[derive(Clone, Copy, Debug)]
@@ -58,8 +60,13 @@ pub struct ExploreReport {
     pub configs_visited: usize,
     /// Terminal (all-terminated) configurations found.
     pub terminals: usize,
-    /// Whether exploration was cut off by [`Limits`].
+    /// Whether exploration was cut off by [`Limits`] or a wall-clock
+    /// watchdog.
     pub truncated: bool,
+    /// Set when a wall-clock watchdog cut the exploration short — a
+    /// truncated search is reported, never silently passed off as
+    /// exhaustive.
+    pub truncation: Option<String>,
     /// The first violation found, if any: the schedule that produced it
     /// and a description. Sequential mode reports the first violation
     /// in DFS order; parallel mode reports the first in canonical
@@ -83,11 +90,12 @@ pub type ParallelCheck<'a> = &'a (dyn Fn(&System) -> Option<String> + Sync);
 pub struct Explorer {
     limits: Limits,
     threads: usize,
+    wall_limit: Option<Duration>,
 }
 
 impl Default for Explorer {
     fn default() -> Self {
-        Explorer { limits: Limits::default(), threads: 1 }
+        Explorer { limits: Limits::default(), threads: 1, wall_limit: None }
     }
 }
 
@@ -95,7 +103,7 @@ impl Explorer {
     /// Creates an explorer with the given limits (single-threaded until
     /// configured with [`Explorer::with_threads`]).
     pub fn new(limits: Limits) -> Self {
-        Explorer { limits, threads: 1 }
+        Explorer { limits, threads: 1, wall_limit: None }
     }
 
     /// Sets the worker-thread count used by the `*_parallel` methods.
@@ -103,6 +111,15 @@ impl Explorer {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Arms a wall-clock watchdog: when it fires, exploration stops
+    /// gracefully with `truncated` set and a `truncation` notice in
+    /// the report (results found so far are kept).
+    #[must_use]
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
         self
     }
 
@@ -135,12 +152,20 @@ impl Explorer {
             configs_visited: 0,
             terminals: 0,
             truncated: false,
+            truncation: None,
             violation: None,
         };
+        let deadline = self.wall_limit.map(|limit| Instant::now() + limit);
         let mut seen: HashSet<u64> = HashSet::new();
         // DFS stack of (configuration, schedule so far).
         let mut stack: Vec<(System, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
         while let Some((sys, schedule)) = stack.pop() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                report.truncated = true;
+                report.truncation =
+                    Some("wall-clock limit reached during DFS".into());
+                break;
+            }
             if !seen.insert(fingerprint(&sys.config_key())) {
                 continue;
             }
@@ -214,8 +239,10 @@ impl Explorer {
             configs_visited: 0,
             terminals: 0,
             truncated: false,
+            truncation: None,
             violation: None,
         };
+        let deadline = self.wall_limit.map(|limit| Instant::now() + limit);
         let mut terminal_outputs: Vec<Vec<Value>> = Vec::new();
         let mut seen_outputs: HashSet<String> = HashSet::new();
 
@@ -225,29 +252,47 @@ impl Explorer {
             vec![(initial.clone(), Vec::new())];
 
         while !frontier.is_empty() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                report.truncated = true;
+                report.truncation = Some(
+                    "wall-clock limit reached between frontier levels".into(),
+                );
+                break;
+            }
             let level = self.run_level(&frontier, check, &cache, threads);
 
             // Merge chunk results in frontier order: every aggregate
             // below is then independent of worker scheduling.
             let mut chunks = level.into_inner().expect("level results lock");
             chunks.sort_by_key(|c| c.start);
-            if let Some((_, err)) = chunks
+            let error = chunks
                 .iter()
                 .filter_map(|c| c.error.as_ref())
-                .min_by_key(|(idx, _)| *idx)
-            {
-                return Err(err.clone());
-            }
+                .min_by_key(|(idx, _)| *idx);
             let mut violation: Option<(usize, Vec<ProcessId>, String)> = None;
+            for chunk in &chunks {
+                if let Some((idx, sched, msg)) = &chunk.violation {
+                    if violation.as_ref().is_none_or(|(best, _, _)| idx < best) {
+                        violation = Some((*idx, sched.clone(), msg.clone()));
+                    }
+                }
+            }
+            // When a level has both an error and a violation, report
+            // whichever occurred at the canonically smaller frontier
+            // index — this keeps the outcome identical across thread
+            // counts (chunk boundaries depend on the thread count).
+            if let Some((err_idx, err)) = error {
+                if violation
+                    .as_ref()
+                    .is_none_or(|(vio_idx, _, _)| err_idx < vio_idx)
+                {
+                    return Err(err.clone());
+                }
+            }
             let mut children: Vec<(System, Vec<ProcessId>, u64)> = Vec::new();
             for chunk in chunks {
                 report.terminals += chunk.terminals;
                 report.truncated |= chunk.truncated;
-                if let Some((idx, sched, msg)) = chunk.violation {
-                    if violation.as_ref().is_none_or(|(best, _, _)| idx < *best) {
-                        violation = Some((idx, sched, msg));
-                    }
-                }
                 if collect_terminals {
                     for outs in chunk.terminal_outputs {
                         if seen_outputs.insert(format!("{outs:?}")) {
@@ -465,44 +510,73 @@ fn expand_chunk(
     };
     for (offset, (sys, schedule)) in entries.iter().enumerate() {
         let idx = start + offset;
-        if let Some(msg) = check(sys) {
-            out.violation = Some((idx, schedule.clone(), msg));
-            // Later entries in the chunk cannot improve on this index.
-            break;
-        }
-        if sys.all_terminated() {
-            out.terminals += 1;
-            out.terminal_outputs.push(
-                sys.outputs().into_iter().map(Option::unwrap).collect(),
-            );
-            continue;
-        }
-        if schedule.len() >= max_depth {
-            out.truncated = true;
-            continue;
-        }
-        for i in 0..sys.process_count() {
-            let pid = ProcessId(i);
-            if sys.is_terminated(pid) {
-                continue;
+        // Panic isolation: a panicking check (or a panic while forking)
+        // becomes a structured WorkerPanic at this entry's canonical
+        // index instead of tearing down the worker and hanging the
+        // level barrier.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(msg) = check(sys) {
+                out.violation = Some((idx, schedule.clone(), msg));
+                // Later entries in the chunk cannot improve on this
+                // index.
+                return false;
             }
-            let mut fork = sys.clone();
-            if let Err(err) = fork.step(pid) {
-                if out.error.is_none() {
-                    out.error = Some((idx, err));
+            if sys.all_terminated() {
+                out.terminals += 1;
+                out.terminal_outputs.push(
+                    sys.outputs().into_iter().map(Option::unwrap).collect(),
+                );
+                return true;
+            }
+            if schedule.len() >= max_depth {
+                out.truncated = true;
+                return true;
+            }
+            for i in 0..sys.process_count() {
+                let pid = ProcessId(i);
+                if sys.is_terminated(pid) {
+                    continue;
                 }
-                continue;
+                let mut fork = sys.clone();
+                if let Err(err) = fork.step(pid) {
+                    if out.error.is_none() {
+                        out.error = Some((idx, err));
+                    }
+                    continue;
+                }
+                let fp = fingerprint(&fork.config_key());
+                // Concurrent pre-filter: configurations deduplicated at
+                // an earlier level never reach the merge. Within-level
+                // duplicates are resolved canonically by the merge
+                // itself.
+                if cache.contains_fingerprint(fp) {
+                    continue;
+                }
+                let mut sched = schedule.clone();
+                sched.push(pid);
+                out.children.push((fork, sched, fp));
             }
-            let fp = fingerprint(&fork.config_key());
-            // Concurrent pre-filter: configurations deduplicated at an
-            // earlier level never reach the merge. Within-level
-            // duplicates are resolved canonically by the merge itself.
-            if cache.contains_fingerprint(fp) {
-                continue;
+            true
+        }));
+        match attempt {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(payload) => {
+                let panic_err = ModelError::WorkerPanic {
+                    context: format!(
+                        "frontier entry {idx} (schedule {:?})",
+                        schedule.iter().map(|p| p.0).collect::<Vec<_>>()
+                    ),
+                    message: payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into()),
+                };
+                if out.error.as_ref().is_none_or(|(best, _)| idx < *best) {
+                    out.error = Some((idx, panic_err));
+                }
             }
-            let mut sched = schedule.clone();
-            sched.push(pid);
-            out.children.push((fork, sched, fp));
         }
     }
     out
@@ -747,5 +821,66 @@ mod tests {
             .unwrap();
         assert!(report.truncated);
         assert!(report.configs_visited <= 3);
+    }
+
+    #[test]
+    fn panicking_check_becomes_structured_worker_panic() {
+        // The check panics once p0 has produced an output. At any
+        // thread count this must surface as Err(WorkerPanic) carrying
+        // the canonical schedule — never a dead worker or a hang.
+        let check = |sys: &System| -> Option<String> {
+            assert!(
+                sys.output(ProcessId(0)).is_none(),
+                "injected check panic"
+            );
+            None
+        };
+        let mut messages = Vec::new();
+        for threads in [1, 2, 8] {
+            let explorer = Explorer::default().with_threads(threads);
+            let err = explorer
+                .explore_parallel(&two_process_system(), &check)
+                .unwrap_err();
+            match &err {
+                ModelError::WorkerPanic { context, message } => {
+                    assert!(context.contains("frontier entry"));
+                    assert!(message.contains("injected check panic"));
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+            messages.push(err.to_string());
+        }
+        assert!(
+            messages.iter().all(|m| m == &messages[0]),
+            "panic report differs across thread counts: {messages:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_watchdog_truncates_with_notice() {
+        let explorer = Explorer::default()
+            .with_threads(2)
+            .with_wall_limit(Duration::from_secs(0));
+        let report = explorer
+            .explore_parallel(&two_process_system(), &|_| None)
+            .unwrap();
+        assert!(report.truncated);
+        let notice = report.truncation.as_deref().unwrap();
+        assert!(notice.contains("wall-clock"), "notice was: {notice}");
+
+        let report = explorer
+            .explore(&two_process_system(), &mut |_| None)
+            .unwrap();
+        assert!(report.truncated);
+        assert!(report.truncation.is_some());
+    }
+
+    #[test]
+    fn unlimited_explorations_carry_no_truncation_notice() {
+        let report = Explorer::default()
+            .explore(&two_process_system(), &mut |_| None)
+            .unwrap();
+        assert!(!report.truncated);
+        assert!(report.truncation.is_none());
     }
 }

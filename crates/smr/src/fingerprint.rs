@@ -13,9 +13,20 @@
 //! it) is identical across runs and thread counts. Set membership is
 //! order-independent, which is what makes the parallel explorer's
 //! `configs_visited` reproducible bit-for-bit.
+//!
+//! # Memory budget
+//!
+//! An unbounded cache can exhaust memory on long campaigns. A cache
+//! built with [`FingerprintCache::bounded`] enforces a per-shard entry
+//! cap: once a shard is full, the oldest fingerprint in that shard is
+//! evicted (bounded-LRU sharding). Eviction trades exactness for a
+//! memory ceiling — an evicted configuration seen again counts twice —
+//! so the first eviction latches [`FingerprintCache::truncated`], and
+//! callers must surface that notice instead of silently reporting an
+//! approximate `len()` as exact.
 
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// FNV-1a offset basis.
@@ -36,6 +47,14 @@ pub fn fingerprint(key: &str) -> u64 {
     h
 }
 
+/// One shard: the membership set plus insertion order for eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    set: HashSet<u64>,
+    /// Insertion order; only maintained when the cache is bounded.
+    order: VecDeque<u64>,
+}
+
 /// A concurrent set of configuration fingerprints, sharded by hash.
 ///
 /// # Examples
@@ -51,23 +70,43 @@ pub fn fingerprint(key: &str) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct FingerprintCache {
-    shards: Box<[Mutex<HashSet<u64>>]>,
+    shards: Box<[Mutex<Shard>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     mask: u64,
     /// Cached total size, maintained on successful inserts so `len()`
     /// does not take every shard lock.
     size: AtomicUsize,
+    /// Per-shard entry cap; `usize::MAX` means unbounded.
+    shard_cap: usize,
+    /// Latched on the first eviction: `len()` is approximate from then
+    /// on and callers must report the truncation.
+    truncated: AtomicBool,
 }
 
 impl FingerprintCache {
-    /// Creates a cache with at least `shards` shards (rounded up to a
-    /// power of two, minimum 1).
+    /// Creates an unbounded cache with at least `shards` shards
+    /// (rounded up to a power of two, minimum 1).
     pub fn new(shards: usize) -> Self {
+        FingerprintCache::with_cap(shards, usize::MAX)
+    }
+
+    /// Creates a cache with a total-entry memory budget. The budget is
+    /// split evenly across shards (at least one entry per shard); a
+    /// full shard evicts its oldest fingerprint and latches the
+    /// [`FingerprintCache::truncated`] notice.
+    pub fn bounded(shards: usize, max_entries: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        FingerprintCache::with_cap(count, max_entries.div_ceil(count).max(1))
+    }
+
+    fn with_cap(shards: usize, shard_cap: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
         FingerprintCache {
-            shards: (0..count).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..count).map(|_| Mutex::new(Shard::default())).collect(),
             mask: count as u64 - 1,
             size: AtomicUsize::new(0),
+            shard_cap,
+            truncated: AtomicBool::new(false),
         }
     }
 
@@ -77,7 +116,16 @@ impl FingerprintCache {
         FingerprintCache::new(threads.max(1) * 4)
     }
 
-    fn shard(&self, fp: u64) -> &Mutex<HashSet<u64>> {
+    /// A cache sized for `threads` workers with an optional memory
+    /// budget (`None` = unbounded).
+    pub fn for_threads_bounded(threads: usize, max_entries: Option<usize>) -> Self {
+        match max_entries {
+            Some(budget) => FingerprintCache::bounded(threads.max(1) * 4, budget),
+            None => FingerprintCache::for_threads(threads),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<Shard> {
         // Shard on the high bits: FNV-1a mixes them well, and the low
         // bits then still select hash buckets inside the shard.
         &self.shards[((fp >> 32) & self.mask) as usize]
@@ -90,9 +138,19 @@ impl FingerprintCache {
 
     /// Inserts a precomputed fingerprint, returning `true` if new.
     pub fn insert_fingerprint(&self, fp: u64) -> bool {
-        let new = self.shard(fp).lock().expect("shard lock").insert(fp);
+        let mut shard = self.shard(fp).lock().expect("shard lock");
+        let new = shard.set.insert(fp);
         if new {
             self.size.fetch_add(1, Ordering::Relaxed);
+            if self.shard_cap != usize::MAX {
+                shard.order.push_back(fp);
+                if shard.order.len() > self.shard_cap {
+                    if let Some(oldest) = shard.order.pop_front() {
+                        shard.set.remove(&oldest);
+                        self.truncated.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
         }
         new
     }
@@ -104,10 +162,12 @@ impl FingerprintCache {
 
     /// Is the fingerprint already present?
     pub fn contains_fingerprint(&self, fp: u64) -> bool {
-        self.shard(fp).lock().expect("shard lock").contains(&fp)
+        self.shard(fp).lock().expect("shard lock").set.contains(&fp)
     }
 
-    /// Number of distinct configurations inserted.
+    /// Number of distinct configurations inserted. Exact until the
+    /// cache [`FingerprintCache::truncated`]; an over-count after (an
+    /// evicted configuration seen again is counted twice).
     pub fn len(&self) -> usize {
         self.size.load(Ordering::Relaxed)
     }
@@ -117,9 +177,28 @@ impl FingerprintCache {
         self.len() == 0
     }
 
+    /// Has the memory budget forced an eviction? When `true`,
+    /// [`FingerprintCache::len`] is approximate and any report derived
+    /// from it must carry a truncation notice.
+    pub fn truncated(&self) -> bool {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The currently held fingerprints, sorted (deterministic). Used by
+    /// campaign checkpoints so a resumed run reconstructs the exact
+    /// dedup state.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            all.extend(shard.lock().expect("shard lock").set.iter().copied());
+        }
+        all.sort_unstable();
+        all
     }
 }
 
@@ -143,6 +222,7 @@ mod tests {
         assert!(cache.insert("y"));
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
+        assert!(!cache.truncated());
     }
 
     #[test]
@@ -168,5 +248,56 @@ mod tests {
         });
         assert_eq!(cache.len(), keys.len());
         assert!(keys.iter().all(|k| cache.contains(k)));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_latches_truncation() {
+        let cache = FingerprintCache::bounded(1, 4);
+        assert_eq!(cache.shard_count(), 1);
+        for i in 0..4u64 {
+            assert!(cache.insert_fingerprint(i));
+        }
+        assert!(!cache.truncated());
+        // Fifth insert evicts the oldest (0) and latches the notice.
+        assert!(cache.insert_fingerprint(100));
+        assert!(cache.truncated());
+        assert!(!cache.contains_fingerprint(0));
+        assert!(cache.contains_fingerprint(100));
+        // The evicted fingerprint re-inserts as "new": len over-counts,
+        // which is exactly why truncated() must be reported.
+        assert!(cache.insert_fingerprint(0));
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn bounded_cache_budget_is_split_across_shards() {
+        let cache = FingerprintCache::bounded(4, 8);
+        assert_eq!(cache.shard_count(), 4);
+        // 2 entries per shard; the membership set never exceeds the
+        // budget no matter how many inserts arrive.
+        for i in 0..10_000u64 {
+            cache.insert_fingerprint(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        assert!(cache.truncated());
+        assert!(cache.snapshot().len() <= 8);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let cache = FingerprintCache::new(4);
+        for fp in [9u64, 3, 7, 1] {
+            cache.insert_fingerprint(fp);
+        }
+        assert_eq!(cache.snapshot(), vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn unbounded_cache_never_truncates() {
+        let cache = FingerprintCache::for_threads_bounded(2, None);
+        for i in 0..5000u64 {
+            cache.insert_fingerprint(i);
+        }
+        assert!(!cache.truncated());
+        assert_eq!(cache.len(), 5000);
     }
 }

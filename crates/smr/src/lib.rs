@@ -18,6 +18,11 @@
 //! * [`explore`] — bounded exhaustive model checking: all interleavings
 //!   of small systems, solo/group termination checks; sequential DFS and
 //!   a deterministic parallel frontier engine.
+//! * [`fault`] — deterministic fault injection: precisely placed
+//!   crashes, stall windows, and trace-keyed triggers composable with
+//!   any scheduler via [`fault::FaultScheduler`].
+//! * [`json`] — minimal JSON reader (the workspace has no serde) used
+//!   by campaign checkpoints.
 //! * [`fingerprint`] — the sharded configuration-fingerprint cache used
 //!   by the parallel explorer and campaign runner.
 //! * [`campaign`] — seeded randomised campaign runner: many runs across
@@ -61,6 +66,8 @@
 pub mod campaign;
 pub mod error;
 pub mod explore;
+pub mod fault;
+pub mod json;
 pub mod fingerprint;
 pub mod history;
 pub mod linearizability;

@@ -245,6 +245,9 @@ impl Scheduler for Obstruction {
 pub struct Crash {
     rng: StdRng,
     crashed: Vec<ProcessId>,
+    /// `(victim, global step at crash)` in crash order — the replay
+    /// coordinates of each crash.
+    crash_log: Vec<(ProcessId, usize)>,
     max_crashes: usize,
     crash_probability: f64,
 }
@@ -257,6 +260,7 @@ impl Crash {
         Crash {
             rng: StdRng::seed_from_u64(seed),
             crashed: Vec::new(),
+            crash_log: Vec::new(),
             max_crashes,
             crash_probability,
         }
@@ -265,6 +269,13 @@ impl Crash {
     /// Processes crashed so far.
     pub fn crashed(&self) -> &[ProcessId] {
         &self.crashed
+    }
+
+    /// Each crash as `(victim, global step count at the crash)`, in
+    /// crash order. A correct crash model means the victim has no trace
+    /// events at or after that index.
+    pub fn crash_log(&self) -> &[(ProcessId, usize)] {
+        &self.crash_log
     }
 }
 
@@ -283,6 +294,7 @@ impl Scheduler for Crash {
         {
             let victim = live[self.rng.gen_range(0..live.len())];
             self.crashed.push(victim);
+            self.crash_log.push((victim, system.trace().len()));
             let survivors: Vec<_> =
                 live.into_iter().filter(|p| *p != victim).collect();
             return Some(survivors[self.rng.gen_range(0..survivors.len())]);
@@ -456,5 +468,65 @@ mod tests {
             .filter(|&i| sys.is_terminated(ProcessId(i)))
             .count();
         assert!(done >= 2, "at most one process may be crashed");
+    }
+
+    #[test]
+    fn crashed_processes_never_step_again() {
+        // Run many seeds; for every crash recorded in the crash log, the
+        // victim must have no trace events at or after the crash point —
+        // the crash-stopped model of paper §2.
+        let mut crashes_seen = 0;
+        for seed in 0..32 {
+            let mut sys = system(4, 5);
+            let mut sched = Crash::new(2, 0.2, seed);
+            sys.run(&mut sched, 100_000).unwrap();
+            for &(victim, at) in sched.crash_log() {
+                crashes_seen += 1;
+                let late = sys.trace()[at..]
+                    .iter()
+                    .filter(|e| e.pid == victim)
+                    .count();
+                assert_eq!(
+                    late, 0,
+                    "seed {seed}: {victim:?} stepped after crashing at {at}"
+                );
+            }
+        }
+        assert!(crashes_seen > 0, "the sweep never exercised a crash");
+    }
+
+    #[test]
+    fn crash_budget_is_respected() {
+        for seed in 0..16 {
+            let mut sys = system(5, 4);
+            let mut sched = Crash::new(2, 1.0, seed);
+            sys.run(&mut sched, 100_000).unwrap();
+            assert!(sched.crashed().len() <= 2, "seed {seed} exceeded budget");
+            assert_eq!(sched.crashed().len(), sched.crash_log().len());
+            // Even a maximally aggressive adversary leaves survivors
+            // running: every non-crashed process terminates.
+            for i in 0..5 {
+                let p = ProcessId(i);
+                if !sched.crashed().contains(&p) {
+                    assert!(sys.is_terminated(p), "seed {seed}: survivor {p:?} stuck");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_set_is_a_deterministic_function_of_the_seed() {
+        let run = |seed: u64| {
+            let mut sys = system(4, 5);
+            let mut sched = Crash::new(2, 0.3, seed);
+            sys.run(&mut sched, 100_000).unwrap();
+            (sched.crash_log().to_vec(), sys.trace().to_vec())
+        };
+        for seed in [0, 1, 7, 42] {
+            let (log_a, trace_a) = run(seed);
+            let (log_b, trace_b) = run(seed);
+            assert_eq!(log_a, log_b, "crash log differs for seed {seed}");
+            assert_eq!(trace_a, trace_b, "trace differs for seed {seed}");
+        }
     }
 }

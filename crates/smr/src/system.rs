@@ -44,6 +44,10 @@ pub struct System {
     objects: Vec<Object>,
     processes: Vec<Box<dyn Process>>,
     trace: Vec<Event>,
+    /// Steps taken per process, maintained on [`System::step`] so fault
+    /// triggers and schedulers can read them in O(1) instead of
+    /// re-scanning the trace.
+    steps_per_process: Vec<usize>,
     /// `(object, component) -> owner` restrictions; `component` is 0 for
     /// plain registers.
     owners: HashMap<(ObjectId, usize), ProcessId>,
@@ -52,7 +56,14 @@ pub struct System {
 impl System {
     /// Creates a system in an initial configuration.
     pub fn new(objects: Vec<Object>, processes: Vec<Box<dyn Process>>) -> Self {
-        System { objects, processes, trace: Vec::new(), owners: HashMap::new() }
+        let n = processes.len();
+        System {
+            objects,
+            processes,
+            trace: Vec::new(),
+            steps_per_process: vec![0; n],
+            owners: HashMap::new(),
+        }
     }
 
     /// Declares `owner` to be the only process allowed to mutate
@@ -89,6 +100,11 @@ impl System {
     /// The execution trace from the initial configuration.
     pub fn trace(&self) -> &[Event] {
         &self.trace
+    }
+
+    /// Steps taken by process `pid` so far (0 for unknown ids).
+    pub fn steps_of(&self, pid: ProcessId) -> usize {
+        self.steps_per_process.get(pid.0).copied().unwrap_or(0)
     }
 
     /// Space complexity of the configuration in registers (paper §2: an
@@ -167,6 +183,7 @@ impl System {
             .ok_or_else(|| ModelError::BadId(format!("no object {}", op_clone.object())))?;
         let resp = obj.apply(&op_clone)?;
         self.processes[pid.0].receive(resp.clone());
+        self.steps_per_process[pid.0] += 1;
         let event = Event { pid, op: op_clone, resp };
         self.trace.push(event.clone());
         Ok(event)
@@ -335,6 +352,25 @@ mod tests {
         let mut sys2 = sys.clone();
         sys2.step(ProcessId(0)).unwrap();
         assert!(!sys2.indistinguishable(&fork));
+    }
+
+    #[test]
+    fn per_process_step_counts_track_the_trace() {
+        let mut sys = small_system();
+        sys.step(ProcessId(0)).unwrap();
+        sys.step(ProcessId(1)).unwrap();
+        sys.step(ProcessId(0)).unwrap();
+        assert_eq!(sys.steps_of(ProcessId(0)), 2);
+        assert_eq!(sys.steps_of(ProcessId(1)), 1);
+        assert_eq!(sys.steps_of(ProcessId(9)), 0);
+        let counts = summarize_counts(&sys);
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    fn summarize_counts(sys: &System) -> Vec<usize> {
+        (0..sys.process_count())
+            .map(|i| sys.trace().iter().filter(|e| e.pid == ProcessId(i)).count())
+            .collect()
     }
 
     #[test]

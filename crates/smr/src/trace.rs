@@ -102,6 +102,20 @@ pub fn format_trace(events: &[Event], n_processes: usize) -> String {
     out
 }
 
+/// Renders an applied-fault log alongside a trace: one line per fired
+/// fault with its replay coordinates (decision clock and global step),
+/// so a faulted execution's diagram says exactly where the plan bit.
+pub fn format_fault_log(applied: &[crate::fault::AppliedFault]) -> String {
+    if applied.is_empty() {
+        return "faults: none\n".into();
+    }
+    let mut out = String::from("faults:\n");
+    for fault in applied {
+        let _ = writeln!(out, "  {fault}");
+    }
+    out
+}
+
 /// Per-process and per-operation-kind step counts for a trace.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceSummary {
@@ -193,6 +207,22 @@ mod tests {
         assert_eq!(sum.total, 6);
         assert_eq!(sum.steps_per_process[&0], 3);
         assert_eq!(sum.mutations_per_process[&0], 1);
+    }
+
+    #[test]
+    fn fault_log_renders_coordinates() {
+        use crate::fault::{FaultPlan, FaultScheduler};
+        use crate::sched::RoundRobin;
+
+        assert_eq!(format_fault_log(&[]), "faults: none\n");
+        let mut s = sys();
+        let plan = FaultPlan::parse("crash@1:1").unwrap();
+        let mut sched = FaultScheduler::new(Box::new(RoundRobin::new()), plan);
+        s.run(&mut sched, 1_000).unwrap();
+        let log = format_fault_log(sched.applied());
+        assert!(log.starts_with("faults:\n"));
+        assert!(log.contains("crash@1:1"), "log was: {log}");
+        assert!(log.contains("decision"), "log was: {log}");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Non-blocking certification of the augmented snapshot under
+//! deterministic crash placements.
+//!
+//! §3 of the paper proves the augmented snapshot is non-blocking: a
+//! crash-stopped process can never prevent the survivors from
+//! completing their own operations, and the partial Block-Update it
+//! leaves behind must still linearize consistently (as a non-atomic
+//! batch, per §3.3).
+//!
+//! [`certify_nonblocking_block_updates`] machine-checks this on
+//! concrete executions. For every victim process and every prefix
+//! length `k` of its [`BLOCK_UPDATE_STEPS`]-step Block-Update sequence,
+//! the victim takes exactly `k` interleaved steps and then
+//! crash-stops; every survivor finishes its own Block-Update and a
+//! final `Scan` under a bounded round-robin schedule, and the finished
+//! run is checked against the §3 specification ([`crate::spec::check`]).
+//! A placement fails certification if any survivor exceeds its step
+//! budget (a blocking violation) or the specification check reports an
+//! error.
+
+use crate::client::AugOp;
+use crate::real::RealSystem;
+use crate::spec;
+use rsim_smr::value::Value;
+use std::fmt;
+
+/// Steps in a full (non-yielding) Block-Update sequence (Lemma 2).
+pub const BLOCK_UPDATE_STEPS: usize = 6;
+
+/// A single-crash placement: `victim` crash-stops after taking exactly
+/// `after_steps` steps of its Block-Update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashPlacement {
+    /// The process that crash-stops.
+    pub victim: usize,
+    /// How many steps of its Block-Update it completes first
+    /// (`0..BLOCK_UPDATE_STEPS`, so the operation never finishes).
+    pub after_steps: usize,
+}
+
+impl fmt::Display for CrashPlacement {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(out, "crash q{} after step {}", self.victim, self.after_steps)
+    }
+}
+
+/// All single-crash placements for an `f`-process system, victim-major
+/// then step order: every victim crashing before each of the
+/// [`BLOCK_UPDATE_STEPS`] steps of its Block-Update.
+pub fn single_crash_placements(f: usize) -> Vec<CrashPlacement> {
+    let mut placements = Vec::with_capacity(f * BLOCK_UPDATE_STEPS);
+    for victim in 0..f {
+        for after_steps in 0..BLOCK_UPDATE_STEPS {
+            placements.push(CrashPlacement { victim, after_steps });
+        }
+    }
+    placements
+}
+
+/// The outcome of certifying every placement of a crash space.
+#[derive(Clone, Debug)]
+pub struct CertifyReport {
+    /// Number of real processes.
+    pub f: usize,
+    /// Components of the augmented snapshot.
+    pub m: usize,
+    /// Every placement that was checked.
+    pub placements: Vec<CrashPlacement>,
+    /// One entry per failed placement (empty = certified).
+    pub failures: Vec<String>,
+}
+
+impl CertifyReport {
+    /// Did every placement pass?
+    pub fn is_certified(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs one crash placement to completion and returns the finished
+/// system, or a description of the blocking violation.
+///
+/// Schedule: every process begins a Block-Update (process `i` writes
+/// `i + 1` to component `i mod m`); processes are stepped round-robin,
+/// except the victim stops for good after `after_steps` steps. Once
+/// the surviving Block-Updates finish, every survivor performs a
+/// `Scan`, again round-robin. Each phase is bounded by a step budget,
+/// so a blocked survivor is detected rather than looping forever.
+pub fn run_placement(
+    f: usize,
+    m: usize,
+    placement: CrashPlacement,
+) -> Result<RealSystem, String> {
+    assert!(placement.victim < f, "victim out of range");
+    assert!(placement.after_steps < BLOCK_UPDATE_STEPS, "crash after completion");
+    let mut real = RealSystem::new(f, m);
+    for pid in 0..f {
+        real.begin(
+            pid,
+            AugOp::BlockUpdate {
+                components: vec![pid % m],
+                values: vec![Value::Int(pid as i64 + 1)],
+            },
+        );
+    }
+    let mut victim_steps = 0;
+    round_robin(&mut real, f, |pid| {
+        if pid == placement.victim {
+            if victim_steps == placement.after_steps {
+                return false;
+            }
+            victim_steps += 1;
+        }
+        true
+    })
+    .map_err(|pid| format!("{placement}: q{pid}'s Block-Update blocked"))?;
+    for pid in 0..f {
+        if pid != placement.victim {
+            real.begin(pid, AugOp::Scan);
+        }
+    }
+    round_robin(&mut real, f, |pid| pid != placement.victim)
+        .map_err(|pid| format!("{placement}: q{pid}'s Scan blocked"))?;
+    Ok(real)
+}
+
+/// Steps every non-idle process for which `live` says yes, round-robin,
+/// until all such processes are idle. Errs with the stuck process id if
+/// the per-phase budget runs out (the non-blocking property failed).
+fn round_robin(
+    real: &mut RealSystem,
+    f: usize,
+    mut live: impl FnMut(usize) -> bool,
+) -> Result<(), usize> {
+    // A Block-Update takes ≤ 6 steps and a Scan ≤ 2k + 3 (Lemma 2);
+    // this budget is far beyond any spec-conforming phase for small f.
+    let budget = 64 * f * f + 64;
+    for _ in 0..budget {
+        let mut progressed = false;
+        for pid in 0..f {
+            if !real.is_idle(pid) && live(pid) {
+                real.step(pid);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+    let stuck = (0..f)
+        .find(|&pid| !real.is_idle(pid) && live(pid))
+        .unwrap_or(0);
+    Err(stuck)
+}
+
+/// Certifies non-blocking progress of the augmented snapshot under
+/// every single-crash placement in the Block-Update sequence: for each
+/// placement, survivors must complete their Block-Updates and Scans,
+/// and the resulting execution must satisfy the §3 specification.
+pub fn certify_nonblocking_block_updates(f: usize, m: usize) -> CertifyReport {
+    let placements = single_crash_placements(f);
+    let mut failures = Vec::new();
+    for &placement in &placements {
+        match run_placement(f, m, placement) {
+            Err(blocked) => failures.push(blocked),
+            Ok(real) => {
+                let report = spec::check(&real, m);
+                for error in &report.errors {
+                    failures.push(format!("{placement}: {error}"));
+                }
+                let expected_scans = f - 1;
+                if report.scans != expected_scans {
+                    failures.push(format!(
+                        "{placement}: {} of {expected_scans} survivor Scans completed",
+                        report.scans
+                    ));
+                }
+            }
+        }
+    }
+    CertifyReport { f, m, placements, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LinOp;
+
+    #[test]
+    fn placement_space_is_exhaustive_and_victim_major() {
+        let placements = single_crash_placements(3);
+        assert_eq!(placements.len(), 3 * BLOCK_UPDATE_STEPS);
+        assert_eq!(placements[0], CrashPlacement { victim: 0, after_steps: 0 });
+        assert_eq!(
+            placements[BLOCK_UPDATE_STEPS],
+            CrashPlacement { victim: 1, after_steps: 0 }
+        );
+        // Victim-major, then step order.
+        let mut sorted = placements.clone();
+        sorted.sort_by_key(|p| (p.victim, p.after_steps));
+        assert_eq!(placements, sorted);
+    }
+
+    #[test]
+    fn all_single_crash_placements_certify_for_small_systems() {
+        for f in 1..=3 {
+            for m in 1..=3 {
+                let report = certify_nonblocking_block_updates(f, m);
+                assert!(
+                    report.is_certified(),
+                    "f={f} m={m} failures: {:?}",
+                    report.failures
+                );
+                assert_eq!(report.placements.len(), f * BLOCK_UPDATE_STEPS);
+            }
+        }
+    }
+
+    #[test]
+    fn late_crash_leaves_a_non_atomic_batch_in_the_linearization() {
+        // Crashing after step 5 means the victim already appended its
+        // triples to H (its second H-step, Algorithm 4's update); §3.3
+        // linearizes them as a non-atomic batch even though the
+        // operation never completed.
+        let placement = CrashPlacement { victim: 0, after_steps: 5 };
+        let real = run_placement(2, 2, placement).expect("survivors complete");
+        let lin = spec::linearize(&real);
+        let victim_update = lin.iter().find(|op| {
+            matches!(op, LinOp::Update { pid: 0, op_index: None, .. })
+        });
+        let update = victim_update.expect("victim's partial batch linearizes");
+        if let LinOp::Update { atomic, .. } = update {
+            assert!(!atomic, "an incomplete Block-Update is never atomic");
+        }
+    }
+
+    #[test]
+    fn early_crash_leaves_no_trace_of_the_victim() {
+        // A Block-Update appends its triples at its second H-step;
+        // crashing after one step means the victim appended nothing,
+        // so its batch must not linearize at all.
+        let placement = CrashPlacement { victim: 1, after_steps: 1 };
+        let real = run_placement(3, 2, placement).expect("survivors complete");
+        let lin = spec::linearize(&real);
+        assert!(
+            !lin.iter().any(|op| matches!(op, LinOp::Update { pid: 1, .. })),
+            "victim appended nothing, yet its update linearized"
+        );
+    }
+
+    #[test]
+    fn a_blocked_survivor_is_reported_not_looped_on() {
+        // `live` that freezes every process after the victim makes the
+        // budget trip; the report must name the stuck process.
+        let mut real = RealSystem::new(2, 2);
+        real.begin(
+            0,
+            AugOp::BlockUpdate { components: vec![0], values: vec![Value::Int(1)] },
+        );
+        let stuck = round_robin(&mut real, 2, |_| false);
+        assert_eq!(stuck, Ok(()), "frozen processes make no progress and exit");
+    }
+}

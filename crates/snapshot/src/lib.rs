@@ -22,6 +22,9 @@
 //!   untagged variant).
 //! * [`thread_mode`] — a coarse-locked, thread-shared twin of the
 //!   augmented snapshot for real-thread stress tests.
+//! * [`certify`] — non-blocking certification under deterministic
+//!   crash placements: every single-crash position in the Block-Update
+//!   sequence, survivors checked for progress and §3 conformance.
 //!
 //! # Example: one atomic Block-Update
 //!
@@ -46,6 +49,7 @@
 //! ```
 
 pub mod afek;
+pub mod certify;
 pub mod client;
 pub mod hbase;
 pub mod mw_from_registers;

@@ -17,6 +17,13 @@ smoke-campaign:
     cargo run --release -- campaign --procs 3 --runs 200 \
         --sched rr,random,quantum:2,obstruction:2,crash:1 --json
 
+# Fault-injection certificate: the exhaustive single-crash sweep plus
+# the §3 non-blocking certification (mirrors CI's smoke-faults job).
+smoke-faults:
+    cargo run --release -- campaign --faults sweep --procs 3 --runs 4 \
+        --budget 4000 --sched rr --json
+    cargo run --release -- aug --f 3 --m 2 --certify
+
 # Per-experiment Criterion benches (CRITERION_SAMPLES trims sample count).
 bench:
     cargo bench -p rsim-bench

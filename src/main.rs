@@ -14,10 +14,22 @@
 //!   [--budget B] [--seed-start S] [--threads T] [--json]` — a seeded
 //!   randomised campaign over a protocol family and scheduler mix;
 //!   every failure records its seed, and `--seed S --sched SPEC`
-//!   replays a single run exactly.
+//!   replays a single run exactly. Hardening knobs: `--wall-limit SECS`
+//!   and `--stop-after N` watchdogs (truncation is always reported),
+//!   `--cache-budget N` (bounded fingerprint cache), and
+//!   `--checkpoint PATH [--checkpoint-every N]` / `--resume PATH` for
+//!   interruptible campaigns whose resumed aggregates are bit-for-bit
+//!   those of an uninterrupted run.
+//! * `campaign --faults PLANS|sweep[:MAXSTEP]` — fault-injection mode:
+//!   fan the base `--sched` scheduler over a space of deterministic
+//!   fault plans (`sweep` enumerates every single-crash placement) and
+//!   certify non-blocking progress: survivors must terminate under
+//!   every plan, and any outputs must still be valid.
 //! * `aug --f F --m M [--ops K] [--seed S]` — drive the augmented
 //!   snapshot under a random contended schedule and specification-check
-//!   the run.
+//!   the run. With `--certify`, instead check every single-crash
+//!   placement in the Block-Update sequence (§3 non-blocking
+//!   certification).
 //! * `report` — the full experiments report (same as the
 //!   `experiments_report` example).
 //!
@@ -78,7 +90,10 @@ fn print_usage() {
          \x20\x20\x20\x20 [--procs N] [--m M] [--sched rr,random,quantum:2,obstruction:1,crash:1]\n\
          \x20\x20\x20\x20 [--runs R] [--budget B] [--seed-start S] [--threads T] [--json]\n\
          \x20\x20\x20\x20 [--seed S]  (replay one run with the first --sched spec)\n\
-         \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S]\n\
+         \x20\x20\x20\x20 [--faults PLANS|sweep[:MAXSTEP]]  (fault-injection certification)\n\
+         \x20\x20\x20\x20 [--wall-limit SECS] [--stop-after N] [--cache-budget N]\n\
+         \x20\x20\x20\x20 [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n\
+         \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S] [--certify]\n\
          \x20 revisionist-simulations audit --n N --k K --x X --m M [--schedules S]\n\
          \x20 revisionist-simulations report"
     );
@@ -317,9 +332,11 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     use revisionist_simulations::protocols::ladder::ladder_system;
     use revisionist_simulations::protocols::racing::racing_system;
     use revisionist_simulations::smr::campaign::{
-        replay_run, run_campaign, CampaignConfig, SchedulerSpec,
+        replay_run, run_campaign_with, CampaignCheckpoint, CampaignConfig,
+        CampaignOptions, FaultCampaignConfig, SchedulerSpec,
     };
     use revisionist_simulations::smr::system::System;
+    use std::time::Duration;
 
     let protocol = flags.get("protocol").map_or("racing", String::as_str);
     let procs = get(flags, "procs", 3);
@@ -332,7 +349,11 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
             match SchedulerSpec::parse(part) {
                 Ok(spec) => parsed.push(spec),
                 Err(e) => {
-                    eprintln!("bad --sched: {e}");
+                    eprintln!("{e}");
+                    eprintln!(
+                        "valid --sched specs: rr | random | solo:P | quantum:Q \
+                         | obstruction:X | crash:C (comma-separated)"
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -370,6 +391,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     // is recorded with its replayable seed. The contrarian family has
     // no output task — there the campaign measures termination only.
     let validate_consensus = protocol != "contrarian";
+    let fault_inputs = inputs.clone();
     let check = move |sys: &System| -> Option<String> {
         if !validate_consensus || !sys.all_terminated() {
             return None;
@@ -379,6 +401,25 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     };
 
     let budget = get(flags, "budget", 2_000);
+
+    if let Some(faults_raw) = flags.get("faults") {
+        return cmd_campaign_faults(
+            flags,
+            faults_raw,
+            FaultCampaignConfig {
+                base: specs[0].clone(),
+                plans: Vec::new(),
+                seed_start: get(flags, "seed-start", 0) as u64,
+                runs: get(flags, "runs", 100),
+                budget,
+                threads: get(flags, "threads", 0),
+            },
+            procs,
+            &factory,
+            validate_consensus,
+            &fault_inputs,
+        );
+    }
     if let Some(seed) = flags.get("seed") {
         let Ok(seed) = seed.parse::<u64>() else {
             eprintln!("bad --seed");
@@ -407,7 +448,33 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         budget,
         threads: get(flags, "threads", 0),
     };
-    let report = run_campaign(&config, factory, &check);
+    let mut options = CampaignOptions {
+        wall_limit: flags
+            .get("wall-limit")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs),
+        stop_after: flags.get("stop-after").and_then(|v| v.parse().ok()),
+        cache_budget: flags.get("cache-budget").and_then(|v| v.parse().ok()),
+        checkpoint_every: flags.get("checkpoint-every").and_then(|v| v.parse().ok()),
+        checkpoint_path: flags.get("checkpoint").map(std::path::PathBuf::from),
+        resume_from: None,
+    };
+    if let Some(path) = flags.get("resume") {
+        match CampaignCheckpoint::load(std::path::Path::new(path)) {
+            Ok(checkpoint) => {
+                options.resume_from = Some(checkpoint);
+                // Keep checkpointing to the same file unless overridden.
+                if options.checkpoint_path.is_none() {
+                    options.checkpoint_path = Some(std::path::PathBuf::from(path));
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = run_campaign_with(&config, &options, factory, &check);
     if flags.contains_key("json") {
         print!("{}", report.to_json());
         return ExitCode::SUCCESS;
@@ -431,6 +498,15 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         report.distinct_configs,
         report.total_steps,
     );
+    if let Some(notice) = &report.truncation {
+        println!("  TRUNCATED: {notice} ({} runs skipped)", report.skipped_runs);
+    }
+    if report.cache_truncated {
+        println!(
+            "  note: fingerprint cache hit its budget; distinct configs is a \
+             lower bound"
+        );
+    }
     for tally in &report.per_scheduler {
         println!(
             "  {:<14} {} runs, {} terminated, {} failures",
@@ -456,6 +532,113 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_campaign_faults(
+    flags: &HashMap<String, String>,
+    faults_raw: &str,
+    mut config: revisionist_simulations::smr::campaign::FaultCampaignConfig,
+    procs: usize,
+    factory: &(dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync),
+    validate_outputs: bool,
+    inputs: &[Value],
+) -> ExitCode {
+    use revisionist_simulations::smr::campaign::run_fault_campaign;
+    use revisionist_simulations::smr::fault::FaultPlan;
+    use revisionist_simulations::smr::process::ProcessId;
+    use revisionist_simulations::smr::system::System;
+
+    let faults_hint = "valid --faults: `sweep[:MAXSTEP]` (every single-crash \
+                       placement) or comma-separated plans of crash@P:S, \
+                       stall@P:FROM-TO, crash-after@P:OP:K joined by `+`";
+    let plans: Vec<FaultPlan> = if let Some(rest) = faults_raw.strip_prefix("sweep") {
+        let max_step = if rest.is_empty() {
+            5 // The 6-step Block-Update sequence: crash before each step.
+        } else if let Some(bound) = rest.strip_prefix(':') {
+            match bound.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("bad --faults sweep bound `{bound}`");
+                    eprintln!("{faults_hint}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!("bad --faults `{faults_raw}`");
+            eprintln!("{faults_hint}");
+            return ExitCode::FAILURE;
+        };
+        FaultPlan::single_crash_plans(procs, max_step)
+    } else {
+        let mut parsed = Vec::new();
+        for part in faults_raw.split(',').filter(|p| !p.is_empty()) {
+            match FaultPlan::parse(part) {
+                Ok(plan) => parsed.push(plan),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("{faults_hint}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        parsed
+    };
+    if plans.is_empty() {
+        eprintln!("--faults needs at least one plan");
+        eprintln!("{faults_hint}");
+        return ExitCode::FAILURE;
+    }
+    config.plans = plans;
+
+    // Validity survives crashes: any output a survivor produces must be
+    // some process's input. Agreement need not — obstruction-free
+    // consensus is not crash-tolerant, which is the paper's point — so
+    // the certificate here is non-blocking progress plus validity.
+    let check = move |sys: &System, _crashed: &[ProcessId]| -> Option<String> {
+        if !validate_outputs {
+            return None;
+        }
+        sys.outputs()
+            .into_iter()
+            .flatten()
+            .find(|out| !inputs.contains(out))
+            .map(|out| format!("output {out:?} is not any process's input"))
+    };
+    let report = run_fault_campaign(&config, factory, &check);
+
+    if flags.contains_key("json") {
+        print!("{}", report.to_json());
+        return if report.is_certified() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    println!(
+        "fault campaign: base={} plans={} seeds={}..{}",
+        report.scheduler,
+        report.plans,
+        config.seed_start,
+        config.seed_start + config.runs as u64,
+    );
+    println!(
+        "  {} runs, {} certified, {} total steps",
+        report.total_runs, report.certified_runs, report.total_steps,
+    );
+    if report.is_certified() {
+        println!("  CERTIFIED: survivors made progress under every fault plan");
+        ExitCode::SUCCESS
+    } else {
+        println!("  {} failing runs (each replayable):", report.failures.len());
+        for r in report.failures.iter().take(10) {
+            let why = r
+                .violation
+                .as_deref()
+                .or(r.error.as_deref())
+                .unwrap_or("survivors did not terminate");
+            println!("    --faults {} --seed-start {} --runs 1: {}", r.plan, r.seed, why);
+        }
+        if report.failures.len() > 10 {
+            println!("    ... and {} more", report.failures.len() - 10);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_aug(flags: &HashMap<String, String>) -> ExitCode {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -467,6 +650,24 @@ fn cmd_aug(flags: &HashMap<String, String>) -> ExitCode {
     let m = get(flags, "m", 2);
     let ops = get(flags, "ops", 6);
     let seed = get(flags, "seed", 0) as u64;
+    if flags.contains_key("certify") {
+        use revisionist_simulations::snapshot::certify;
+        let report = certify::certify_nonblocking_block_updates(f, m);
+        println!(
+            "non-blocking certification f={f} m={m}: {} crash placements \
+             (every victim × every step of its Block-Update)",
+            report.placements.len()
+        );
+        if report.is_certified() {
+            println!("  CERTIFIED: survivors completed and §3 holds under every placement");
+            return ExitCode::SUCCESS;
+        }
+        println!("  {} placements FAILED:", report.failures.len());
+        for failure in &report.failures {
+            println!("  !! {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
     let mut rs = RealSystem::new(f, m);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut remaining = vec![ops; f];

@@ -104,3 +104,71 @@ fn sweep_prints_a_row() {
     assert!(ok);
     assert!(stdout.contains("budgets hold: true"));
 }
+
+#[test]
+fn campaign_malformed_sched_fails_with_hint() {
+    let (_, stderr, ok) = run(&["campaign", "--sched", "bogus:7"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad spec `bogus:7`"));
+    assert!(stderr.contains("valid --sched specs"), "stderr was: {stderr}");
+}
+
+#[test]
+fn campaign_faults_sweep_certifies() {
+    let (stdout, _, ok) = run(&[
+        "campaign", "--faults", "sweep", "--procs", "3", "--runs", "2",
+        "--budget", "2000", "--sched", "rr",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("fault campaign: base=rr plans=18"));
+    assert!(stdout.contains("CERTIFIED"), "stdout was: {stdout}");
+}
+
+#[test]
+fn campaign_faults_json_reports_certification() {
+    let (stdout, _, ok) = run(&[
+        "campaign", "--faults", "crash@0:1,stall@1:0-3+crash@2:2", "--runs", "2",
+        "--budget", "2000", "--json",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("\"certified\": true"), "stdout was: {stdout}");
+    assert!(stdout.contains("\"plans\": 2"));
+}
+
+#[test]
+fn campaign_malformed_faults_fails_with_hint() {
+    let (_, stderr, ok) = run(&["campaign", "--faults", "crash@oops"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad spec"));
+    assert!(stderr.contains("valid --faults"), "stderr was: {stderr}");
+}
+
+#[test]
+fn campaign_checkpoint_resume_round_trips() {
+    let dir = std::env::temp_dir().join(format!("rsim-cli-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cli.checkpoint.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = run(&[
+        "campaign", "--runs", "20", "--stop-after", "7", "--checkpoint", path_str,
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("TRUNCATED"), "stdout was: {stdout}");
+    let (resumed, _, ok) = run(&["campaign", "--runs", "20", "--resume", path_str]);
+    assert!(ok);
+    assert!(!resumed.contains("TRUNCATED"));
+    let (full, _, ok) = run(&["campaign", "--runs", "20"]);
+    assert!(ok);
+    // The aggregate lines must be bit-for-bit those of the one-shot run.
+    let line = |s: &str| s.lines().nth(1).unwrap().to_string();
+    assert_eq!(line(&resumed), line(&full));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn aug_certify_checks_every_placement() {
+    let (stdout, _, ok) = run(&["aug", "--f", "3", "--m", "2", "--certify"]);
+    assert!(ok);
+    assert!(stdout.contains("18 crash placements"));
+    assert!(stdout.contains("CERTIFIED"), "stdout was: {stdout}");
+}

@@ -70,6 +70,56 @@ fn explorer_violation_schedule_is_canonical_across_thread_counts() {
 }
 
 #[test]
+fn violation_outcomes_identical_across_thread_counts_for_many_checks() {
+    // A battery of violation predicates with different terminal shapes:
+    // early hits, late hits, and checks that fire on interior
+    // configurations. Terminals, visited counts, truncation, and the
+    // canonical violation must agree at every thread count.
+    let limits = Limits { max_depth: 64, max_configs: 20_000 };
+    type Check = Box<dyn Fn(&System) -> Option<String> + Sync>;
+    let checks: Vec<(&str, Check)> = vec![
+        (
+            "p0-decided-1-terminal",
+            Box::new(|sys: &System| {
+                (sys.all_terminated() && sys.output(ProcessId(0)) == Some(Value::Int(1)))
+                    .then(|| "v".into())
+            }),
+        ),
+        (
+            "p2-decided-any",
+            Box::new(|sys: &System| sys.output(ProcessId(2)).map(|_| "v".into())),
+        ),
+        (
+            "p0-decided-any",
+            Box::new(|sys: &System| sys.output(ProcessId(0)).map(|_| "v".into())),
+        ),
+        (
+            "p1-decided-2",
+            Box::new(|sys: &System| {
+                (sys.output(ProcessId(1)) == Some(Value::Int(2))).then(|| "v".into())
+            }),
+        ),
+        (
+            "any-terminal",
+            Box::new(|sys: &System| sys.all_terminated().then(|| "v".into())),
+        ),
+    ];
+    for (name, check) in &checks {
+        let base = Explorer::new(limits)
+            .with_threads(1)
+            .explore_parallel(&racing3(), &**check)
+            .unwrap();
+        for threads in [2, 3, 8, 32] {
+            let report = Explorer::new(limits)
+                .with_threads(threads)
+                .explore_parallel(&racing3(), &**check)
+                .unwrap();
+            assert_same_report(&base, &report, &format!("{name} threads={threads}"));
+        }
+    }
+}
+
+#[test]
 fn solo_termination_check_identical_across_thread_counts() {
     let limits = Limits { max_depth: 8, max_configs: 5_000 };
     let base = Explorer::new(limits)
