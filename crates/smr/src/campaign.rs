@@ -171,12 +171,15 @@ impl Default for CampaignConfig {
 /// Hardening knobs for [`run_campaign_with`], separate from
 /// [`CampaignConfig`] so the campaign *shape* (which determines the
 /// report) stays distinct from *how defensively* it executes.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CampaignOptions {
     /// Wall-clock watchdog: once elapsed, workers stop claiming runs
     /// and the report records how many were skipped. Skipping under a
     /// wall-clock limit is inherently machine-dependent; the report
-    /// says so rather than silently dropping runs.
+    /// says so rather than silently dropping runs. Before the hard
+    /// stop, a *soft* deadline at 80% of the limit degrades sampling
+    /// breadth (per-run budget drops to a quarter) so more cells
+    /// complete — shallowly — instead of being skipped outright.
     pub wall_limit: Option<Duration>,
     /// Run-count watchdog: stop after this many runs complete in this
     /// session (deterministic truncation, used to exercise `--resume`).
@@ -194,6 +197,35 @@ pub struct CampaignOptions {
     /// re-executed and the fingerprint set is restored, so the final
     /// aggregates are bit-for-bit those of an uninterrupted campaign.
     pub resume_from: Option<CampaignCheckpoint>,
+    /// Supervisor: re-attempt a cell this many times after a transient
+    /// worker panic before recording it as failed. Only panics are
+    /// retried — violations, runtime errors, and cell timeouts are
+    /// deterministic outcomes and retrying them would just burn the
+    /// deadline.
+    pub retries: usize,
+    /// Supervisor: base delay between retry attempts, doubled per
+    /// attempt (bounded exponential backoff).
+    pub retry_backoff: Duration,
+    /// Supervisor: per-cell wall-clock timeout. A cell that exceeds it
+    /// is recorded as a structured [`ModelError::CellTimeout`] failure
+    /// so one pathological schedule cannot starve the worker fleet.
+    pub cell_timeout: Option<Duration>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            wall_limit: None,
+            stop_after: None,
+            cache_budget: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            cell_timeout: None,
+        }
+    }
 }
 
 /// A campaign checkpoint: which matrix indices already ran (with their
@@ -216,7 +248,7 @@ impl CampaignCheckpoint {
             out.push_str(&format!(
                 "    {{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
                  \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
-                 \"error\": {}}}{}\n",
+                 \"error\": {}, \"attempts\": {}}}{}\n",
                 index,
                 json_string(&r.scheduler),
                 r.seed,
@@ -224,6 +256,7 @@ impl CampaignCheckpoint {
                 r.terminated,
                 r.violation.as_deref().map_or("null".into(), json_string),
                 r.error.as_deref().map_or("null".into(), json_string),
+                r.attempts,
                 if i + 1 < self.completed.len() { "," } else { "" },
             ));
         }
@@ -279,6 +312,11 @@ impl CampaignCheckpoint {
                         .ok_or_else(|| bad("bad `terminated`"))?,
                     violation: opt_str("violation"),
                     error: opt_str("error"),
+                    // Absent in pre-supervisor checkpoints: one attempt.
+                    attempts: entry
+                        .get("attempts")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(1),
                 },
             ));
         }
@@ -324,6 +362,9 @@ pub struct RunRecord {
     pub violation: Option<String>,
     /// Runtime error, if the run aborted.
     pub error: Option<String>,
+    /// Supervisor attempts this cell took (1 = first try; larger when
+    /// transient worker panics were retried).
+    pub attempts: usize,
 }
 
 impl RunRecord {
@@ -375,6 +416,12 @@ pub struct CampaignReport {
     /// The fingerprint cache hit its memory budget: `distinct_configs`
     /// is an over-count from that point on.
     pub cache_truncated: bool,
+    /// Runs the supervisor re-attempted after a transient worker panic
+    /// (each run's [`RunRecord::attempts`] has the detail).
+    pub retried_runs: usize,
+    /// Runs executed at reduced budget because the wall-clock soft
+    /// deadline had passed (the degradation ladder's first rung).
+    pub degraded_runs: usize,
 }
 
 impl CampaignReport {
@@ -415,6 +462,8 @@ impl CampaignReport {
             "  \"cache_truncated\": {},\n",
             self.cache_truncated
         ));
+        out.push_str(&format!("  \"retried_runs\": {},\n", self.retried_runs));
+        out.push_str(&format!("  \"degraded_runs\": {},\n", self.degraded_runs));
         out.push_str("  \"per_scheduler\": [\n");
         for (i, t) in self.per_scheduler.iter().enumerate() {
             out.push_str(&format!(
@@ -470,9 +519,16 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// How often the per-cell timeout is polled, in steps: cheap enough to
+/// be negligible, frequent enough that a pathological cell overshoots
+/// its deadline by at most a few microseconds of stepping.
+const TIMEOUT_POLL_STEPS: usize = 64;
+
 /// Executes one run and records its outcome. The final configuration is
 /// validated with `check`; intermediate configurations are fingerprinted
-/// into `cache` when one is supplied.
+/// into `cache` when one is supplied; when a `cell_timeout` is set, the
+/// wall clock is polled every [`TIMEOUT_POLL_STEPS`] steps and an
+/// expired cell aborts with a structured [`ModelError::CellTimeout`].
 fn execute_run(
     spec: &SchedulerSpec,
     seed: u64,
@@ -480,6 +536,7 @@ fn execute_run(
     system: &mut System,
     check: &dyn Fn(&System) -> Option<String>,
     cache: Option<&FingerprintCache>,
+    cell_timeout: Option<Duration>,
 ) -> RunRecord {
     let mut record = RunRecord {
         scheduler: spec.to_string(),
@@ -488,11 +545,28 @@ fn execute_run(
         terminated: false,
         violation: None,
         error: None,
+        attempts: 1,
     };
     let mut scheduler = spec.build(seed);
-    if let Some(cache) = cache {
-        cache.insert(&system.config_key());
+    let deadline = cell_timeout.map(|limit| (Instant::now() + limit, limit));
+    if cache.is_some() || deadline.is_some() {
+        if let Some(cache) = cache {
+            cache.insert(&system.config_key());
+        }
         while record.steps < budget && !system.all_terminated() {
+            if let Some((at, limit)) = deadline {
+                if record.steps.is_multiple_of(TIMEOUT_POLL_STEPS) && Instant::now() >= at
+                {
+                    record.error = Some(
+                        ModelError::CellTimeout {
+                            limit_ms: limit.as_millis(),
+                            context: format!("campaign run `{spec}` seed {seed}"),
+                        }
+                        .to_string(),
+                    );
+                    return record;
+                }
+            }
             let Some(pid) = scheduler.next(system) else { break };
             if system.is_terminated(pid) {
                 continue;
@@ -502,7 +576,9 @@ fn execute_run(
                 return record;
             }
             record.steps += 1;
-            cache.insert(&system.config_key());
+            if let Some(cache) = cache {
+                cache.insert(&system.config_key());
+            }
         }
     } else {
         match system.run(scheduler.as_mut(), budget) {
@@ -531,7 +607,7 @@ where
     F: Fn(u64) -> System,
 {
     let mut system = factory(seed);
-    execute_run(spec, seed, budget, &mut system, check, None)
+    execute_run(spec, seed, budget, &mut system, check, None, None)
 }
 
 /// Extracts a printable message from a panic payload.
@@ -554,13 +630,14 @@ fn run_one_guarded<F>(
     factory: &F,
     check: &(dyn Fn(&System) -> Option<String> + Sync),
     cache: Option<&FingerprintCache>,
+    cell_timeout: Option<Duration>,
 ) -> RunRecord
 where
     F: Fn(u64) -> System + Sync,
 {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let mut system = factory(seed);
-        execute_run(spec, seed, budget, &mut system, check, cache)
+        execute_run(spec, seed, budget, &mut system, check, cache, cell_timeout)
     }));
     match attempt {
         Ok(record) => record,
@@ -577,7 +654,59 @@ where
                 }
                 .to_string(),
             ),
+            attempts: 1,
         },
+    }
+}
+
+/// Is this record's error a worker panic (the only failure class the
+/// supervisor treats as transient and retries)?
+fn is_transient(record: &RunRecord) -> bool {
+    record
+        .error
+        .as_deref()
+        .is_some_and(|e| e.starts_with("worker panic"))
+}
+
+/// Bounded exponential backoff for retry attempt `attempt` (1-based).
+fn backoff_for(base: Duration, attempt: usize) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(10) as u32)
+}
+
+/// Supervises one cell: runs it with panic isolation and re-attempts
+/// transient worker panics up to `retries` times (with bounded
+/// exponential backoff) before recording the failure. The returned
+/// record's [`RunRecord::attempts`] says how many tries the cell took.
+fn run_cell_supervised<F>(
+    spec: &SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    factory: &F,
+    check: &(dyn Fn(&System) -> Option<String> + Sync),
+    cache: Option<&FingerprintCache>,
+    options: &CampaignOptions,
+) -> RunRecord
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let mut attempt = 1;
+    loop {
+        let mut record = run_one_guarded(
+            spec,
+            seed,
+            budget,
+            factory,
+            check,
+            cache,
+            options.cell_timeout,
+        );
+        record.attempts = attempt;
+        if is_transient(&record) && attempt <= options.retries {
+            std::thread::sleep(backoff_for(options.retry_backoff, attempt));
+            attempt += 1;
+            continue;
+        }
+        return record;
     }
 }
 
@@ -594,10 +723,7 @@ fn write_checkpoint(
         completed,
         fingerprints: cache.snapshot(),
     };
-    let tmp = path.with_extension("tmp");
-    let result = std::fs::write(&tmp, checkpoint.to_json())
-        .and_then(|()| std::fs::rename(&tmp, path));
-    if let Err(e) = result {
+    if let Err(e) = crate::json::write_atomic(path, &checkpoint.to_json()) {
         eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
     }
 }
@@ -663,11 +789,18 @@ where
         }
     }
 
-    let deadline = options.wall_limit.map(|limit| Instant::now() + limit);
+    let now = Instant::now();
+    let deadline = options.wall_limit.map(|limit| now + limit);
+    // Degradation ladder, rung 1: past 80% of the wall limit, runs
+    // execute at a quarter of the budget — sampling breadth shrinks
+    // before cells get skipped outright at the hard stop.
+    let soft_deadline = options.wall_limit.map(|limit| now + limit / 5 * 4);
+    let degraded_budget = (config.budget / 4).max(1);
     let records: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(resumed);
     let cursor = AtomicUsize::new(0);
     let stop = AtomicUsize::new(STOP_NONE);
     let executed = AtomicUsize::new(0);
+    let degraded = AtomicUsize::new(0);
     let last_checkpoint = Mutex::new(0usize);
     let chunk = total.div_ceil(threads * 8).clamp(1, 256);
     std::thread::scope(|scope| {
@@ -705,13 +838,22 @@ where
                         let spec = &config.schedulers[index / config.runs];
                         let seed =
                             config.seed_start + (index % config.runs) as u64;
-                        let record = run_one_guarded(
+                        let budget = if soft_deadline
+                            .is_some_and(|d| Instant::now() >= d)
+                        {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                            degraded_budget
+                        } else {
+                            config.budget
+                        };
+                        let record = run_cell_supervised(
                             spec,
                             seed,
-                            config.budget,
+                            budget,
                             &factory,
                             check,
                             Some(&cache),
+                            options,
                         );
                         local.push((index, record));
                         let done = executed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -798,6 +940,8 @@ where
         skipped_runs,
         truncation,
         cache_truncated: cache.truncated(),
+        retried_runs: 0,
+        degraded_runs: degraded.load(Ordering::Relaxed),
     };
     for (index, record) in records {
         let tally = &mut report.per_scheduler[index / config.runs];
@@ -807,6 +951,9 @@ where
         if record.terminated {
             tally.terminated += 1;
             report.terminated_runs += 1;
+        }
+        if record.attempts > 1 {
+            report.retried_runs += 1;
         }
         if record.is_failure() {
             tally.failures += 1;
@@ -863,6 +1010,8 @@ pub struct FaultRunRecord {
     pub violation: Option<String>,
     /// Runtime error or worker panic, if the run aborted.
     pub error: Option<String>,
+    /// Supervisor attempts this cell took (1 = first try).
+    pub attempts: usize,
 }
 
 impl FaultRunRecord {
@@ -887,6 +1036,8 @@ pub struct FaultCampaignReport {
     /// Every failing run, in matrix order; each replays from its
     /// `(plan, seed)`.
     pub failures: Vec<FaultRunRecord>,
+    /// Runs the supervisor re-attempted after a transient worker panic.
+    pub retried_runs: usize,
 }
 
 impl FaultCampaignReport {
@@ -907,12 +1058,13 @@ impl FaultCampaignReport {
         out.push_str(&format!("  \"certified_runs\": {},\n", self.certified_runs));
         out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
         out.push_str(&format!("  \"certified\": {},\n", self.is_certified()));
+        out.push_str(&format!("  \"retried_runs\": {},\n", self.retried_runs));
         out.push_str("  \"failures\": [\n");
         for (i, r) in self.failures.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"plan\": {}, \"scheduler\": {}, \"seed\": {}, \
                  \"steps\": {}, \"crashed\": {}, \"survivors_terminated\": {}, \
-                 \"violation\": {}, \"error\": {}}}{}\n",
+                 \"violation\": {}, \"error\": {}, \"attempts\": {}}}{}\n",
                 json_string(&r.plan),
                 json_string(&r.scheduler),
                 r.seed,
@@ -921,6 +1073,7 @@ impl FaultCampaignReport {
                 r.survivors_terminated,
                 r.violation.as_deref().map_or("null".into(), json_string),
                 r.error.as_deref().map_or("null".into(), json_string),
+                r.attempts,
                 if i + 1 < self.failures.len() { "," } else { "" },
             ));
         }
@@ -937,6 +1090,7 @@ fn execute_fault_run<F>(
     seed: u64,
     factory: &F,
     check: FaultCheck,
+    cell_timeout: Option<Duration>,
 ) -> FaultRunRecord
 where
     F: Fn(u64) -> System + Sync,
@@ -950,14 +1104,43 @@ where
         survivors_terminated: false,
         violation: None,
         error: None,
+        attempts: 1,
     };
     let mut system = factory(seed);
     let mut sched = FaultScheduler::new(config.base.build(seed), plan.clone());
-    match system.run(&mut sched, config.budget) {
-        Ok(steps) => record.steps = steps,
-        Err(err) => {
-            record.error = Some(err.to_string());
-            return record;
+    if let Some(limit) = cell_timeout {
+        // Manual stepping so the wall clock can be polled; the
+        // FaultScheduler never picks terminated or crashed processes,
+        // so this loop is step-for-step what `System::run` would do.
+        let at = Instant::now() + limit;
+        while record.steps < config.budget && !system.all_terminated() {
+            if record.steps.is_multiple_of(TIMEOUT_POLL_STEPS) && Instant::now() >= at {
+                record.error = Some(
+                    ModelError::CellTimeout {
+                        limit_ms: limit.as_millis(),
+                        context: format!("fault run plan `{plan}` seed {seed}"),
+                    }
+                    .to_string(),
+                );
+                return record;
+            }
+            let Some(pid) = sched.next(&system) else { break };
+            if system.is_terminated(pid) {
+                continue;
+            }
+            if let Err(err) = system.step(pid) {
+                record.error = Some(err.to_string());
+                return record;
+            }
+            record.steps += 1;
+        }
+    } else {
+        match system.run(&mut sched, config.budget) {
+            Ok(steps) => record.steps = steps,
+            Err(err) => {
+                record.error = Some(err.to_string());
+                return record;
+            }
         }
     }
     record.crashed = sched.crashed().len();
@@ -981,7 +1164,7 @@ pub fn replay_fault_run<F>(
 where
     F: Fn(u64) -> System + Sync,
 {
-    execute_fault_run(config, plan, seed, &factory, check)
+    execute_fault_run(config, plan, seed, &factory, check, None)
 }
 
 /// Runs the fault-campaign matrix (plan space × seed range) across
@@ -989,8 +1172,27 @@ where
 /// [`run_campaign`]: records merge in matrix order, so the report is
 /// identical at any thread count. Worker panics become structured
 /// [`ModelError::WorkerPanic`] records naming the plan and seed.
+/// Equivalent to [`run_fault_campaign_with`] under default
+/// [`CampaignOptions`] (transient panics retried twice).
 pub fn run_fault_campaign<F>(
     config: &FaultCampaignConfig,
+    factory: F,
+    check: FaultCheck,
+) -> FaultCampaignReport
+where
+    F: Fn(u64) -> System + Sync,
+{
+    run_fault_campaign_with(config, &CampaignOptions::default(), factory, check)
+}
+
+/// [`run_fault_campaign`] with supervisor options. Only the supervisor
+/// knobs of [`CampaignOptions`] apply here —
+/// [`CampaignOptions::retries`], [`CampaignOptions::retry_backoff`] and
+/// [`CampaignOptions::cell_timeout`]; the watchdog and checkpoint
+/// fields are for [`run_campaign_with`] and are ignored.
+pub fn run_fault_campaign_with<F>(
+    config: &FaultCampaignConfig,
+    options: &CampaignOptions,
     factory: F,
     check: FaultCheck,
 ) -> FaultCampaignReport
@@ -1021,29 +1223,58 @@ where
                         let plan = &config.plans[index / config.runs];
                         let seed =
                             config.seed_start + (index % config.runs) as u64;
-                        let attempt = catch_unwind(AssertUnwindSafe(|| {
-                            execute_fault_run(config, plan, seed, &factory, check)
-                        }));
-                        let record = attempt.unwrap_or_else(|payload| {
-                            FaultRunRecord {
-                                plan: plan.to_string(),
-                                scheduler: config.base.to_string(),
-                                seed,
-                                steps: 0,
-                                crashed: 0,
-                                survivors_terminated: false,
-                                violation: None,
-                                error: Some(
-                                    ModelError::WorkerPanic {
-                                        context: format!(
-                                            "fault run plan `{plan}` seed {seed}"
-                                        ),
-                                        message: panic_message(payload.as_ref()),
-                                    }
-                                    .to_string(),
-                                ),
+                        // Supervised cell: transient panics are retried
+                        // with backoff before the failure is recorded.
+                        let mut attempt_no = 1;
+                        let record = loop {
+                            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                execute_fault_run(
+                                    config,
+                                    plan,
+                                    seed,
+                                    &factory,
+                                    check,
+                                    options.cell_timeout,
+                                )
+                            }));
+                            let mut record = attempt.unwrap_or_else(|payload| {
+                                FaultRunRecord {
+                                    plan: plan.to_string(),
+                                    scheduler: config.base.to_string(),
+                                    seed,
+                                    steps: 0,
+                                    crashed: 0,
+                                    survivors_terminated: false,
+                                    violation: None,
+                                    error: Some(
+                                        ModelError::WorkerPanic {
+                                            context: format!(
+                                                "fault run plan `{plan}` seed {seed}"
+                                            ),
+                                            message: panic_message(
+                                                payload.as_ref(),
+                                            ),
+                                        }
+                                        .to_string(),
+                                    ),
+                                    attempts: 1,
+                                }
+                            });
+                            record.attempts = attempt_no;
+                            let transient = record
+                                .error
+                                .as_deref()
+                                .is_some_and(|e| e.starts_with("worker panic"));
+                            if transient && attempt_no <= options.retries {
+                                std::thread::sleep(backoff_for(
+                                    options.retry_backoff,
+                                    attempt_no,
+                                ));
+                                attempt_no += 1;
+                                continue;
                             }
-                        });
+                            break record;
+                        };
                         local.push((index, record));
                     }
                 }
@@ -1061,9 +1292,13 @@ where
         certified_runs: 0,
         total_steps: 0,
         failures: Vec::new(),
+        retried_runs: 0,
     };
     for (_, record) in records {
         report.total_steps += record.steps;
+        if record.attempts > 1 {
+            report.retried_runs += 1;
+        }
         if record.is_failure() {
             report.failures.push(record);
         } else {
@@ -1273,6 +1508,203 @@ mod tests {
     }
 
     #[test]
+    fn transient_panic_heals_on_retry_and_is_reported() {
+        use std::sync::atomic::AtomicUsize;
+
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 4,
+            budget: 500,
+            threads: 1,
+        };
+        // Seed 2's factory panics exactly once — a transient fault the
+        // supervisor must absorb by retrying the cell.
+        let glitches = AtomicUsize::new(0);
+        let flaky = |seed: u64| {
+            if seed == 2 && glitches.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient glitch");
+            }
+            factory(seed)
+        };
+        let report = run_campaign(&config, flaky, &|_| None);
+        assert_eq!(report.total_runs, 4);
+        assert!(
+            report.failures.is_empty(),
+            "the retried cell must not be lost: {:?}",
+            report.failures
+        );
+        assert_eq!(report.terminated_runs, 4);
+        assert_eq!(report.retried_runs, 1, "exactly one cell was retried");
+        assert!(report.to_json().contains("\"retried_runs\": 1"));
+    }
+
+    #[test]
+    fn persistent_panic_still_fails_after_retries_with_attempt_count() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 2,
+            budget: 500,
+            threads: 1,
+        };
+        let exploding = |seed: u64| {
+            assert!(seed != 1, "persistent failure for seed 1");
+            factory(seed)
+        };
+        let options = CampaignOptions {
+            retries: 3,
+            retry_backoff: Duration::from_micros(10),
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign_with(&config, &options, exploding, &|_| None);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 4, "1 try + 3 retries");
+        assert_eq!(report.retried_runs, 1);
+    }
+
+    #[test]
+    fn fault_campaign_retries_transient_panics() {
+        use std::sync::atomic::AtomicUsize;
+
+        let config = FaultCampaignConfig {
+            base: SchedulerSpec::RoundRobin,
+            plans: vec![FaultPlan::none(), FaultPlan::parse("crash@0:1").unwrap()],
+            seed_start: 0,
+            runs: 2,
+            budget: 500,
+            threads: 1,
+        };
+        let glitches = AtomicUsize::new(0);
+        let flaky = |seed: u64| {
+            if seed == 1 && glitches.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient fault-run glitch");
+            }
+            factory(seed)
+        };
+        let report = run_fault_campaign(&config, flaky, &|_, _| None);
+        assert_eq!(report.total_runs, 4);
+        assert!(report.is_certified(), "failures: {:?}", report.failures);
+        assert_eq!(report.retried_runs, 1);
+        assert!(report.to_json().contains("\"retried_runs\": 1"));
+    }
+
+    /// Updates forever; never terminates.
+    #[derive(Clone, Debug)]
+    struct Spinner;
+
+    impl SnapshotProtocol for Spinner {
+        fn on_scan(&mut self, _view: &[Value]) -> ProtocolStep {
+            ProtocolStep::Update(0, Value::Int(0))
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn pathological_cell_times_out_with_structured_error() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 1,
+            budget: usize::MAX,
+            threads: 1,
+        };
+        let spinner = |_seed: u64| {
+            System::new(
+                vec![Object::snapshot(1)],
+                vec![Box::new(SnapshotProcess::new(Spinner, ObjectId(0)))
+                    as Box<dyn Process>],
+            )
+        };
+        let options = CampaignOptions {
+            cell_timeout: Some(Duration::from_millis(20)),
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign_with(&config, &options, spinner, &|_| None);
+        assert_eq!(report.total_runs, 1, "the cell is recorded, not lost");
+        assert_eq!(report.failures.len(), 1);
+        let err = report.failures[0].error.as_deref().unwrap();
+        assert!(err.contains("cell timeout"), "error was: {err}");
+        assert!(err.contains("seed 0"), "error was: {err}");
+        assert_eq!(
+            report.retried_runs, 0,
+            "timeouts are deterministic and must not be retried"
+        );
+    }
+
+    #[test]
+    fn soft_deadline_degrades_budget_before_the_hard_stop() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 4,
+            budget: 400,
+            threads: 1,
+        };
+        // Seed 0 burns most of the wall budget; the remaining cells must
+        // still run, but on the degraded (quarter) budget.
+        let slow_start = |seed: u64| {
+            if seed == 0 {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            factory(seed)
+        };
+        let report = run_campaign_with(
+            &config,
+            &CampaignOptions {
+                wall_limit: Some(Duration::from_millis(600)),
+                ..CampaignOptions::default()
+            },
+            slow_start,
+            &|_| None,
+        );
+        assert!(
+            report.degraded_runs >= 1,
+            "cells past the soft deadline must be counted as degraded: {:?}",
+            report.to_json()
+        );
+        assert!(report.total_runs >= 2, "degraded cells still execute");
+        assert!(report.to_json().contains("\"degraded_runs\""));
+    }
+
+    #[test]
+    fn watchdog_truncation_still_flushes_a_final_checkpoint() {
+        let config = CampaignConfig {
+            schedulers: vec![SchedulerSpec::Random],
+            seed_start: 0,
+            runs: 30,
+            budget: 500,
+            threads: 2,
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "rsim-truncated-ckpt-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.checkpoint.json");
+        let report = run_campaign_with(
+            &config,
+            &CampaignOptions {
+                stop_after: Some(5),
+                checkpoint_path: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+            factory,
+            &|_| None,
+        );
+        assert!(report.truncation.is_some());
+        let checkpoint = CampaignCheckpoint::load(&path).unwrap();
+        assert_eq!(
+            checkpoint.completed.len(),
+            report.total_runs,
+            "the final flush must capture every completed run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn run_count_watchdog_truncates_gracefully() {
         let config = CampaignConfig {
             schedulers: vec![SchedulerSpec::Random],
@@ -1306,6 +1738,7 @@ mod tests {
                         terminated: true,
                         violation: None,
                         error: None,
+                        attempts: 1,
                     },
                 ),
                 (
@@ -1317,6 +1750,7 @@ mod tests {
                         terminated: false,
                         violation: Some("p0 output \"x\"".into()),
                         error: None,
+                        attempts: 3,
                     },
                 ),
             ],
@@ -1329,6 +1763,24 @@ mod tests {
         assert_eq!(parsed.completed[1].1.violation.as_deref(), Some("p0 output \"x\""));
         assert!(parsed.completed[1].1.error.is_none());
         assert_eq!(parsed.completed[1].1.seed, 8);
+        assert_eq!(parsed.completed[0].1.attempts, 1);
+        assert_eq!(parsed.completed[1].1.attempts, 3);
+    }
+
+    #[test]
+    fn pre_supervisor_checkpoints_still_parse() {
+        // Checkpoints written before the supervisor existed have no
+        // `attempts` field; they load with attempts = 1.
+        let legacy = r#"{
+            "version": 1,
+            "completed": [
+                {"index": 0, "scheduler": "rr", "seed": 0, "steps": 9,
+                 "terminated": true, "violation": null, "error": null}
+            ],
+            "fingerprints": [7]
+        }"#;
+        let parsed = CampaignCheckpoint::parse(legacy).unwrap();
+        assert_eq!(parsed.completed[0].1.attempts, 1);
     }
 
     #[test]

@@ -39,6 +39,24 @@ pub enum ModelError {
         /// The panic message, if it was a string.
         message: String,
     },
+    /// A replay bundle failed to reproduce its recorded violation: the
+    /// re-executed counterexample produced a different outcome than the
+    /// fingerprint the bundle promised.
+    BundleMismatch {
+        /// The violation fingerprint recorded in the bundle.
+        expected: u64,
+        /// What the re-execution actually produced.
+        actual: String,
+    },
+    /// A single campaign cell exceeded its per-cell wall-clock timeout
+    /// and was abandoned so one pathological schedule cannot starve the
+    /// worker fleet.
+    CellTimeout {
+        /// The configured limit, in milliseconds.
+        limit_ms: u128,
+        /// The cell's replay coordinates.
+        context: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -63,6 +81,14 @@ impl fmt::Display for ModelError {
             ModelError::WorkerPanic { context, message } => {
                 write!(f, "worker panic during {context}: {message}")
             }
+            ModelError::BundleMismatch { expected, actual } => write!(
+                f,
+                "bundle mismatch: expected violation fingerprint {expected}, \
+                 but replay produced {actual}"
+            ),
+            ModelError::CellTimeout { limit_ms, context } => {
+                write!(f, "cell timeout after {limit_ms} ms: {context}")
+            }
         }
     }
 }
@@ -86,6 +112,14 @@ mod tests {
             ModelError::WorkerPanic {
                 context: "campaign run seed 3".into(),
                 message: "boom".into(),
+            },
+            ModelError::BundleMismatch {
+                expected: 42,
+                actual: "no violation".into(),
+            },
+            ModelError::CellTimeout {
+                limit_ms: 250,
+                context: "campaign run `rr` seed 9".into(),
             },
         ];
         for e in errs {

@@ -91,11 +91,17 @@ pub struct Explorer {
     limits: Limits,
     threads: usize,
     wall_limit: Option<Duration>,
+    soft_wall_limit: Option<Duration>,
 }
 
 impl Default for Explorer {
     fn default() -> Self {
-        Explorer { limits: Limits::default(), threads: 1, wall_limit: None }
+        Explorer {
+            limits: Limits::default(),
+            threads: 1,
+            wall_limit: None,
+            soft_wall_limit: None,
+        }
     }
 }
 
@@ -103,7 +109,7 @@ impl Explorer {
     /// Creates an explorer with the given limits (single-threaded until
     /// configured with [`Explorer::with_threads`]).
     pub fn new(limits: Limits) -> Self {
-        Explorer { limits, threads: 1, wall_limit: None }
+        Explorer { limits, ..Explorer::default() }
     }
 
     /// Sets the worker-thread count used by the `*_parallel` methods.
@@ -117,9 +123,25 @@ impl Explorer {
     /// Arms a wall-clock watchdog: when it fires, exploration stops
     /// gracefully with `truncated` set and a `truncation` notice in
     /// the report (results found so far are kept).
+    ///
+    /// The parallel explorer degrades before it dies: once 80% of the
+    /// wall limit has elapsed (the *soft* deadline, tunable via
+    /// [`Explorer::with_soft_wall_limit`]), each frontier level is
+    /// capped to a quarter of its size — keeping the canonical prefix,
+    /// so what *is* explored stays deterministic — which narrows the
+    /// search instead of cutting it off mid-level at the hard stop.
     #[must_use]
     pub fn with_wall_limit(mut self, limit: Duration) -> Self {
         self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the soft (degradation) deadline used by the parallel
+    /// explorer. Defaults to 80% of the wall limit; has no effect
+    /// without [`Explorer::with_wall_limit`].
+    #[must_use]
+    pub fn with_soft_wall_limit(mut self, limit: Duration) -> Self {
+        self.soft_wall_limit = Some(limit);
         self
     }
 
@@ -242,7 +264,16 @@ impl Explorer {
             truncation: None,
             violation: None,
         };
-        let deadline = self.wall_limit.map(|limit| Instant::now() + limit);
+        let start = Instant::now();
+        let deadline = self.wall_limit.map(|limit| start + limit);
+        // Degradation ladder, rung 1: past the soft deadline (80% of the
+        // wall limit by default) each frontier level keeps only its
+        // canonical prefix — breadth shrinks before the hard stop cuts
+        // the search off entirely.
+        let soft_deadline = self.wall_limit.map(|limit| {
+            start + self.soft_wall_limit.unwrap_or(limit / 5 * 4)
+        });
+        let mut capped_entries = 0usize;
         let mut terminal_outputs: Vec<Vec<Value>> = Vec::new();
         let mut seen_outputs: HashSet<String> = HashSet::new();
 
@@ -258,6 +289,18 @@ impl Explorer {
                     "wall-clock limit reached between frontier levels".into(),
                 );
                 break;
+            }
+            if frontier.len() > 1
+                && soft_deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                let cap = (frontier.len() / 4).max(1);
+                capped_entries += frontier.len() - cap;
+                frontier.truncate(cap);
+                report.truncated = true;
+                report.truncation = Some(format!(
+                    "soft wall deadline: degraded to canonical frontier \
+                     prefixes ({capped_entries} entries shed so far)"
+                ));
             }
             let level = self.run_level(&frontier, check, &cache, threads);
 
@@ -873,6 +916,39 @@ mod tests {
             .unwrap();
         assert!(report.truncated);
         assert!(report.truncation.is_some());
+    }
+
+    #[test]
+    fn soft_deadline_degrades_frontier_instead_of_stopping() {
+        // A generous hard limit with an already-expired soft deadline:
+        // every level is capped to its canonical prefix, yet the search
+        // still runs to completion instead of dying at the watchdog.
+        let explorer = Explorer::default()
+            .with_threads(2)
+            .with_wall_limit(Duration::from_secs(60))
+            .with_soft_wall_limit(Duration::from_secs(0));
+        let report = explorer
+            .explore_parallel(&two_process_system(), &|_| None)
+            .unwrap();
+        assert!(report.truncated);
+        let notice = report.truncation.as_deref().unwrap();
+        assert!(
+            notice.contains("soft wall deadline"),
+            "notice was: {notice}"
+        );
+        // The canonical prefix is kept, so the degraded search still
+        // reaches p0's solo terminal run.
+        assert!(report.terminals >= 1);
+        let full = Explorer::default()
+            .with_threads(2)
+            .explore_parallel(&two_process_system(), &|_| None)
+            .unwrap();
+        assert!(
+            report.configs_visited < full.configs_visited,
+            "degradation must actually shed work: {} vs {}",
+            report.configs_visited,
+            full.configs_visited
+        );
     }
 
     #[test]

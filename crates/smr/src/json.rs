@@ -10,6 +10,25 @@
 //! [`Json::as_u64`] parses the token directly.
 
 use crate::error::ModelError;
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// `.tmp` file first, which is then renamed over the destination, so a
+/// reader (or a crash mid-write) never observes a half-written file.
+///
+/// This is the single write path for every JSON artifact the workspace
+/// produces — campaign checkpoints, replay bundles, and `--json-out`
+/// reports all funnel through here.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error from the write or the rename.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
 
 /// A parsed JSON value.
 #[derive(Clone, PartialEq, Debug)]

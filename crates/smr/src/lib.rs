@@ -21,8 +21,15 @@
 //! * [`fault`] — deterministic fault injection: precisely placed
 //!   crashes, stall windows, and trace-keyed triggers composable with
 //!   any scheduler via [`fault::FaultScheduler`].
+//! * [`shrink`] — ddmin counterexample minimisation over the joint
+//!   (decision sequence, fault plan) space, preserving the violation
+//!   fingerprint.
+//! * [`bundle`] — portable replay bundles: self-contained JSON
+//!   counterexample artifacts the `replay` CLI subcommand re-executes
+//!   and verifies bit-for-bit.
 //! * [`json`] — minimal JSON reader (the workspace has no serde) used
-//!   by campaign checkpoints.
+//!   by campaign checkpoints and replay bundles, plus the atomic
+//!   tmp+rename writer every JSON artifact goes through.
 //! * [`fingerprint`] — the sharded configuration-fingerprint cache used
 //!   by the parallel explorer and campaign runner.
 //! * [`campaign`] — seeded randomised campaign runner: many runs across
@@ -63,17 +70,19 @@
 //! # }
 //! ```
 
+pub mod bundle;
 pub mod campaign;
 pub mod error;
 pub mod explore;
 pub mod fault;
-pub mod json;
 pub mod fingerprint;
+pub mod json;
 pub mod history;
 pub mod linearizability;
 pub mod object;
 pub mod process;
 pub mod sched;
+pub mod shrink;
 pub mod system;
 pub mod trace;
 pub mod value;

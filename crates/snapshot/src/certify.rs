@@ -17,6 +17,13 @@
 //! A placement fails certification if any survivor exceeds its step
 //! budget (a blocking violation) or the specification check reports an
 //! error.
+//!
+//! [`certify_block_update_faults`] widens the same victim×step sweep to
+//! *stalls*: the victim pauses at the same prefix points while the
+//! survivors complete everything, then resumes and must itself finish
+//! its Block-Update and a Scan — the wait-free counterpart of the
+//! crash case. Its failures are structured ([`Placement`] + message) so
+//! a failed certification can be packaged into a replay bundle.
 
 use crate::client::AugOp;
 use crate::real::RealSystem;
@@ -57,6 +64,65 @@ pub fn single_crash_placements(f: usize) -> Vec<CrashPlacement> {
     placements
 }
 
+/// What happens to the victim at its placement point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// The victim crash-stops for good; survivors must still finish.
+    Crash,
+    /// The victim pauses while the survivors finish everything, then
+    /// resumes and must itself complete (a full stall window).
+    Stall,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Crash => write!(out, "crash"),
+            FaultAction::Stall => write!(out, "stall"),
+        }
+    }
+}
+
+/// A single-fault placement: `victim` crashes or stalls after taking
+/// exactly `after_steps` steps of its Block-Update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// The process that crashes or stalls.
+    pub victim: usize,
+    /// How many steps of its Block-Update it completes first
+    /// (`0..BLOCK_UPDATE_STEPS`).
+    pub after_steps: usize,
+    /// Whether the victim crash-stops or merely stalls.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "{} q{} after step {}",
+            self.action, self.victim, self.after_steps
+        )
+    }
+}
+
+/// All single-fault placements for an `f`-process system: the
+/// victim×step sweep of [`single_crash_placements`], once per
+/// [`FaultAction`] (crash first, then stall, within each coordinate).
+pub fn single_fault_placements(f: usize) -> Vec<Placement> {
+    let mut placements = Vec::with_capacity(f * BLOCK_UPDATE_STEPS * 2);
+    for crash in single_crash_placements(f) {
+        for action in [FaultAction::Crash, FaultAction::Stall] {
+            placements.push(Placement {
+                victim: crash.victim,
+                after_steps: crash.after_steps,
+                action,
+            });
+        }
+    }
+    placements
+}
+
 /// The outcome of certifying every placement of a crash space.
 #[derive(Clone, Debug)]
 pub struct CertifyReport {
@@ -91,8 +157,32 @@ pub fn run_placement(
     m: usize,
     placement: CrashPlacement,
 ) -> Result<RealSystem, String> {
+    run_fault_placement(
+        f,
+        m,
+        Placement {
+            victim: placement.victim,
+            after_steps: placement.after_steps,
+            action: FaultAction::Crash,
+        },
+    )
+}
+
+/// Runs one fault placement (crash *or* stall) to completion.
+///
+/// The crash case is exactly [`run_placement`]. In the stall case the
+/// victim pauses at the same prefix point while the survivors finish
+/// their Block-Updates and Scans, then resumes: it must complete its
+/// own Block-Update and a final Scan within the same per-phase budget,
+/// so a stalled process that can never catch up is detected as a
+/// blocking violation rather than looped on.
+pub fn run_fault_placement(
+    f: usize,
+    m: usize,
+    placement: Placement,
+) -> Result<RealSystem, String> {
     assert!(placement.victim < f, "victim out of range");
-    assert!(placement.after_steps < BLOCK_UPDATE_STEPS, "crash after completion");
+    assert!(placement.after_steps < BLOCK_UPDATE_STEPS, "fault after completion");
     let mut real = RealSystem::new(f, m);
     for pid in 0..f {
         real.begin(
@@ -121,6 +211,16 @@ pub fn run_placement(
     }
     round_robin(&mut real, f, |pid| pid != placement.victim)
         .map_err(|pid| format!("{placement}: q{pid}'s Scan blocked"))?;
+    if placement.action == FaultAction::Stall {
+        // The stall window closes: the victim resumes alone and must
+        // finish its Block-Update, then a Scan of its own.
+        round_robin(&mut real, f, |pid| pid == placement.victim).map_err(
+            |pid| format!("{placement}: q{pid}'s resumed Block-Update blocked"),
+        )?;
+        real.begin(placement.victim, AugOp::Scan);
+        round_robin(&mut real, f, |pid| pid == placement.victim)
+            .map_err(|pid| format!("{placement}: q{pid}'s resumed Scan blocked"))?;
+    }
     Ok(real)
 }
 
@@ -181,6 +281,76 @@ pub fn certify_nonblocking_block_updates(f: usize, m: usize) -> CertifyReport {
     CertifyReport { f, m, placements, failures }
 }
 
+/// The outcome of certifying every crash *and* stall placement.
+///
+/// Failures are structured — each carries the [`Placement`] that broke
+/// alongside the message — so a failed certification can be packaged
+/// into a portable replay bundle instead of just a log line.
+#[derive(Clone, Debug)]
+pub struct FaultCertifyReport {
+    /// Number of real processes.
+    pub f: usize,
+    /// Components of the augmented snapshot.
+    pub m: usize,
+    /// Every placement that was checked.
+    pub placements: Vec<Placement>,
+    /// One entry per failed placement (empty = certified).
+    pub failures: Vec<(Placement, String)>,
+}
+
+impl FaultCertifyReport {
+    /// Did every placement pass?
+    pub fn is_certified(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs one fault placement and returns its failure messages (empty =
+/// the placement certifies). This is the per-placement body of
+/// [`certify_block_update_faults`], exposed so a replay of a bundled
+/// certification failure can re-check exactly one placement.
+pub fn check_fault_placement(f: usize, m: usize, placement: Placement) -> Vec<String> {
+    match run_fault_placement(f, m, placement) {
+        Err(blocked) => vec![blocked],
+        Ok(real) => {
+            let report = spec::check(&real, m);
+            let mut failures: Vec<String> = report
+                .errors
+                .iter()
+                .map(|error| format!("{placement}: {error}"))
+                .collect();
+            let expected_scans = match placement.action {
+                FaultAction::Crash => f - 1,
+                FaultAction::Stall => f,
+            };
+            if report.scans != expected_scans {
+                failures.push(format!(
+                    "{placement}: {} of {expected_scans} expected Scans \
+                     completed",
+                    report.scans
+                ));
+            }
+            failures
+        }
+    }
+}
+
+/// Certifies the augmented snapshot under every single-fault placement
+/// — the crash sweep of [`certify_nonblocking_block_updates`] plus the
+/// matching stall sweep. Crash placements expect `f - 1` survivor
+/// Scans; stall placements expect all `f` (the victim's own Scan runs
+/// after it resumes).
+pub fn certify_block_update_faults(f: usize, m: usize) -> FaultCertifyReport {
+    let placements = single_fault_placements(f);
+    let mut failures = Vec::new();
+    for &placement in &placements {
+        for failure in check_fault_placement(f, m, placement) {
+            failures.push((placement, failure));
+        }
+    }
+    FaultCertifyReport { f, m, placements, failures }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +383,60 @@ mod tests {
                 );
                 assert_eq!(report.placements.len(), f * BLOCK_UPDATE_STEPS);
             }
+        }
+    }
+
+    #[test]
+    fn fault_placement_space_doubles_the_crash_sweep() {
+        let placements = single_fault_placements(2);
+        assert_eq!(placements.len(), 2 * BLOCK_UPDATE_STEPS * 2);
+        assert_eq!(
+            placements[0],
+            Placement { victim: 0, after_steps: 0, action: FaultAction::Crash }
+        );
+        assert_eq!(
+            placements[1],
+            Placement { victim: 0, after_steps: 0, action: FaultAction::Stall }
+        );
+        // Same victim-major, step order as the crash sweep it reuses.
+        let mut sorted = placements.clone();
+        sorted.sort_by_key(|p| (p.victim, p.after_steps));
+        assert_eq!(placements, sorted);
+    }
+
+    #[test]
+    fn all_single_fault_placements_certify_for_small_systems() {
+        for f in 1..=3 {
+            for m in 1..=2 {
+                let report = certify_block_update_faults(f, m);
+                assert!(
+                    report.is_certified(),
+                    "f={f} m={m} failures: {:?}",
+                    report.failures
+                );
+                assert_eq!(report.placements.len(), f * BLOCK_UPDATE_STEPS * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_victim_completes_and_its_batch_linearizes_atomically() {
+        // A stall is survivable: once the window closes the victim's
+        // Block-Update runs to completion, so unlike a crash its batch
+        // linearizes as a *completed* operation.
+        let placement =
+            Placement { victim: 0, after_steps: 2, action: FaultAction::Stall };
+        let real = run_fault_placement(2, 2, placement).expect("all complete");
+        let lin = spec::linearize(&real);
+        let victim_update = lin
+            .iter()
+            .find(|op| matches!(op, LinOp::Update { pid: 0, .. }))
+            .expect("resumed victim's update linearizes");
+        if let LinOp::Update { op_index, .. } = victim_update {
+            assert!(
+                op_index.is_some(),
+                "a resumed Block-Update completes, so it carries its op index"
+            );
         }
     }
 

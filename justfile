@@ -24,6 +24,18 @@ smoke-faults:
         --budget 4000 --sched rr --json
     cargo run --release -- aug --f 3 --m 2 --certify
 
+# Shrink a known violation into a replay bundle, replay it at several
+# thread counts, and prove a tampered bundle is rejected (mirrors CI's
+# smoke-replay job).
+smoke-replay:
+    cargo run --release -- campaign --protocol racing --procs 3 --m 2 \
+        --sched random --runs 100 --bundle cex.bundle.json
+    cargo run --release -- replay cex.bundle.json
+    cargo run --release -- replay cex.bundle.json --threads 8
+    sed 's/"fingerprint": [0-9]*/"fingerprint": 1/' cex.bundle.json \
+        > tampered.bundle.json
+    ! cargo run --release -- replay tampered.bundle.json
+
 # Per-experiment Criterion benches (CRITERION_SAMPLES trims sample count).
 bench:
     cargo bench -p rsim-bench

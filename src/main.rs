@@ -27,11 +27,20 @@
 //!   every plan, and any outputs must still be valid.
 //! * `aug --f F --m M [--ops K] [--seed S]` — drive the augmented
 //!   snapshot under a random contended schedule and specification-check
-//!   the run. With `--certify`, instead check every single-crash
-//!   placement in the Block-Update sequence (§3 non-blocking
-//!   certification).
+//!   the run. With `--certify`, instead check every single-crash *and*
+//!   single-stall placement in the Block-Update sequence (§3
+//!   non-blocking certification).
+//! * `replay BUNDLE.json [--threads T]` — load a portable replay
+//!   bundle, re-execute its decision trace (`T` concurrent replays must
+//!   all match), and exit 0 only if the recorded violation reproduces
+//!   bit-for-bit. Campaign failures shrink automatically (ddmin over
+//!   decisions and faults); `--bundle PATH` on `campaign` and
+//!   `aug --certify` writes the minimized counterexample as a bundle.
 //! * `report` — the full experiments report (same as the
 //!   `experiments_report` example).
+//!
+//! `--json-out PATH` on `campaign` writes the JSON report through the
+//! same atomic tmp+rename path used for checkpoints and bundles.
 //!
 //! All arguments are plain `--key value` pairs; no external argument
 //! parser is used.
@@ -60,6 +69,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
+        "replay" => cmd_replay(&args[1..], &flags),
         "aug" => cmd_aug(&flags),
         "audit" => cmd_audit(&flags),
         "report" => {
@@ -93,7 +103,11 @@ fn print_usage() {
          \x20\x20\x20\x20 [--faults PLANS|sweep[:MAXSTEP]]  (fault-injection certification)\n\
          \x20\x20\x20\x20 [--wall-limit SECS] [--stop-after N] [--cache-budget N]\n\
          \x20\x20\x20\x20 [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n\
+         \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
+         \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
+         \x20 revisionist-simulations replay BUNDLE.json [--threads T]\n\
          \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S] [--certify]\n\
+         \x20\x20\x20\x20 [--bundle PATH]  (bundle the first failed placement)\n\
          \x20 revisionist-simulations audit --n N --k K --x X --m M [--schedules S]\n\
          \x20 revisionist-simulations report"
     );
@@ -327,15 +341,135 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
+/// Builds the seeded system factory for a campaign protocol family.
+/// Shared by `campaign` (finding violations) and `replay` (reproducing
+/// them from a bundle), so a bundle's `system` description rebuilds
+/// exactly the system the campaign ran.
+fn protocol_factory(
+    protocol: &str,
+    procs: usize,
+    m: usize,
+    rounds: usize,
+) -> Option<Box<dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync>> {
     use revisionist_simulations::protocols::contrarian::contrarian_system;
     use revisionist_simulations::protocols::ladder::ladder_system;
     use revisionist_simulations::protocols::racing::racing_system;
+    let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
+    match protocol {
+        "racing" => Some(Box::new(move |_seed| racing_system(m, &inputs))),
+        "ladder" => Some(Box::new(move |_seed| ladder_system(&inputs, rounds))),
+        "contrarian" => Some(Box::new(move |seed| {
+            // Input bits vary with the seed so the campaign covers all
+            // 2^procs input assignments (deterministically per seed).
+            let bits: Vec<bool> = (0..procs).map(|i| (seed >> i) & 1 == 1).collect();
+            contrarian_system(&bits)
+        })),
+        _ => None,
+    }
+}
+
+/// The campaign check for a protocol family. Terminated runs of the
+/// agreement protocols must satisfy consensus; a violation is the
+/// observable Theorem 21 artifact and is recorded with its replayable
+/// seed. The contrarian family has no output task — there the campaign
+/// measures termination only.
+fn protocol_check(
+    protocol: &str,
+    procs: usize,
+) -> impl Fn(&revisionist_simulations::smr::system::System) -> Option<String> + Sync {
+    let validate_consensus = protocol != "contrarian";
+    let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
+    move |sys| {
+        if !validate_consensus || !sys.all_terminated() {
+            return None;
+        }
+        let outs: Vec<Value> = sys.outputs().into_iter().flatten().collect();
+        consensus().validate(&inputs, &outs).err().map(|e| e.to_string())
+    }
+}
+
+/// Captures, minimises, and optionally bundles one campaign failure:
+/// re-runs the (spec, seed, plan) cell to record its decision trace,
+/// ddmin-shrinks it while preserving the violation fingerprint, prints
+/// the shrink ratio, and — when `bundle_path` is given — writes the
+/// minimized counterexample as a portable replay bundle.
+fn shrink_failure_to_bundle(
+    bundle: Option<(&str, &[(String, String)])>,
+    spec: &revisionist_simulations::smr::campaign::SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    plan: &revisionist_simulations::smr::fault::FaultPlan,
+    factory: &dyn Fn(u64) -> revisionist_simulations::smr::system::System,
+    check: revisionist_simulations::smr::shrink::CexCheck,
+) -> bool {
+    use revisionist_simulations::smr::bundle::{tool_id, ReplayBundle, BUNDLE_VERSION};
+    use revisionist_simulations::smr::shrink;
+
+    let Some((cex, _)) = shrink::capture(spec, seed, budget, plan, factory, check)
+    else {
+        eprintln!("  could not re-capture the failure as a decision trace");
+        return false;
+    };
+    let seeded = || factory(seed);
+    let (shrunk, report) = shrink::shrink(&cex, &seeded, check);
+    // stderr, so `--json` stdout stays machine-parseable.
+    eprintln!("  shrunk counterexample: {}", report.ratio());
+    let outcome = shrink::execute(&seeded, &shrunk, check);
+    let (Some(violation), Some(fingerprint)) =
+        (outcome.violation.clone(), outcome.fingerprint())
+    else {
+        eprintln!("  shrunk trace no longer violates — not bundling");
+        return false;
+    };
+    let Some((path, system)) = bundle else {
+        return true;
+    };
+    let bundle = ReplayBundle {
+        version: BUNDLE_VERSION,
+        tool: tool_id(),
+        system: system.to_vec(),
+        scheduler: spec.to_string(),
+        seed,
+        plan: shrunk.plan.to_string(),
+        decisions: shrunk.decisions.iter().map(|p| p.0).collect(),
+        fingerprint,
+        violation,
+    };
+    match bundle.store(std::path::Path::new(path)) {
+        Ok(()) => {
+            eprintln!("  replay bundle written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("  cannot write bundle {path}: {e}");
+            false
+        }
+    }
+}
+
+/// Writes a JSON report atomically when `--json-out PATH` was given.
+fn write_json_out(flags: &HashMap<String, String>, json: &str) -> bool {
+    let Some(path) = flags.get("json-out") else {
+        return true;
+    };
+    match revisionist_simulations::smr::json::write_atomic(
+        std::path::Path::new(path),
+        json,
+    ) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("cannot write --json-out {path}: {e}");
+            false
+        }
+    }
+}
+
+fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     use revisionist_simulations::smr::campaign::{
         replay_run, run_campaign_with, CampaignCheckpoint, CampaignConfig,
         CampaignOptions, FaultCampaignConfig, SchedulerSpec,
     };
-    use revisionist_simulations::smr::system::System;
+    use revisionist_simulations::smr::fault::FaultPlan;
     use std::time::Duration;
 
     let protocol = flags.get("protocol").map_or("racing", String::as_str);
@@ -365,42 +499,24 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
-    let factory: Box<dyn Fn(u64) -> System + Sync> = match protocol {
-        "racing" => {
-            let inputs = inputs.clone();
-            Box::new(move |_seed| racing_system(m, &inputs))
-        }
-        "ladder" => {
-            let inputs = inputs.clone();
-            Box::new(move |_seed| ladder_system(&inputs, rounds))
-        }
-        "contrarian" => Box::new(move |seed| {
-            // Input bits vary with the seed so the campaign covers all
-            // 2^procs input assignments (deterministically per seed).
-            let bits: Vec<bool> = (0..procs).map(|i| (seed >> i) & 1 == 1).collect();
-            contrarian_system(&bits)
-        }),
-        other => {
-            eprintln!("unknown --protocol {other} (racing, contrarian, ladder)");
-            return ExitCode::FAILURE;
-        }
+    let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
+        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder)");
+        return ExitCode::FAILURE;
     };
-    // Terminated runs of the agreement protocols must satisfy
-    // consensus; a violation is the observable Theorem 21 artifact and
-    // is recorded with its replayable seed. The contrarian family has
-    // no output task — there the campaign measures termination only.
     let validate_consensus = protocol != "contrarian";
-    let fault_inputs = inputs.clone();
-    let check = move |sys: &System| -> Option<String> {
-        if !validate_consensus || !sys.all_terminated() {
-            return None;
-        }
-        let outs: Vec<Value> = sys.outputs().into_iter().flatten().collect();
-        consensus().validate(&inputs, &outs).err().map(|e| e.to_string())
-    };
+    let fault_inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
+    let check = protocol_check(protocol, procs);
 
     let budget = get(flags, "budget", 2_000);
+    // The ordered system description stamped into replay bundles: how
+    // `replay` rebuilds exactly this campaign's system and check.
+    let bundle_system: Vec<(String, String)> = vec![
+        ("kind".into(), "campaign".into()),
+        ("protocol".into(), protocol.to_string()),
+        ("procs".into(), procs.to_string()),
+        ("m".into(), m.to_string()),
+        ("rounds".into(), rounds.to_string()),
+    ];
 
     if let Some(faults_raw) = flags.get("faults") {
         return cmd_campaign_faults(
@@ -416,8 +532,8 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
             },
             procs,
             &factory,
-            validate_consensus,
-            &fault_inputs,
+            validate_consensus.then_some(fault_inputs.as_slice()),
+            bundle_system,
         );
     }
     if let Some(seed) = flags.get("seed") {
@@ -458,6 +574,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         checkpoint_every: flags.get("checkpoint-every").and_then(|v| v.parse().ok()),
         checkpoint_path: flags.get("checkpoint").map(std::path::PathBuf::from),
         resume_from: None,
+        ..CampaignOptions::default()
     };
     if let Some(path) = flags.get("resume") {
         match CampaignCheckpoint::load(std::path::Path::new(path)) {
@@ -474,7 +591,33 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
             }
         }
     }
-    let report = run_campaign_with(&config, &options, factory, &check);
+    let report = run_campaign_with(&config, &options, &factory, &check);
+    if !write_json_out(flags, &report.to_json()) {
+        return ExitCode::FAILURE;
+    }
+    // The first failure shrinks automatically: a raw violating schedule
+    // is replayable but noisy; the ddmin-minimized trace (and, with
+    // --bundle, its portable artifact) is the useful reproducer.
+    if let Some(failure) = report.failures.iter().find(|r| r.violation.is_some()) {
+        match SchedulerSpec::parse(&failure.scheduler) {
+            Ok(spec) => {
+                shrink_failure_to_bundle(
+                    flags
+                        .get("bundle")
+                        .map(|p| (p.as_str(), bundle_system.as_slice())),
+                    &spec,
+                    failure.seed,
+                    budget,
+                    &FaultPlan::none(),
+                    &|seed| factory(seed),
+                    &|sys, _crashed| check(sys),
+                );
+            }
+            Err(e) => eprintln!("  cannot shrink failure: {e}"),
+        }
+    } else if flags.contains_key("bundle") {
+        eprintln!("  no violation to bundle (bundles record violations only)");
+    }
     if flags.contains_key("json") {
         print!("{}", report.to_json());
         return ExitCode::SUCCESS;
@@ -538,8 +681,8 @@ fn cmd_campaign_faults(
     mut config: revisionist_simulations::smr::campaign::FaultCampaignConfig,
     procs: usize,
     factory: &(dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync),
-    validate_outputs: bool,
-    inputs: &[Value],
+    validity_inputs: Option<&[Value]>,
+    bundle_system: Vec<(String, String)>,
 ) -> ExitCode {
     use revisionist_simulations::smr::campaign::run_fault_campaign;
     use revisionist_simulations::smr::fault::FaultPlan;
@@ -593,9 +736,7 @@ fn cmd_campaign_faults(
     // consensus is not crash-tolerant, which is the paper's point — so
     // the certificate here is non-blocking progress plus validity.
     let check = move |sys: &System, _crashed: &[ProcessId]| -> Option<String> {
-        if !validate_outputs {
-            return None;
-        }
+        let inputs = validity_inputs?;
         sys.outputs()
             .into_iter()
             .flatten()
@@ -603,6 +744,32 @@ fn cmd_campaign_faults(
             .map(|out| format!("output {out:?} is not any process's input"))
     };
     let report = run_fault_campaign(&config, factory, &check);
+
+    if !write_json_out(flags, &report.to_json()) {
+        return ExitCode::FAILURE;
+    }
+    // As in the plain campaign: the first violating run shrinks
+    // automatically (decisions *and* fault plan), bundling on request.
+    if let Some(failure) = report.failures.iter().find(|r| r.violation.is_some()) {
+        match FaultPlan::parse(&failure.plan) {
+            Ok(plan) => {
+                shrink_failure_to_bundle(
+                    flags
+                        .get("bundle")
+                        .map(|p| (p.as_str(), bundle_system.as_slice())),
+                    &config.base,
+                    failure.seed,
+                    config.budget,
+                    &plan,
+                    &|seed| factory(seed),
+                    &check,
+                );
+            }
+            Err(e) => eprintln!("  cannot shrink failure: {e}"),
+        }
+    } else if flags.contains_key("bundle") {
+        eprintln!("  no violation to bundle (bundles record violations only)");
+    }
 
     if flags.contains_key("json") {
         print!("{}", report.to_json());
@@ -639,6 +806,151 @@ fn cmd_campaign_faults(
     }
 }
 
+fn cmd_replay(args: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::smr::bundle::ReplayBundle;
+    use revisionist_simulations::smr::error::ModelError;
+    use revisionist_simulations::smr::fingerprint::fingerprint;
+    use revisionist_simulations::smr::shrink::CexOutcome;
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: revisionist-simulations replay BUNDLE.json [--threads T]");
+        return ExitCode::FAILURE;
+    };
+    let bundle = match ReplayBundle::load(std::path::Path::new(path)) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = get(flags, "threads", 1).max(1);
+    let field = |key: &str, default: usize| {
+        bundle
+            .system_field(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+
+    // Every replay runs `threads` times concurrently and all runs must
+    // reproduce the recorded fingerprint: the portable artifact doubles
+    // as an in-process determinism check across thread counts.
+    let results: Vec<Result<CexOutcome, ModelError>> = match bundle
+        .system_field("kind")
+    {
+        Some("campaign") => {
+            let protocol = bundle
+                .system_field("protocol")
+                .unwrap_or("racing")
+                .to_string();
+            let procs = field("procs", 3);
+            let Some(factory) =
+                protocol_factory(&protocol, procs, field("m", 2), field("rounds", 3))
+            else {
+                eprintln!("replay: bundle names unknown protocol `{protocol}`");
+                return ExitCode::FAILURE;
+            };
+            let check = protocol_check(&protocol, procs);
+            let seed = bundle.seed;
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            bundle.replay(&|| factory(seed), &|sys, _crashed| {
+                                check(sys)
+                            })
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("replay worker"))
+                    .collect()
+            })
+        }
+        Some("aug-certify") => {
+            use revisionist_simulations::snapshot::certify::{
+                check_fault_placement, FaultAction, Placement,
+            };
+            let action = match bundle.system_field("action") {
+                Some("crash") => FaultAction::Crash,
+                Some("stall") => FaultAction::Stall,
+                other => {
+                    eprintln!("replay: bad certify action {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let placement = Placement {
+                victim: field("victim", 0),
+                after_steps: field("after_steps", 0),
+                action,
+            };
+            let (f, m) = (field("f", 2), field("m", 2));
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let failures = check_fault_placement(f, m, placement);
+                            match failures.first() {
+                                Some(msg) if fingerprint(msg) == bundle.fingerprint => {
+                                    Ok(CexOutcome {
+                                        violation: Some(msg.clone()),
+                                        steps: 0,
+                                        crashed: Vec::new(),
+                                    })
+                                }
+                                Some(msg) => Err(ModelError::BundleMismatch {
+                                    expected: bundle.fingerprint,
+                                    actual: format!(
+                                        "failure `{msg}` (fingerprint {})",
+                                        fingerprint(msg)
+                                    ),
+                                }),
+                                None => Err(ModelError::BundleMismatch {
+                                    expected: bundle.fingerprint,
+                                    actual: format!(
+                                        "placement `{placement}` certifies cleanly"
+                                    ),
+                                }),
+                            }
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("replay worker"))
+                    .collect()
+            })
+        }
+        other => {
+            eprintln!(
+                "replay: unsupported bundle kind {:?} (campaign, aug-certify)",
+                other.unwrap_or("<missing>")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for result in &results {
+        if let Err(e) = result {
+            eprintln!("replay: FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let outcome = results[0].as_ref().expect("all results ok");
+    println!(
+        "replay {path}: violation reproduced bit-for-bit across {threads} \
+         concurrent run{} ({} decisions, fingerprint {})",
+        if threads == 1 { "" } else { "s" },
+        bundle.decisions.len(),
+        bundle.fingerprint,
+    );
+    println!(
+        "  violation: {}",
+        outcome.violation.as_deref().unwrap_or("<none>")
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_aug(flags: &HashMap<String, String>) -> ExitCode {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -651,20 +963,54 @@ fn cmd_aug(flags: &HashMap<String, String>) -> ExitCode {
     let ops = get(flags, "ops", 6);
     let seed = get(flags, "seed", 0) as u64;
     if flags.contains_key("certify") {
+        use revisionist_simulations::smr::bundle::{
+            tool_id, ReplayBundle, BUNDLE_VERSION,
+        };
+        use revisionist_simulations::smr::fingerprint::fingerprint;
         use revisionist_simulations::snapshot::certify;
-        let report = certify::certify_nonblocking_block_updates(f, m);
+        let report = certify::certify_block_update_faults(f, m);
         println!(
-            "non-blocking certification f={f} m={m}: {} crash placements \
-             (every victim × every step of its Block-Update)",
+            "non-blocking certification f={f} m={m}: {} placements \
+             (every victim × every Block-Update step × crash/stall)",
             report.placements.len()
         );
         if report.is_certified() {
-            println!("  CERTIFIED: survivors completed and §3 holds under every placement");
+            println!(
+                "  CERTIFIED: every crash leaves survivors unblocked, every \
+                 stalled victim completes, and §3 holds throughout"
+            );
             return ExitCode::SUCCESS;
         }
         println!("  {} placements FAILED:", report.failures.len());
-        for failure in &report.failures {
+        for (_, failure) in &report.failures {
             println!("  !! {failure}");
+        }
+        // Failed certifications are portable too: bundle the first
+        // failed placement so `replay` can re-check it anywhere.
+        if let Some(path) = flags.get("bundle") {
+            let (placement, message) = &report.failures[0];
+            let bundle = ReplayBundle {
+                version: BUNDLE_VERSION,
+                tool: tool_id(),
+                system: vec![
+                    ("kind".into(), "aug-certify".into()),
+                    ("f".into(), f.to_string()),
+                    ("m".into(), m.to_string()),
+                    ("victim".into(), placement.victim.to_string()),
+                    ("after_steps".into(), placement.after_steps.to_string()),
+                    ("action".into(), placement.action.to_string()),
+                ],
+                scheduler: "round-robin".into(),
+                seed: 0,
+                plan: "none".into(),
+                decisions: Vec::new(),
+                fingerprint: fingerprint(message),
+                violation: message.clone(),
+            };
+            match bundle.store(std::path::Path::new(path)) {
+                Ok(()) => eprintln!("  replay bundle written to {path}"),
+                Err(e) => eprintln!("  cannot write bundle {path}: {e}"),
+            }
         }
         return ExitCode::FAILURE;
     }

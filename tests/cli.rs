@@ -169,6 +169,10 @@ fn campaign_checkpoint_resume_round_trips() {
 fn aug_certify_checks_every_placement() {
     let (stdout, _, ok) = run(&["aug", "--f", "3", "--m", "2", "--certify"]);
     assert!(ok);
-    assert!(stdout.contains("18 crash placements"));
+    assert!(
+        stdout.contains("36 placements"),
+        "crash+stall sweep doubles the 18-placement crash space: {stdout}"
+    );
+    assert!(stdout.contains("crash/stall"), "stdout was: {stdout}");
     assert!(stdout.contains("CERTIFIED"), "stdout was: {stdout}");
 }

@@ -1,0 +1,171 @@
+//! End-to-end tests of the campaign → shrink → bundle → replay
+//! pipeline through the CLI binary: a seeded campaign provokes a known
+//! violation, minimises it into a portable bundle, and `replay` must
+//! reproduce it deterministically at any thread count — while a
+//! tampered bundle fails with a structured error and nonzero exit.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_revisionist-simulations"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("rsim-replay-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The seeded racing campaign whose seed 28 violates consensus (see
+/// the campaign CLI tests); `--bundle` shrinks and stores it.
+fn write_violation_bundle(dir: &std::path::Path) -> PathBuf {
+    let bundle = dir.join("cex.bundle.json");
+    let (_, stderr, ok) = run(&[
+        "campaign",
+        "--protocol",
+        "racing",
+        "--procs",
+        "3",
+        "--m",
+        "2",
+        "--sched",
+        "random",
+        "--runs",
+        "100",
+        "--bundle",
+        bundle.to_str().unwrap(),
+    ]);
+    assert!(ok, "campaign run failed: {stderr}");
+    assert!(stderr.contains("shrunk counterexample:"), "stderr: {stderr}");
+    assert!(stderr.contains("replay bundle written"), "stderr: {stderr}");
+    assert!(bundle.exists());
+    bundle
+}
+
+#[test]
+fn campaign_bundle_replays_at_any_thread_count() {
+    let dir = temp_dir("threads");
+    let bundle = write_violation_bundle(&dir);
+    for threads in ["1", "4", "8"] {
+        let (stdout, stderr, ok) =
+            run(&["replay", bundle.to_str().unwrap(), "--threads", threads]);
+        assert!(ok, "replay --threads {threads} failed: {stderr}");
+        assert!(
+            stdout.contains("violation reproduced bit-for-bit"),
+            "stdout: {stdout}"
+        );
+        assert!(stdout.contains("consensus violated"), "stdout: {stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_fingerprint_fails_replay_with_structured_error() {
+    let dir = temp_dir("tamper");
+    let bundle = write_violation_bundle(&dir);
+    let text = std::fs::read_to_string(&bundle).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"fingerprint\""))
+        .expect("bundle has a fingerprint")
+        .to_string();
+    // Flip the fingerprint's last digit.
+    let digit = line.trim_end_matches(',').chars().last().unwrap();
+    let flipped = if digit == '1' { '2' } else { '1' };
+    let mut tampered_line = line.trim_end_matches(',').to_string();
+    tampered_line.pop();
+    tampered_line.push(flipped);
+    tampered_line.push(',');
+    let tampered = dir.join("tampered.bundle.json");
+    std::fs::write(&tampered, text.replace(&line, &tampered_line)).unwrap();
+
+    let (_, stderr, ok) = run(&["replay", tampered.to_str().unwrap()]);
+    assert!(!ok, "tampered bundle must fail replay");
+    assert!(stderr.contains("bundle mismatch"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("expected violation fingerprint"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_decisions_fail_replay() {
+    let dir = temp_dir("decisions");
+    let bundle = write_violation_bundle(&dir);
+    let text = std::fs::read_to_string(&bundle).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"decisions\""))
+        .expect("bundle has decisions")
+        .to_string();
+    let tampered = dir.join("hollow.bundle.json");
+    std::fs::write(
+        &tampered,
+        text.replace(&line, "  \"decisions\": [0],"),
+    )
+    .unwrap();
+    let (_, stderr, ok) = run(&["replay", tampered.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("bundle mismatch"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_bundles_are_rejected_before_execution() {
+    let dir = temp_dir("malformed");
+    let path = dir.join("garbage.bundle.json");
+    std::fs::write(&path, "{\"version\": 99}").unwrap();
+    let (_, stderr, ok) = run(&["replay", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unsupported bundle version"), "stderr: {stderr}");
+
+    let (_, stderr, ok) = run(&["replay", dir.join("missing.json").to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read bundle"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_without_a_bundle_prints_usage() {
+    let (_, stderr, ok) = run(&["replay"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "stderr: {stderr}");
+}
+
+#[test]
+fn campaign_json_out_writes_the_report_atomically() {
+    let dir = temp_dir("json-out");
+    let path = dir.join("report.json");
+    let (_, _, ok) = run(&[
+        "campaign",
+        "--protocol",
+        "racing",
+        "--procs",
+        "2",
+        "--sched",
+        "rr",
+        "--runs",
+        "5",
+        "--json-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"total_runs\": 5"), "report: {text}");
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "tmp file must be renamed away"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
