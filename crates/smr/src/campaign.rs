@@ -551,7 +551,7 @@ fn execute_run(
     let deadline = cell_timeout.map(|limit| (Instant::now() + limit, limit));
     if cache.is_some() || deadline.is_some() {
         if let Some(cache) = cache {
-            cache.insert(&system.config_key());
+            cache.insert_fingerprint(system.config_fingerprint());
         }
         while record.steps < budget && !system.all_terminated() {
             if let Some((at, limit)) = deadline {
@@ -577,7 +577,7 @@ fn execute_run(
             }
             record.steps += 1;
             if let Some(cache) = cache {
-                cache.insert(&system.config_key());
+                cache.insert_fingerprint(system.config_fingerprint());
             }
         }
     } else {

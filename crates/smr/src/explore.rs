@@ -28,7 +28,7 @@
 //! independent of which thread happened to find it.
 
 use crate::error::ModelError;
-use crate::fingerprint::{fingerprint, FingerprintCache};
+use crate::fingerprint::FingerprintCache;
 use crate::process::ProcessId;
 use crate::system::System;
 use crate::value::Value;
@@ -179,16 +179,20 @@ impl Explorer {
         };
         let deadline = self.wall_limit.map(|limit| Instant::now() + limit);
         let mut seen: HashSet<u64> = HashSet::new();
-        // DFS stack of (configuration, schedule so far).
-        let mut stack: Vec<(System, Vec<ProcessId>)> = vec![(initial.clone(), Vec::new())];
-        while let Some((sys, schedule)) = stack.pop() {
+        // The schedule so far is not stored per stack entry: it is the
+        // suffix of each configuration's (copy-on-write, shared) trace
+        // past the initial configuration, recovered only when a
+        // violation needs reporting.
+        let base_depth = initial.trace().len();
+        let mut stack: Vec<System> = vec![initial.clone()];
+        while let Some(mut sys) = stack.pop() {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 report.truncated = true;
                 report.truncation =
                     Some("wall-clock limit reached during DFS".into());
                 break;
             }
-            if !seen.insert(fingerprint(&sys.config_key())) {
+            if !seen.insert(sys.config_fingerprint()) {
                 continue;
             }
             report.configs_visited += 1;
@@ -197,28 +201,33 @@ impl Explorer {
                 break;
             }
             if let Some(msg) = check(&sys) {
-                report.violation = Some((schedule, msg));
+                report.violation = Some((schedule_since(&sys, base_depth), msg));
                 break;
             }
             if sys.all_terminated() {
                 report.terminals += 1;
                 continue;
             }
-            if schedule.len() >= self.limits.max_depth {
+            if sys.trace().len() - base_depth >= self.limits.max_depth {
                 report.truncated = true;
                 continue;
             }
-            for i in 0..sys.process_count() {
-                let pid = ProcessId(i);
-                if sys.is_terminated(pid) {
-                    continue;
-                }
+            // Seal the trace so each fork below copies zero events, and
+            // move the parent into its last child instead of cloning it
+            // one extra time.
+            sys.freeze_trace();
+            let live: Vec<ProcessId> = (0..sys.process_count())
+                .map(ProcessId)
+                .filter(|&pid| !sys.is_terminated(pid))
+                .collect();
+            let (&last, rest) = live.split_last().expect("not all terminated");
+            for &pid in rest {
                 let mut fork = sys.clone();
                 fork.step(pid)?;
-                let mut sched = schedule.clone();
-                sched.push(pid);
-                stack.push((fork, sched));
+                stack.push(fork);
             }
+            sys.step(last)?;
+            stack.push(sys);
         }
         Ok(report)
     }
@@ -275,12 +284,14 @@ impl Explorer {
         });
         let mut capped_entries = 0usize;
         let mut terminal_outputs: Vec<Vec<Value>> = Vec::new();
-        let mut seen_outputs: HashSet<String> = HashSet::new();
+        let mut seen_outputs: HashSet<Vec<Value>> = HashSet::new();
 
-        cache.insert(&initial.config_key());
+        cache.insert_fingerprint(initial.config_fingerprint());
         report.configs_visited = 1;
-        let mut frontier: Vec<(System, Vec<ProcessId>)> =
-            vec![(initial.clone(), Vec::new())];
+        let base_depth = initial.trace().len();
+        let mut root = initial.clone();
+        root.freeze_trace();
+        let mut frontier: Vec<System> = vec![root];
 
         while !frontier.is_empty() {
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -302,7 +313,8 @@ impl Explorer {
                      prefixes ({capped_entries} entries shed so far)"
                 ));
             }
-            let level = self.run_level(&frontier, check, &cache, threads);
+            let level =
+                self.run_level(&frontier, base_depth, check, &cache, threads);
 
             // Merge chunk results in frontier order: every aggregate
             // below is then independent of worker scheduling.
@@ -332,13 +344,13 @@ impl Explorer {
                     return Err(err.clone());
                 }
             }
-            let mut children: Vec<(System, Vec<ProcessId>, u64)> = Vec::new();
+            let mut children: Vec<(System, u64)> = Vec::new();
             for chunk in chunks {
                 report.terminals += chunk.terminals;
                 report.truncated |= chunk.truncated;
                 if collect_terminals {
                     for outs in chunk.terminal_outputs {
-                        if seen_outputs.insert(format!("{outs:?}")) {
+                        if seen_outputs.insert(outs.clone()) {
                             terminal_outputs.push(outs);
                         }
                     }
@@ -353,9 +365,10 @@ impl Explorer {
             // Canonical dedup: children arrive ordered by (parent
             // frontier index, process id) — exactly the breadth-first
             // lexicographic order — so the first occurrence of each
-            // configuration carries its canonical schedule.
+            // configuration carries its canonical schedule (recoverable
+            // from its trace).
             let mut next = Vec::new();
-            for (sys, sched, fp) in children {
+            for (mut sys, fp) in children {
                 if !cache.insert_fingerprint(fp) {
                     continue;
                 }
@@ -364,7 +377,9 @@ impl Explorer {
                     break;
                 }
                 report.configs_visited += 1;
-                next.push((sys, sched));
+                // Seal before the next level forks this configuration.
+                sys.freeze_trace();
+                next.push(sys);
             }
             if report.truncated && next.is_empty() {
                 break;
@@ -378,7 +393,8 @@ impl Explorer {
     /// through a shared atomic cursor.
     fn run_level(
         &self,
-        frontier: &[(System, Vec<ProcessId>)],
+        frontier: &[System],
+        base_depth: usize,
         check: ParallelCheck,
         cache: &FingerprintCache,
         threads: usize,
@@ -398,6 +414,7 @@ impl Explorer {
                     let chunk = expand_chunk(
                         &frontier[start..end],
                         start,
+                        base_depth,
                         check,
                         cache,
                         max_depth,
@@ -420,13 +437,12 @@ impl Explorer {
         initial: &System,
     ) -> Result<(Vec<Vec<Value>>, ExploreReport), ModelError> {
         let mut outputs: Vec<Vec<Value>> = Vec::new();
-        let mut seen_outputs: HashSet<String> = HashSet::new();
+        let mut seen_outputs: HashSet<Vec<Value>> = HashSet::new();
         let report = self.explore(initial, &mut |sys| {
             if sys.all_terminated() {
                 let outs: Vec<Value> =
                     sys.outputs().into_iter().map(Option::unwrap).collect();
-                let key = format!("{outs:?}");
-                if seen_outputs.insert(key) {
+                if seen_outputs.insert(outs.clone()) {
                     outputs.push(outs);
                 }
             }
@@ -527,17 +543,20 @@ struct LevelChunk {
     /// Lowest-index violation within the chunk.
     violation: Option<(usize, Vec<ProcessId>, String)>,
     /// Children in (parent index, process id) order, with fingerprints.
-    children: Vec<(System, Vec<ProcessId>, u64)>,
+    children: Vec<(System, u64)>,
     /// Output vectors of terminal configurations in this chunk.
     terminal_outputs: Vec<Vec<Value>>,
     /// Lowest-index step error within the chunk.
     error: Option<(usize, ModelError)>,
 }
 
-/// Checks and expands one chunk of frontier entries.
+/// Checks and expands one chunk of frontier entries. `base_depth` is
+/// the trace length of the initial configuration: the schedule of any
+/// entry is its trace suffix past that point.
 fn expand_chunk(
-    entries: &[(System, Vec<ProcessId>)],
+    entries: &[System],
     start: usize,
+    base_depth: usize,
     check: ParallelCheck,
     cache: &FingerprintCache,
     max_depth: usize,
@@ -551,7 +570,7 @@ fn expand_chunk(
         terminal_outputs: Vec::new(),
         error: None,
     };
-    for (offset, (sys, schedule)) in entries.iter().enumerate() {
+    for (offset, sys) in entries.iter().enumerate() {
         let idx = start + offset;
         // Panic isolation: a panicking check (or a panic while forking)
         // becomes a structured WorkerPanic at this entry's canonical
@@ -559,7 +578,7 @@ fn expand_chunk(
         // level barrier.
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             if let Some(msg) = check(sys) {
-                out.violation = Some((idx, schedule.clone(), msg));
+                out.violation = Some((idx, schedule_since(sys, base_depth), msg));
                 // Later entries in the chunk cannot improve on this
                 // index.
                 return false;
@@ -571,7 +590,7 @@ fn expand_chunk(
                 );
                 return true;
             }
-            if schedule.len() >= max_depth {
+            if sys.trace().len() - base_depth >= max_depth {
                 out.truncated = true;
                 return true;
             }
@@ -587,7 +606,7 @@ fn expand_chunk(
                     }
                     continue;
                 }
-                let fp = fingerprint(&fork.config_key());
+                let fp = fork.config_fingerprint();
                 // Concurrent pre-filter: configurations deduplicated at
                 // an earlier level never reach the merge. Within-level
                 // duplicates are resolved canonically by the merge
@@ -595,9 +614,7 @@ fn expand_chunk(
                 if cache.contains_fingerprint(fp) {
                     continue;
                 }
-                let mut sched = schedule.clone();
-                sched.push(pid);
-                out.children.push((fork, sched, fp));
+                out.children.push((fork, fp));
             }
             true
         }));
@@ -608,7 +625,10 @@ fn expand_chunk(
                 let panic_err = ModelError::WorkerPanic {
                     context: format!(
                         "frontier entry {idx} (schedule {:?})",
-                        schedule.iter().map(|p| p.0).collect::<Vec<_>>()
+                        schedule_since(sys, base_depth)
+                            .iter()
+                            .map(|p| p.0)
+                            .collect::<Vec<_>>()
                     ),
                     message: payload
                         .downcast_ref::<&str>()
@@ -623,6 +643,12 @@ fn expand_chunk(
         }
     }
     out
+}
+
+/// The schedule that produced `sys`: the process ids of its trace
+/// events past the initial configuration's `base_depth` events.
+fn schedule_since(sys: &System, base_depth: usize) -> Vec<ProcessId> {
+    sys.trace().events_from(base_depth).map(|e| e.pid).collect()
 }
 
 /// The x-obstruction-freedom check run on one configuration: every

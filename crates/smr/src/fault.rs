@@ -428,9 +428,11 @@ impl FaultScheduler {
     /// Evaluates crash triggers against the system state and the trace
     /// suffix not yet consumed.
     fn apply_triggers(&mut self, system: &System) {
-        // Trace-keyed triggers: consume new events exactly once.
+        // Trace-keyed triggers: consume new events exactly once. The
+        // copy-on-write trace skips already-consumed segments without
+        // walking them.
         let trace = system.trace();
-        for event in &trace[self.trace_cursor.min(trace.len())..] {
+        for event in trace.events_from(self.trace_cursor.min(trace.len())) {
             for i in 0..self.plan.faults.len() {
                 if self.fired[i] {
                     continue;
@@ -635,7 +637,7 @@ mod tests {
         assert!(sys.all_terminated());
         // During decisions [0, 8) only p1 stepped: the first 8 trace
         // events belong to p1 (p1 needs 11 steps total, > 8).
-        for event in &sys.trace()[..8.min(sys.trace().len())] {
+        for event in sys.trace().iter().take(8) {
             assert_eq!(event.pid, ProcessId(1), "stalled process stepped early");
         }
         assert_eq!(sched.applied().len(), 1);

@@ -26,6 +26,7 @@
 //! approximate `len()` as exact.
 
 use std::collections::{HashSet, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,12 +40,72 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 /// Deliberately not `std::hash::DefaultHasher`, whose per-instance
 /// randomisation would make fingerprints differ between runs.
 pub fn fingerprint(key: &str) -> u64 {
-    let mut h = FNV_OFFSET;
-    for byte in key.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(FNV_PRIME);
+    let mut h = FnvStream::new();
+    h.write_bytes(key.as_bytes());
+    h.finish()
+}
+
+/// A streaming FNV-1a hasher that doubles as a [`fmt::Write`] sink.
+///
+/// `write!(stream, "{value:?}")` feeds the `Debug` rendering of a value
+/// through the hash byte-for-byte without materialising a `String`, so
+/// a fingerprint streamed through `FnvStream` is bit-identical to
+/// [`fingerprint`] of the equivalent formatted key — that identity is
+/// what lets [`crate::system::System::config_fingerprint`] replace
+/// `fingerprint(&config_key())` with zero allocation.
+#[derive(Clone, Debug)]
+pub struct FnvStream {
+    state: u64,
+}
+
+impl FnvStream {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        FnvStream { state: FNV_OFFSET }
     }
-    h
+
+    /// Feeds raw bytes through the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for byte in bytes {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl fmt::Write for FnvStream {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Structural configuration hashing: feed the identity-relevant state of
+/// a value into an [`FnvStream`].
+///
+/// The canonical encoding is the value's `Debug` rendering (streamed,
+/// never allocated), which keeps structural fingerprints bit-identical
+/// to the legacy string-keyed `fingerprint(&config_key())` scheme —
+/// checked by the golden regression tests — while the explorer hot path
+/// pays no `String` allocation per visited configuration.
+pub trait ConfigHash {
+    /// Streams this value's configuration identity into `h`.
+    fn hash_config(&self, h: &mut FnvStream);
+
+    /// The fingerprint of this value alone.
+    fn config_hash(&self) -> u64 {
+        let mut h = FnvStream::new();
+        self.hash_config(&mut h);
+        h.finish()
+    }
 }
 
 /// One shard: the membership set plus insertion order for eviction.
@@ -212,6 +273,22 @@ mod tests {
         assert_ne!(fingerprint("abc"), fingerprint("abd"));
         // FNV-1a of the empty string is the offset basis.
         assert_eq!(fingerprint(""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn streamed_hash_matches_string_fingerprint() {
+        use std::fmt::Write;
+        // Split writes hash identically to one concatenated key.
+        let mut h = FnvStream::new();
+        h.write_bytes(b"ab");
+        h.write_bytes(b"");
+        h.write_bytes(b"c;xyz");
+        assert_eq!(h.finish(), fingerprint("abc;xyz"));
+        // Formatted writes stream the same bytes fmt would produce.
+        let mut h = FnvStream::new();
+        write!(h, "{:?};{}", vec![1, 2], 7).unwrap();
+        assert_eq!(h.finish(), fingerprint("[1, 2];7"));
+        assert_eq!(FnvStream::new().finish(), FNV_OFFSET);
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl LinCheck {
 pub fn check(history: &History, initial: Object) -> LinCheck {
     let records = history.records();
     assert!(records.len() < 128, "history too large for the checker");
-    let mut memo: HashSet<(u128, String)> = HashSet::new();
+    let mut memo: HashSet<(u128, Object)> = HashSet::new();
     let mut order: Vec<usize> = Vec::new();
     if search(records, initial, 0, &mut memo, &mut order) {
         LinCheck::Linearizable(order)
@@ -85,7 +85,7 @@ fn search(
     records: &[OpRecord],
     state: Object,
     done: u128,
-    memo: &mut HashSet<(u128, String)>,
+    memo: &mut HashSet<(u128, Object)>,
     order: &mut Vec<usize>,
 ) -> bool {
     // Success when every *completed* operation is linearized; pending
@@ -96,8 +96,9 @@ fn search(
     {
         return true;
     }
-    let key = (done, format!("{state:?}"));
-    if !memo.insert(key) {
+    // The memo key is the exact object state — structurally hashed and
+    // compared, no `Debug` string per search node.
+    if !memo.insert((done, state.clone())) {
         return false;
     }
     for rec in records {

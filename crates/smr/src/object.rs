@@ -122,6 +122,13 @@ pub enum Object {
     Cas { value: Value },
 }
 
+impl crate::fingerprint::ConfigHash for Object {
+    fn hash_config(&self, h: &mut crate::fingerprint::FnvStream) {
+        use fmt::Write;
+        let _ = write!(h, "{self:?}");
+    }
+}
+
 impl Object {
     /// A fresh register holding ⊥.
     pub fn register() -> Object {

@@ -87,6 +87,23 @@ pub trait Process: fmt::Debug + Send + Sync {
     fn state_key(&self) -> String {
         format!("{self:?}")
     }
+
+    /// Streams exactly the bytes of [`Process::state_key`] into `out`.
+    /// The default delegates to `state_key` (allocating but always
+    /// consistent); hot-path process types override this to stream the
+    /// same bytes with zero allocation. Overrides must write byte-for-
+    /// byte what `state_key` returns, or structural configuration
+    /// fingerprints would disagree with the legacy string-keyed scheme.
+    fn write_state_key(&self, out: &mut dyn fmt::Write) {
+        let _ = out.write_str(&self.state_key());
+    }
+}
+
+impl crate::fingerprint::ConfigHash for Poised {
+    fn hash_config(&self, h: &mut crate::fingerprint::FnvStream) {
+        use fmt::Write;
+        let _ = write!(h, "{self:?}");
+    }
 }
 
 impl Clone for Box<dyn Process> {
@@ -222,6 +239,12 @@ impl<P: SnapshotProtocol + 'static> Process for SnapshotProcess<P> {
 
     fn boxed_clone(&self) -> Box<dyn Process> {
         Box::new(self.clone())
+    }
+
+    // Zero-allocation stream of the default `state_key` (the derived
+    // `Debug` rendering).
+    fn write_state_key(&self, out: &mut dyn fmt::Write) {
+        let _ = write!(out, "{self:?}");
     }
 }
 

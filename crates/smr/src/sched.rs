@@ -488,8 +488,9 @@ mod tests {
             sys.run(&mut sched, 100_000).unwrap();
             for &(victim, at) in sched.crash_log() {
                 crashes_seen += 1;
-                let late = sys.trace()[at..]
-                    .iter()
+                let late = sys
+                    .trace()
+                    .events_from(at)
                     .filter(|e| e.pid == victim)
                     .count();
                 assert_eq!(

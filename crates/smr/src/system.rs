@@ -10,8 +10,10 @@
 //! [`System::restrict_writer`].
 
 use crate::error::ModelError;
+use crate::fingerprint::{ConfigHash, FnvStream};
 use crate::object::{Object, ObjectId, Operation, Response};
 use crate::process::{Poised, Process, ProcessId};
+use crate::trace::Trace;
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -43,7 +45,7 @@ pub struct Event {
 pub struct System {
     objects: Vec<Object>,
     processes: Vec<Box<dyn Process>>,
-    trace: Vec<Event>,
+    trace: Trace,
     /// Steps taken per process, maintained on [`System::step`] so fault
     /// triggers and schedulers can read them in O(1) instead of
     /// re-scanning the trace.
@@ -60,7 +62,7 @@ impl System {
         System {
             objects,
             processes,
-            trace: Vec::new(),
+            trace: Trace::new(),
             steps_per_process: vec![0; n],
             owners: HashMap::new(),
         }
@@ -98,8 +100,16 @@ impl System {
     }
 
     /// The execution trace from the initial configuration.
-    pub fn trace(&self) -> &[Event] {
+    pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Seals the trace's owned suffix into its `Arc`-shared prefix so
+    /// subsequent [`System::clone`] calls copy no events at all. The
+    /// explorer calls this on a configuration before forking it; see
+    /// [`Trace::freeze`].
+    pub fn freeze_trace(&mut self) {
+        self.trace.freeze();
     }
 
     /// Steps taken by process `pid` so far (0 for unknown ids).
@@ -237,8 +247,13 @@ impl System {
         })
     }
 
-    /// Fingerprint of the configuration (object values + process states),
-    /// used by the explorer to deduplicate. Trace is excluded.
+    /// The configuration key (object values + process states) as a
+    /// string, used by the explorer to deduplicate. Trace is excluded.
+    ///
+    /// The hot paths use [`System::config_fingerprint`], which hashes
+    /// the same bytes without materialising this string; `config_key`
+    /// remains the reference encoding the golden regression tests check
+    /// the streaming hash against.
     pub fn config_key(&self) -> String {
         use std::fmt::Write;
         let mut key = String::new();
@@ -251,11 +266,55 @@ impl System {
         key
     }
 
+    /// Stable 64-bit fingerprint of the configuration (object values +
+    /// process states; trace excluded), streamed through FNV-1a with
+    /// zero allocation. Bit-identical to
+    /// `fingerprint(&self.config_key())`.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut h = FnvStream::new();
+        self.hash_config(&mut h);
+        h.finish()
+    }
+
     /// Are two configurations indistinguishable to every process — same
     /// object values and same process states (paper §2)? Traces may
     /// differ.
+    ///
+    /// Object values are compared exactly; process states are compared
+    /// by streamed 64-bit state fingerprints (no allocation), so a
+    /// collision — probability 2⁻⁶⁴ per process pair, the same
+    /// fingerprint-identity semantics the explorer's deduplication
+    /// already relies on — could equate distinct states.
     pub fn indistinguishable(&self, other: &System) -> bool {
-        self.objects == other.objects && self.config_key() == other.config_key()
+        if self.objects != other.objects
+            || self.processes.len() != other.processes.len()
+        {
+            return false;
+        }
+        self.processes.iter().zip(&other.processes).all(|(a, b)| {
+            let mut ha = FnvStream::new();
+            let mut hb = FnvStream::new();
+            a.write_state_key(&mut ha);
+            b.write_state_key(&mut hb);
+            ha.finish() == hb.finish()
+        })
+    }
+}
+
+impl ConfigHash for System {
+    /// Streams exactly the bytes of [`System::config_key`]: the `Debug`
+    /// rendering of each object and the state key of each process, each
+    /// terminated by `;`.
+    fn hash_config(&self, h: &mut FnvStream) {
+        use std::fmt::Write;
+        for o in &self.objects {
+            o.hash_config(h);
+            let _ = h.write_str(";");
+        }
+        for p in &self.processes {
+            p.write_state_key(h);
+            let _ = h.write_str(";");
+        }
     }
 }
 

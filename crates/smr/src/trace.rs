@@ -1,7 +1,9 @@
-//! Execution-trace formatting: the classic per-process column diagrams
-//! used to present executions in the literature, plus summaries.
+//! Execution traces: the copy-on-write [`Trace`] event log every
+//! [`crate::system::System`] carries, plus the classic per-process
+//! column diagrams used to present executions in the literature and
+//! trace summaries.
 //!
-//! These renderers are used by the examples and invaluable when
+//! The renderers are used by the examples and invaluable when
 //! debugging adversarial schedules: each process gets a column; each
 //! row is one atomic step.
 
@@ -11,6 +13,227 @@ use crate::object::{Operation, Response};
 use crate::system::Event;
 use std::collections::BTreeMap;
 use std::fmt::Write;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// Tail length at which [`Trace::push`] seals the owned suffix into a
+/// shared segment. Bounds both the per-clone copy (≤ `SEAL_THRESHOLD`
+/// events) and the segment-chain length (≥ one event per segment).
+const SEAL_THRESHOLD: usize = 32;
+
+/// An immutable, `Arc`-shared run of consecutive events. Segments form
+/// a parent chain: `parent` holds events `[0, start)`, this segment
+/// holds `[start, start + events.len())`.
+#[derive(Debug)]
+struct Segment {
+    parent: Option<Arc<Segment>>,
+    start: usize,
+    events: Box<[Event]>,
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        // Unlink the parent chain iteratively: a recursive drop would
+        // blow the stack on traces with hundreds of thousands of
+        // events (one frame per segment).
+        let mut parent = self.parent.take();
+        while let Some(seg) = parent {
+            match Arc::try_unwrap(seg) {
+                Ok(mut owned) => parent = owned.parent.take(),
+                Err(_) => break, // still shared: someone else drops it
+            }
+        }
+    }
+}
+
+/// A copy-on-write execution trace: an `Arc`-shared sealed prefix plus
+/// a small owned tail.
+///
+/// Forking a configuration used to deep-copy the whole event log,
+/// making every explorer fork O(depth). `Clone` here copies one `Arc`
+/// pointer and at most [`SEAL_THRESHOLD`] tail events; after
+/// [`Trace::freeze`] (which the explorer calls before fanning out) a
+/// clone copies nothing at all. Pushes still amortise to O(1): the
+/// tail is sealed into a shared segment once it reaches the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rsim_smr::trace::Trace;
+///
+/// let trace = Trace::new();
+/// assert!(trace.is_empty());
+/// let fork = trace.clone(); // shares the sealed prefix
+/// assert_eq!(trace, fork);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    sealed: Option<Arc<Segment>>,
+    /// Total events in the sealed chain.
+    sealed_len: usize,
+    tail: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.sealed_len + self.tail.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an event, sealing the tail into a shared segment once it
+    /// reaches the threshold.
+    pub fn push(&mut self, event: Event) {
+        self.tail.push(event);
+        if self.tail.len() >= SEAL_THRESHOLD {
+            self.freeze();
+        }
+    }
+
+    /// Seals the owned tail into the shared prefix, making subsequent
+    /// clones O(1). The explorer calls this before forking a
+    /// configuration so every child shares the whole history.
+    pub fn freeze(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.tail).into_boxed_slice();
+        let sealed_now = events.len();
+        self.sealed = Some(Arc::new(Segment {
+            parent: self.sealed.take(),
+            start: self.sealed_len,
+            events,
+        }));
+        self.sealed_len += sealed_now;
+    }
+
+    /// Iterates the events in execution order.
+    pub fn iter(&self) -> TraceIter<'_> {
+        self.events_from(0)
+    }
+
+    /// Iterates the events from index `start` (clamped to the length)
+    /// in execution order; whole segments before `start` are skipped
+    /// without being walked.
+    pub fn events_from(&self, start: usize) -> TraceIter<'_> {
+        let mut slices: Vec<&[Event]> = Vec::new();
+        let mut cursor = self.sealed.as_deref();
+        while let Some(seg) = cursor {
+            if seg.start + seg.events.len() <= start {
+                break; // this segment (and all parents) precede `start`
+            }
+            let skip = start.saturating_sub(seg.start);
+            slices.push(&seg.events[skip..]);
+            cursor = seg.parent.as_deref();
+        }
+        slices.reverse();
+        let tail_skip = start.saturating_sub(self.sealed_len).min(self.tail.len());
+        slices.push(&self.tail[tail_skip..]);
+        TraceIter { slices, outer: 0, inner: 0 }
+    }
+
+    /// The event at index `i`.
+    pub fn get(&self, i: usize) -> Option<&Event> {
+        if i >= self.sealed_len {
+            return self.tail.get(i - self.sealed_len);
+        }
+        let mut cursor = self.sealed.as_deref();
+        while let Some(seg) = cursor {
+            if i >= seg.start {
+                return seg.events.get(i - seg.start);
+            }
+            cursor = seg.parent.as_deref();
+        }
+        None
+    }
+
+    /// Copies the events into a contiguous vector.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Event;
+
+    fn index(&self, i: usize) -> &Event {
+        self.get(i).expect("trace index out of bounds")
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Trace) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Trace {}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> TraceIter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(events: I) -> Self {
+        let mut trace = Trace::new();
+        for event in events {
+            trace.push(event);
+        }
+        trace
+    }
+}
+
+/// Iterator over a [`Trace`]'s events in execution order.
+#[derive(Clone, Debug)]
+pub struct TraceIter<'a> {
+    /// Root-first event runs (sealed segments, then the tail).
+    slices: Vec<&'a [Event]>,
+    outer: usize,
+    inner: usize,
+}
+
+impl<'a> Iterator for TraceIter<'a> {
+    type Item = &'a Event;
+
+    fn next(&mut self) -> Option<&'a Event> {
+        while self.outer < self.slices.len() {
+            if let Some(event) = self.slices[self.outer].get(self.inner) {
+                self.inner += 1;
+                return Some(event);
+            }
+            self.outer += 1;
+            self.inner = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = self
+            .slices
+            .iter()
+            .skip(self.outer)
+            .map(|s| s.len())
+            .sum::<usize>()
+            .saturating_sub(self.inner);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
 
 /// Renders one operation compactly.
 pub fn format_op(op: &Operation) -> String {
@@ -74,7 +297,11 @@ pub fn format_resp(resp: &Response) -> String {
 /// # Ok(())
 /// # }
 /// ```
-pub fn format_trace(events: &[Event], n_processes: usize) -> String {
+pub fn format_trace<'a, I>(events: I, n_processes: usize) -> String
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    let events: Vec<&Event> = events.into_iter().collect();
     let width = events
         .iter()
         .map(|e| format!("{} → {}", format_op(&e.op), format_resp(&e.resp)).len())
@@ -185,7 +412,10 @@ pub struct TraceSummary {
 }
 
 /// Summarizes a trace.
-pub fn summarize(events: &[Event]) -> TraceSummary {
+pub fn summarize<'a, I>(events: I) -> TraceSummary
+where
+    I: IntoIterator<Item = &'a Event>,
+{
     let mut summary = TraceSummary::default();
     for e in events {
         *summary.steps_per_process.entry(e.pid.0).or_default() += 1;
@@ -340,6 +570,101 @@ mod tests {
                 "`{bad}` should not parse"
             );
         }
+    }
+
+    fn event(pid: usize, n: i64) -> Event {
+        Event {
+            pid: ProcessId(pid),
+            op: Operation::Write { obj: ObjectId(0), value: Value::Int(n) },
+            resp: Response::Ack,
+        }
+    }
+
+    #[test]
+    fn trace_push_len_get_iter_roundtrip() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        // Cross several seal boundaries.
+        let n = 3 * 32 + 7;
+        for i in 0..n {
+            trace.push(event(i % 3, i as i64));
+        }
+        assert_eq!(trace.len(), n);
+        assert!(!trace.is_empty());
+        for i in 0..n {
+            assert_eq!(trace[i], event(i % 3, i as i64), "index {i}");
+            assert_eq!(trace.get(i), Some(&event(i % 3, i as i64)));
+        }
+        assert_eq!(trace.get(n), None);
+        let collected: Vec<Event> = trace.iter().cloned().collect();
+        assert_eq!(collected, (0..n).map(|i| event(i % 3, i as i64)).collect::<Vec<_>>());
+        assert_eq!(trace.to_vec(), collected);
+        assert_eq!(trace.iter().len(), n);
+    }
+
+    #[test]
+    fn trace_events_from_matches_slicing() {
+        let mut trace = Trace::new();
+        let n = 100;
+        for i in 0..n {
+            trace.push(event(0, i as i64));
+        }
+        let all = trace.to_vec();
+        for start in [0, 1, 31, 32, 33, 64, 96, 99, 100, 150] {
+            let suffix: Vec<Event> =
+                trace.events_from(start).cloned().collect();
+            assert_eq!(
+                suffix,
+                all[start.min(n)..].to_vec(),
+                "suffix from {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_clone_is_equal_and_diverges_independently() {
+        let mut trace = Trace::new();
+        for i in 0..50 {
+            trace.push(event(0, i));
+        }
+        trace.freeze();
+        let mut fork = trace.clone();
+        assert_eq!(trace, fork);
+        fork.push(event(1, 99));
+        assert_ne!(trace, fork);
+        assert_eq!(trace.len(), 50);
+        assert_eq!(fork.len(), 51);
+        assert_eq!(fork[50], event(1, 99));
+        // The original is untouched by the fork's divergence.
+        assert_eq!(trace.to_vec(), (0..50).map(|i| event(0, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_freeze_is_idempotent_and_preserves_contents() {
+        let mut trace = Trace::new();
+        for i in 0..10 {
+            trace.push(event(0, i));
+            trace.freeze();
+            trace.freeze();
+        }
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.to_vec(), (0..10).map(|i| event(0, i)).collect::<Vec<_>>());
+        // Equality is structural, not segment-layout-sensitive.
+        let unfrozen: Trace = (0..10).map(|i| event(0, i)).collect();
+        assert_eq!(trace, unfrozen);
+    }
+
+    #[test]
+    fn deep_trace_drops_without_stack_overflow() {
+        // One-event segments maximise chain length: 200k frames would
+        // overflow the stack if Segment::drop recursed.
+        let mut trace = Trace::new();
+        for i in 0..200_000 {
+            trace.push(event(0, i));
+            trace.freeze();
+        }
+        assert_eq!(trace.len(), 200_000);
+        drop(trace);
     }
 
     #[test]

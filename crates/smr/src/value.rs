@@ -293,6 +293,13 @@ impl fmt::Display for Value {
     }
 }
 
+impl crate::fingerprint::ConfigHash for Value {
+    fn hash_config(&self, h: &mut crate::fingerprint::FnvStream) {
+        use fmt::Write;
+        let _ = write!(h, "{self:?}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,6 +3,7 @@
 //! invariants, and configuration indistinguishability.
 
 use proptest::prelude::*;
+use rsim_smr::fingerprint::fingerprint;
 use rsim_smr::object::{Object, ObjectId, Operation, Response};
 use rsim_smr::process::{Process, ProcessId, ProtocolStep, SnapshotProcess, SnapshotProtocol};
 use rsim_smr::sched::{Fixed, Random};
@@ -156,5 +157,87 @@ proptest! {
         // One step differentiates the configurations (the process's
         // state changed: it advanced from scan to update).
         prop_assert!(!sys.indistinguishable(&fork));
+    }
+
+    // --- Configuration identity: streaming hash vs legacy string. ---
+
+    #[test]
+    fn streamed_fingerprint_matches_legacy_string_at_every_step(
+        s0 in script(), s1 in script(), seed in 0u64..500,
+    ) {
+        // The zero-allocation streaming hash must stay bit-identical to
+        // FNV-1a over the materialised `config_key` string — at the
+        // initial configuration and after every step of a run.
+        let mut sys = scripted_system(vec![s0, s1], 4);
+        prop_assert_eq!(sys.config_fingerprint(), fingerprint(&sys.config_key()));
+        let mut sched = Random::seeded(seed);
+        while !sys.all_terminated() {
+            use rsim_smr::sched::Scheduler;
+            let Some(pid) = sched.next(&sys) else { break };
+            sys.step(pid).unwrap();
+            prop_assert_eq!(
+                sys.config_fingerprint(),
+                fingerprint(&sys.config_key())
+            );
+        }
+    }
+
+    #[test]
+    fn equal_configurations_hash_equal(
+        s0 in script(), s1 in script(), seed in 0u64..500,
+    ) {
+        // Two independently built systems driven through the same
+        // schedule reach equal configurations — and equal fingerprints.
+        let mut a = scripted_system(vec![s0.clone(), s1.clone()], 4);
+        let mut b = scripted_system(vec![s0, s1], 4);
+        a.run(&mut Random::seeded(seed), 10_000).unwrap();
+        b.run(&mut Random::seeded(seed), 10_000).unwrap();
+        prop_assert!(a.indistinguishable(&b));
+        prop_assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        prop_assert_eq!(a.config_key(), b.config_key());
+    }
+
+    // --- Copy-on-write forking behaves exactly like deep cloning. ---
+
+    #[test]
+    fn cow_fork_is_indistinguishable_from_deep_replay(
+        s0 in script(), s1 in script(), seed in 0u64..200,
+        extra in proptest::collection::vec(0usize..2, 0..10),
+    ) {
+        // Run a prefix, freeze the trace (as the explorer does before
+        // fanning out), fork, and let the fork diverge. The fork's
+        // trace and configuration must match a from-scratch replay of
+        // prefix + divergence, and the parent must be untouched.
+        let mut sys = scripted_system(vec![s0.clone(), s1.clone()], 4);
+        sys.run(&mut Random::seeded(seed), 7).unwrap();
+        sys.freeze_trace();
+        let parent_snapshot = sys.trace().to_vec();
+        let parent_fp = sys.config_fingerprint();
+
+        let mut fork = sys.clone();
+        prop_assert_eq!(fork.trace(), sys.trace());
+        for &p in &extra {
+            let pid = ProcessId(p);
+            if !fork.is_terminated(pid) {
+                fork.step(pid).unwrap();
+            }
+        }
+
+        // Replay the same steps on an independent deep copy.
+        let mut replay = scripted_system(vec![s0, s1], 4);
+        replay.run(&mut Random::seeded(seed), 7).unwrap();
+        for &p in &extra {
+            let pid = ProcessId(p);
+            if !replay.is_terminated(pid) {
+                replay.step(pid).unwrap();
+            }
+        }
+        prop_assert_eq!(fork.trace(), replay.trace());
+        prop_assert!(fork.indistinguishable(&replay));
+        prop_assert_eq!(fork.config_fingerprint(), replay.config_fingerprint());
+
+        // The shared prefix is immutable: the parent saw nothing.
+        prop_assert_eq!(sys.trace().to_vec(), parent_snapshot);
+        prop_assert_eq!(sys.config_fingerprint(), parent_fp);
     }
 }

@@ -77,7 +77,10 @@ impl<P: SnapshotProtocol> SnapshotProtocol for AbaTagged<P> {
 /// # Errors
 ///
 /// Returns a description of the first ABA pattern found.
-pub fn check_aba_freedom(trace: &[Event]) -> Result<(), String> {
+pub fn check_aba_freedom<'a, I>(trace: I) -> Result<(), String>
+where
+    I: IntoIterator<Item = &'a Event>,
+{
     use std::collections::HashMap;
     // Per (object, component): full value history.
     let mut histories: HashMap<(usize, usize), Vec<Value>> = HashMap::new();

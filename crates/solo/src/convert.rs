@@ -202,6 +202,11 @@ impl<M: NondetMachine + 'static> Process for Determinized<M> {
         // are behaviorally identical.
         format!("{:?}{:?}", self.aug.state, self.aug.ep)
     }
+
+    fn write_state_key(&self, out: &mut dyn fmt::Write) {
+        // Must stream the same bytes as `state_key` above.
+        let _ = write!(out, "{:?}{:?}", self.aug.state, self.aug.ep);
+    }
 }
 
 /// Builds an n-process system of determinized processes over the given

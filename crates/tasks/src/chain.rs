@@ -102,15 +102,15 @@ pub fn terminal_adjacency(
     let n = initial.process_count();
     // Collect terminal configurations, deduplicated by configuration.
     let mut nodes: Vec<TerminalNode> = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
     let mut truncated = false;
 
     // Plain DFS (the explorer's check callback cannot easily carry the
     // system state out, so re-implement the small walk here).
     let mut stack = vec![(initial.clone(), 0usize)];
-    let mut visited: HashSet<String> = HashSet::new();
+    let mut visited: HashSet<u64> = HashSet::new();
     while let Some((sys, depth)) = stack.pop() {
-        if !visited.insert(sys.config_key()) {
+        if !visited.insert(sys.config_fingerprint()) {
             continue;
         }
         if visited.len() > limits.max_configs {
@@ -118,7 +118,7 @@ pub fn terminal_adjacency(
             break;
         }
         if sys.all_terminated() {
-            if seen.insert(sys.config_key()) {
+            if seen.insert(sys.config_fingerprint()) {
                 let outputs = sys.outputs().into_iter().flatten().collect();
                 let state_keys = (0..n)
                     .map(|p| {

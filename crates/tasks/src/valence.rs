@@ -87,11 +87,11 @@ pub fn analyze(initial: &System, limits: ValenceLimits) -> Result<ValenceReport,
         schedule: Vec<ProcessId>,
         terminal: bool,
     }
-    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
     let mut nodes: Vec<Node> = Vec::new();
     let mut truncated = false;
 
-    let root_key = initial.config_key();
+    let root_key = initial.config_fingerprint();
     index.insert(root_key, 0);
     nodes.push(Node {
         system: initial.clone(),
@@ -115,7 +115,7 @@ pub fn analyze(initial: &System, limits: ValenceLimits) -> Result<ValenceReport,
             }
             let mut fork = nodes[id].system.clone();
             fork.step(p)?;
-            let key = fork.config_key();
+            let key = fork.config_fingerprint();
             let succ_id = match index.get(&key) {
                 Some(&sid) => sid,
                 None => {

@@ -40,6 +40,13 @@ smoke-replay:
 bench:
     cargo bench -p rsim-bench
 
+# Quick hot-path benchmark: one sample per arm, machine-readable
+# summary (with baked-in pre-optimisation baselines and speedups) to
+# BENCH_e14.json at the repo root (mirrors CI's bench-smoke job).
+bench-smoke:
+    CRITERION_SAMPLES=1 BENCH_E14_OUT={{justfile_directory()}}/BENCH_e14.json \
+        cargo bench -p rsim-bench --bench e14_hotpath
+
 # Regenerate the numbers in EXPERIMENTS.md.
 report:
     cargo run --release --example experiments_report

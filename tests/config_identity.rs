@@ -1,0 +1,138 @@
+//! Golden regression tests for configuration identity.
+//!
+//! The explorer's deduplication, the campaign resume protocol, and the
+//! replay bundles all depend on configuration fingerprints being stable
+//! across releases: a silent change to the encoding would invalidate
+//! every checked-in fingerprint count and resume ledger. These tests
+//! pin the fingerprint function three ways:
+//!
+//! 1. **Golden values** — literal 64-bit constants for known
+//!    configurations. If these fail, the encoding changed; that is a
+//!    breaking change to every persisted artifact and must be called
+//!    out, not absorbed.
+//! 2. **Stream/string agreement** — the zero-allocation streaming hash
+//!    ([`System::config_fingerprint`]) must equal FNV-1a over the
+//!    materialised legacy `config_key` string on every configuration an
+//!    exploration visits.
+//! 3. **Schedule independence** — different schedules reaching the same
+//!    configuration produce the same fingerprint (the trace is
+//!    excluded from configuration identity).
+
+use revisionist_simulations::protocols::racing_system;
+use revisionist_simulations::smr::explore::{Explorer, Limits};
+use revisionist_simulations::smr::fingerprint::fingerprint;
+use revisionist_simulations::smr::process::ProcessId;
+use revisionist_simulations::smr::sched::RoundRobin;
+use revisionist_simulations::smr::system::System;
+use revisionist_simulations::smr::value::Value;
+use revisionist_simulations::solo::convert::determinized_system;
+use revisionist_simulations::solo::machine::RandomizedRacing;
+use std::sync::Arc;
+
+fn ints(vals: &[i64]) -> Vec<Value> {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+/// Literal fingerprints for fixed configurations. A failure here means
+/// the configuration encoding changed — which breaks campaign resume
+/// ledgers and replay bundles recorded by earlier builds.
+#[test]
+fn golden_fingerprints_are_stable() {
+    let initial = racing_system(2, &ints(&[1, 2]));
+    assert_eq!(initial.config_fingerprint(), 0xdba8_dae2_1165_0de7);
+
+    let mut run = racing_system(2, &ints(&[1, 2]));
+    run.run(&mut RoundRobin::new(), 100_000).unwrap();
+    assert_eq!(run.config_fingerprint(), 0x4a85_7e4b_e95d_cd83);
+
+    let wide = racing_system(3, &ints(&[7, 8, 9]));
+    assert_eq!(wide.config_fingerprint(), 0x7324_7fb6_025e_9b0f);
+}
+
+/// Walks every configuration of a small exhaustive exploration and
+/// checks the streaming hash against the legacy string path on each.
+#[test]
+fn streamed_hash_matches_string_path_over_explored_corpus() {
+    fn check_all(sys: &System, depth: usize, visited: &mut Vec<u64>) {
+        assert_eq!(
+            sys.config_fingerprint(),
+            fingerprint(&sys.config_key()),
+            "stream/string divergence at depth {depth}: {}",
+            sys.config_key()
+        );
+        visited.push(sys.config_fingerprint());
+        if depth == 0 || sys.all_terminated() {
+            return;
+        }
+        for p in 0..sys.process_count() {
+            let pid = ProcessId(p);
+            if sys.is_terminated(pid) {
+                continue;
+            }
+            let mut fork = sys.clone();
+            fork.step(pid).unwrap();
+            check_all(&fork, depth - 1, visited);
+        }
+    }
+
+    let mut visited = Vec::new();
+    check_all(&racing_system(2, &ints(&[1, 2])), 6, &mut visited);
+    check_all(
+        &determinized_system(Arc::new(RandomizedRacing::new(2)), &ints(&[5, 6]), 50),
+        4,
+        &mut visited,
+    );
+    assert!(visited.len() > 100, "corpus too small: {}", visited.len());
+}
+
+/// Fingerprint counts from the explorer are a stable public artifact:
+/// the same model explored with the legacy string keys and with
+/// streaming keys must visit the same number of distinct
+/// configurations.
+#[test]
+fn explorer_fingerprint_count_matches_string_keyed_exploration() {
+    let initial = racing_system(2, &ints(&[1, 2]));
+    let limits = Limits { max_depth: 12, max_configs: 50_000 };
+    let report = Explorer::new(limits)
+        .explore(&initial, &mut |_| None)
+        .unwrap();
+
+    // Reference walk dedup'd on the materialised string key.
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(sys) = stack.pop() {
+        if !seen.insert(sys.config_key()) {
+            continue;
+        }
+        if sys.all_terminated() || sys.trace().len() >= limits.max_depth {
+            continue;
+        }
+        for p in 0..sys.process_count() {
+            let pid = ProcessId(p);
+            if sys.is_terminated(pid) {
+                continue;
+            }
+            let mut fork = sys.clone();
+            fork.step(pid).unwrap();
+            stack.push(fork);
+        }
+    }
+    assert_eq!(report.configs_visited, seen.len());
+}
+
+/// Two different schedules that land in the same configuration agree on
+/// the fingerprint even though their traces differ.
+#[test]
+fn fingerprint_ignores_the_trace() {
+    let mut a = racing_system(2, &ints(&[1, 2]));
+    let mut b = racing_system(2, &ints(&[1, 2]));
+    // Schedule A: p0, p1. Schedule B: p1, p0. Both scan first (reads
+    // commute), so the configurations coincide while the traces differ.
+    a.step(ProcessId(0)).unwrap();
+    a.step(ProcessId(1)).unwrap();
+    b.step(ProcessId(1)).unwrap();
+    b.step(ProcessId(0)).unwrap();
+    assert_ne!(a.trace().to_vec(), b.trace().to_vec());
+    assert!(a.indistinguishable(&b));
+    assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+}
