@@ -17,6 +17,9 @@
 //!   the hypothesis-violating Π for the x-obstruction-free case
 //!   (Lemma 32 needs Π to be x-OF for the direct simulators to
 //!   terminate).
+//! * [`illformed`] — a deliberately ill-formed fixture whose four
+//!   processes each violate a different paper precondition; the
+//!   `rsim-smr::analyze` pre-flight must report every lint code on it.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 
 pub mod approx;
 pub mod contrarian;
+pub mod illformed;
 pub mod ladder;
 pub mod racing;
 

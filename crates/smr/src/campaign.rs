@@ -733,6 +733,29 @@ const STOP_NONE: usize = 0;
 const STOP_WALL: usize = 1;
 const STOP_COUNT: usize = 2;
 
+/// The mandatory campaign pre-flight: statically lints the system the
+/// factory builds for the campaign's first seed, before any run
+/// executes. A deny-level finding rejects the whole campaign with
+/// [`ModelError::PreflightRejected`] — minutes of exploration are not
+/// spent on a protocol that violates a paper precondition the linter
+/// can see up front. The CLI calls this once per campaign and offers
+/// `--no-preflight` to skip it.
+///
+/// # Errors
+///
+/// [`ModelError::PreflightRejected`] carrying the rendered deny-level
+/// diagnostics.
+pub fn preflight_campaign<F>(
+    factory: F,
+    seed: u64,
+    lint_config: &crate::analyze::LintConfig,
+) -> Result<crate::analyze::AnalysisReport, ModelError>
+where
+    F: Fn(u64) -> System,
+{
+    crate::analyze::preflight(&factory(seed), lint_config)
+}
+
 /// Runs the full campaign matrix (scheduler mix × seed range) across
 /// worker threads. Equivalent to [`run_campaign_with`] with default
 /// [`CampaignOptions`].

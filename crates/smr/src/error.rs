@@ -57,6 +57,12 @@ pub enum ModelError {
         /// The cell's replay coordinates.
         context: String,
     },
+    /// The pre-flight analyzer rejected the system before any schedule
+    /// ran: at least one deny-level lint fired.
+    PreflightRejected {
+        /// The rendered deny-level diagnostics, one per line.
+        diagnostics: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -89,6 +95,9 @@ impl fmt::Display for ModelError {
             ModelError::CellTimeout { limit_ms, context } => {
                 write!(f, "cell timeout after {limit_ms} ms: {context}")
             }
+            ModelError::PreflightRejected { diagnostics } => {
+                write!(f, "pre-flight analysis rejected the system:\n{diagnostics}")
+            }
         }
     }
 }
@@ -120,6 +129,9 @@ mod tests {
             ModelError::CellTimeout {
                 limit_ms: 250,
                 context: "campaign run `rr` seed 9".into(),
+            },
+            ModelError::PreflightRejected {
+                diagnostics: "error[RS-W001]: p0 writes component 1 owned by p1".into(),
             },
         ];
         for e in errs {

@@ -92,6 +92,7 @@ pub struct Explorer {
     threads: usize,
     wall_limit: Option<Duration>,
     soft_wall_limit: Option<Duration>,
+    preflight: bool,
 }
 
 impl Default for Explorer {
@@ -101,6 +102,7 @@ impl Default for Explorer {
             threads: 1,
             wall_limit: None,
             soft_wall_limit: None,
+            preflight: true,
         }
     }
 }
@@ -145,9 +147,28 @@ impl Explorer {
         self
     }
 
+    /// Enables or disables the mandatory pre-flight analysis (on by
+    /// default): before any schedule runs, the static linter
+    /// ([`crate::analyze::preflight`]) checks the initial system and a
+    /// deny-level finding aborts the exploration with
+    /// [`ModelError::PreflightRejected`]. Disable only to study a
+    /// deliberately ill-formed protocol.
+    #[must_use]
+    pub fn with_preflight(mut self, preflight: bool) -> Self {
+        self.preflight = preflight;
+        self
+    }
+
     /// The configured worker-thread count (`0` = all cores).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    fn run_preflight(&self, initial: &System) -> Result<(), ModelError> {
+        if self.preflight {
+            crate::analyze::preflight(initial, &crate::analyze::LintConfig::default())?;
+        }
+        Ok(())
     }
 
     fn resolved_threads(&self) -> usize {
@@ -170,6 +191,7 @@ impl Explorer {
         initial: &System,
         check: &mut dyn FnMut(&System) -> Option<String>,
     ) -> Result<ExploreReport, ModelError> {
+        self.run_preflight(initial)?;
         let mut report = ExploreReport {
             configs_visited: 0,
             terminals: 0,
@@ -264,6 +286,7 @@ impl Explorer {
         check: ParallelCheck,
         collect_terminals: bool,
     ) -> Result<(ExploreReport, Vec<Vec<Value>>), ModelError> {
+        self.run_preflight(initial)?;
         let threads = self.resolved_threads();
         let cache = FingerprintCache::for_threads(threads);
         let mut report = ExploreReport {

@@ -39,6 +39,11 @@
 //!   Wing–Gong linearizability checker for implemented objects.
 //! * [`trace`] — per-process column diagrams and summaries of
 //!   executions.
+//! * [`analyze`] — the pre-flight protocol analyzer: a static linter
+//!   over protocol footprints (single-writer discipline, ABA-freedom,
+//!   Theorem 21 feasibility, dead steps, yield handling) and a
+//!   happens-before trace checker, with stable `RS-Wxxx` lint codes
+//!   and `--deny`/`--warn`/`--allow` severity configuration.
 //!
 //! # Example: run two processes under an adversarial scheduler
 //!
@@ -70,6 +75,7 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod bundle;
 pub mod campaign;
 pub mod error;

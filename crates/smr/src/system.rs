@@ -84,6 +84,14 @@ impl System {
         }
     }
 
+    /// The declared single-writer owner of `(obj, component)`, if any.
+    /// Components without a declared owner are multi-writer. The
+    /// pre-flight analyzer keys its single-writer and happens-before
+    /// checks on this.
+    pub fn owner_of(&self, obj: ObjectId, component: usize) -> Option<ProcessId> {
+        self.owners.get(&(obj, component)).copied()
+    }
+
     /// Number of processes (terminated or not).
     pub fn process_count(&self) -> usize {
         self.processes.len()

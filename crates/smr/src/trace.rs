@@ -253,6 +253,17 @@ pub fn format_op(op: &Operation) -> String {
     }
 }
 
+/// Renders one event as `p<pid>: <op> -> <resp>`; the analyzer's
+/// happens-before diagnostics and the `analyze` CLI use this shape.
+pub fn format_event(event: &crate::system::Event) -> String {
+    format!(
+        "p{}: {} -> {}",
+        event.pid.0,
+        format_op(&event.op),
+        format_resp(&event.resp)
+    )
+}
+
 /// Renders one response compactly.
 pub fn format_resp(resp: &Response) -> String {
     match resp {

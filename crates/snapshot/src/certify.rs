@@ -319,6 +319,16 @@ pub fn check_fault_placement(f: usize, m: usize, placement: Placement) -> Vec<St
                 .iter()
                 .map(|error| format!("{placement}: {error}"))
                 .collect();
+            // Independent cross-check: the happens-before analyzer
+            // re-certifies every atomic Block-Update's linearization
+            // window from the linearization alone (lint RS-W007),
+            // without reusing atomic_windows' search.
+            let lin_events = spec::lin_events(&report.lin);
+            for failure in
+                rsim_smr::analyze::check_block_update_windows(&lin_events)
+            {
+                failures.push(format!("{placement}: hb window check: {failure}"));
+            }
             let expected_scans = match placement.action {
                 FaultAction::Crash => f - 1,
                 FaultAction::Stall => f,
@@ -470,6 +480,61 @@ mod tests {
             !lin.iter().any(|op| matches!(op, LinOp::Update { pid: 1, .. })),
             "victim appended nothing, yet its update linearized"
         );
+    }
+
+    #[test]
+    fn hb_checker_confirms_windows_on_certified_placements() {
+        // E12's acceptance cross-check: on every certified fault
+        // placement, the happens-before analyzer independently
+        // confirms that each atomic Block-Update's updates form a
+        // contiguous linearization window (RS-W007 never fires).
+        for &placement in &single_fault_placements(3) {
+            let Ok(real) = run_fault_placement(3, 2, placement) else {
+                panic!("{placement}: placement did not complete")
+            };
+            let report = spec::check(&real, 2);
+            assert!(report.errors.is_empty(), "{placement}: {:?}", report.errors);
+            let events = spec::lin_events(&report.lin);
+            let failures = rsim_smr::analyze::check_block_update_windows(&events);
+            assert!(failures.is_empty(), "{placement}: {failures:?}");
+        }
+    }
+
+    #[test]
+    fn hb_checker_rejects_a_torn_window() {
+        // A genuine two-component Block-Update linearizes as a
+        // two-update atomic batch; corrupting the linearization by
+        // pushing a scan inside that window must trip the independent
+        // checker (the fault-sweep placements all write singleton
+        // batches, which no corruption can tear).
+        use rsim_smr::analyze::LinEvent;
+        use rsim_smr::process::ProcessId;
+        let mut real = RealSystem::new(2, 2);
+        real.begin(
+            0,
+            AugOp::BlockUpdate {
+                components: vec![0, 1],
+                values: vec![Value::Int(1), Value::Int(2)],
+            },
+        );
+        round_robin(&mut real, 2, |_| true).expect("block-update completes");
+        real.begin(1, AugOp::Scan);
+        round_robin(&mut real, 2, |_| true).expect("scan completes");
+        let report = spec::check(&real, 2);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let mut events = spec::lin_events(&report.lin);
+        assert!(
+            rsim_smr::analyze::check_block_update_windows(&events).is_empty(),
+            "honest linearization must certify"
+        );
+        let second_update = events
+            .iter()
+            .rposition(|e| matches!(e, LinEvent::Update { atomic: true, .. }))
+            .expect("two-component batch linearizes atomically");
+        assert!(second_update > 0, "batch has two updates");
+        events.insert(second_update, LinEvent::Scan { pid: ProcessId(1), time: 99 });
+        let failures = rsim_smr::analyze::check_block_update_windows(&events);
+        assert!(!failures.is_empty(), "torn window went unnoticed");
     }
 
     #[test]

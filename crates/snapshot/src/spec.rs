@@ -267,6 +267,42 @@ pub fn atomic_windows(real: &RealSystem, m: usize, lin: &[LinOp]) -> Option<Vec<
     Some(windows)
 }
 
+/// Projects a linearization onto the pre-flight analyzer's event
+/// alphabet ([`rsim_smr::analyze::LinEvent`]). Each Block-Update —
+/// identified by its `(pid, timestamp)` pair — becomes one numeric
+/// batch id, so `analyze::check_block_update_windows` can certify the
+/// contiguity of every atomic batch's window from the linearization
+/// alone, independently of [`atomic_windows`]'s own search.
+pub fn lin_events(lin: &[LinOp]) -> Vec<rsim_smr::analyze::LinEvent> {
+    use rsim_smr::analyze::LinEvent;
+    use rsim_smr::process::ProcessId;
+    let mut batches: Vec<(usize, Timestamp)> = Vec::new();
+    lin.iter()
+        .map(|op| match op {
+            LinOp::Scan { pid, time, .. } => {
+                LinEvent::Scan { pid: ProcessId(*pid), time: *time as u64 }
+            }
+            LinOp::Update { pid, component, ts, time, atomic, .. } => {
+                let key = (*pid, ts.clone());
+                let batch = match batches.iter().position(|b| *b == key) {
+                    Some(i) => i as u64,
+                    None => {
+                        batches.push(key);
+                        (batches.len() - 1) as u64
+                    }
+                };
+                LinEvent::Update {
+                    pid: ProcessId(*pid),
+                    component: *component,
+                    batch,
+                    atomic: *atomic,
+                    time: *time as u64,
+                }
+            }
+        })
+        .collect()
+}
+
 /// The result of checking a run against the specification.
 #[derive(Clone, Debug)]
 pub struct SpecReport {

@@ -13,7 +13,6 @@
 //! double-collect scan whose linearizability on ABA-free histories is
 //! exercised in the tests.
 
-use rsim_smr::object::Operation;
 use rsim_smr::process::{ProtocolStep, SnapshotProtocol};
 use rsim_smr::system::Event;
 use rsim_smr::value::Value;
@@ -74,6 +73,10 @@ impl<P: SnapshotProtocol> SnapshotProtocol for AbaTagged<P> {
 /// register), no value may reappear after the component held a
 /// different value in between.
 ///
+/// The core now lives in `rsim_smr::analyze` (lint code RS-W002), so
+/// the pre-flight analyzer and this module apply the identical
+/// Corollary 36 criterion; this wrapper is kept as the solo-crate API.
+///
 /// # Errors
 ///
 /// Returns a description of the first ABA pattern found.
@@ -81,29 +84,7 @@ pub fn check_aba_freedom<'a, I>(trace: I) -> Result<(), String>
 where
     I: IntoIterator<Item = &'a Event>,
 {
-    use std::collections::HashMap;
-    // Per (object, component): full value history.
-    let mut histories: HashMap<(usize, usize), Vec<Value>> = HashMap::new();
-    for event in trace {
-        let (obj, component, value) = match &event.op {
-            Operation::Update { obj, component, value } => (obj.0, *component, value),
-            Operation::Write { obj, value } => (obj.0, 0, value),
-            _ => continue,
-        };
-        let history = histories.entry((obj, component)).or_default();
-        if history.last() == Some(value) {
-            continue; // value unchanged: not an ABA
-        }
-        if history.contains(value) {
-            return Err(format!(
-                "ABA on object {obj} component {component}: value {value:?} \
-                 reappears after {:?}",
-                history.last()
-            ));
-        }
-        history.push(value.clone());
-    }
-    Ok(())
+    rsim_smr::analyze::check_aba_events(trace)
 }
 
 #[cfg(test)]

@@ -56,7 +56,13 @@ fn partial_outputs(sys: &System) -> Vec<Value> {
 ///
 /// # Errors
 ///
-/// Propagates runtime errors from stepping the system.
+/// Propagates runtime errors from stepping the system. The explorer's
+/// mandatory pre-flight lint runs first, so an ill-formed protocol is
+/// rejected up front with [`ModelError::PreflightRejected`] (carrying
+/// its `RS-Wxxx` diagnostics) rather than burning the search budget;
+/// build the explorer directly with
+/// [`Explorer::with_preflight`]`(false)` to study such a protocol
+/// anyway.
 pub fn search_exhaustive(
     initial: &System,
     inputs: &[Value],

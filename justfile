@@ -36,6 +36,18 @@ smoke-replay:
         > tampered.bundle.json
     ! cargo run --release -- replay tampered.bundle.json
 
+# Pre-flight analyzer smoke: every shipped protocol must analyze clean
+# (deny-level), the ill-formed fixture must be rejected with its stable
+# lint codes, and the analyzer module must be clippy-clean (mirrors
+# CI's analyze-smoke job).
+analyze-smoke:
+    cargo run --release -- analyze --protocol racing
+    cargo run --release -- analyze --protocol contrarian
+    cargo run --release -- analyze --protocol ladder
+    ! cargo run --release -- analyze --protocol illformed
+    ! cargo run --release -- campaign --protocol illformed --runs 1
+    cargo clippy -p rsim-smr --all-targets -- -D warnings
+
 # Per-experiment Criterion benches (CRITERION_SAMPLES trims sample count).
 bench:
     cargo bench -p rsim-bench

@@ -36,6 +36,15 @@
 //!   bit-for-bit. Campaign failures shrink automatically (ddmin over
 //!   decisions and faults); `--bundle PATH` on `campaign` and
 //!   `aug --certify` writes the minimized counterexample as a bundle.
+//! * `analyze --protocol P [--procs N] [--m M] [--deny CODES] [--warn
+//!   CODES] [--allow CODES] [--budget B] [--seed S] [--steps K]` — the
+//!   pre-flight protocol analyzer: Pass 1 statically lints the
+//!   protocol's footprints (single-writer discipline, ABA-freedom,
+//!   Theorem 21 feasibility, dead steps, yield handling) and Pass 2
+//!   happens-before-checks the trace of a seeded bounded round-robin
+//!   run. Exits nonzero iff a deny-level diagnostic fires. The same
+//!   analysis runs automatically before every `campaign` (skip with
+//!   `--no-preflight`).
 //! * `report` — the full experiments report (same as the
 //!   `experiments_report` example).
 //!
@@ -69,6 +78,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
+        "analyze" => cmd_analyze(&flags),
         "replay" => cmd_replay(&args[1..], &flags),
         "aug" => cmd_aug(&flags),
         "audit" => cmd_audit(&flags),
@@ -105,6 +115,10 @@ fn print_usage() {
          \x20\x20\x20\x20 [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n\
          \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
          \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
+         \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
+         \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed]\n\
+         \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--seed S] [--budget B] [--steps K]\n\
+         \x20\x20\x20\x20 [--deny CODES] [--warn CODES] [--allow CODES]  (RS-Wxxx, comma-separated)\n\
          \x20 revisionist-simulations replay BUNDLE.json [--threads T]\n\
          \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S] [--certify]\n\
          \x20\x20\x20\x20 [--bundle PATH]  (bundle the first failed placement)\n\
@@ -352,6 +366,7 @@ fn protocol_factory(
     rounds: usize,
 ) -> Option<Box<dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync>> {
     use revisionist_simulations::protocols::contrarian::contrarian_system;
+    use revisionist_simulations::protocols::illformed::illformed_system;
     use revisionist_simulations::protocols::ladder::ladder_system;
     use revisionist_simulations::protocols::racing::racing_system;
     let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
@@ -364,6 +379,10 @@ fn protocol_factory(
             let bits: Vec<bool> = (0..procs).map(|i| (seed >> i) & 1 == 1).collect();
             contrarian_system(&bits)
         })),
+        // The analyzer's acceptance fixture (fixed shape: 4 processes,
+        // one 8-component single-writer snapshot). A campaign over it
+        // is rejected by the pre-flight unless --no-preflight is given.
+        "illformed" => Some(Box::new(move |_seed| illformed_system())),
         _ => None,
     }
 }
@@ -500,9 +519,33 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
-        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder)");
+        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder, illformed)");
         return ExitCode::FAILURE;
     };
+
+    // Mandatory pre-flight: lint the campaign's system before any run
+    // burns exploration time. Warnings go to stderr (stdout stays
+    // machine-parseable for --json); deny-level findings reject the
+    // campaign unless --no-preflight.
+    if !flags.contains_key("no-preflight") {
+        use revisionist_simulations::smr::analyze::LintConfig;
+        use revisionist_simulations::smr::campaign::preflight_campaign;
+        let base_seed = get(flags, "seed-start", 0) as u64;
+        match preflight_campaign(&factory, base_seed, &LintConfig::default()) {
+            Ok(report) => {
+                if report.warn_count() > 0 {
+                    eprintln!("{}", report.render());
+                }
+                eprintln!("preflight: ok ({} warnings)", report.warn_count());
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("(--no-preflight runs the campaign anyway)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let validate_consensus = protocol != "contrarian";
     let fault_inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
     let check = protocol_check(protocol, procs);
@@ -673,6 +716,101 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `analyze` subcommand: Pass 1 (static lint of the protocol's
+/// footprints) plus Pass 2 (happens-before check of a seeded bounded
+/// round-robin run). A runtime `WriterViolation` during the driven run
+/// is converted into an RS-W006 diagnostic (and the offending process
+/// marked stuck) instead of aborting — the ill-formed fixture's
+/// trespasser is reportable, not fatal. Exits nonzero iff any
+/// deny-level diagnostic fires.
+fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::smr::analyze::{self, LintCode, LintConfig};
+    use revisionist_simulations::smr::error::ModelError;
+    use revisionist_simulations::smr::process::ProcessId;
+
+    let protocol = flags.get("protocol").map_or("racing", String::as_str);
+    let procs = get(flags, "procs", 3);
+    let m = get(flags, "m", 2);
+    let rounds = get(flags, "rounds", 3);
+    let budget = get(flags, "budget", analyze::DEFAULT_BUDGET);
+    let seed = get(flags, "seed", 0) as u64;
+    let steps = get(flags, "steps", 2_000);
+
+    let mut config = LintConfig::default();
+    let deny = flags.get("deny").map_or("", String::as_str);
+    let warn = flags.get("warn").map_or("", String::as_str);
+    let allow = flags.get("allow").map_or("", String::as_str);
+    if let Err(e) = config.apply_overrides(deny, warn, allow) {
+        eprintln!("{e}");
+        eprintln!("known lint codes: {}", analyze::known_codes());
+        return ExitCode::FAILURE;
+    }
+
+    let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
+        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder, illformed)");
+        return ExitCode::FAILURE;
+    };
+    let initial = factory(seed);
+    let n = initial.process_count();
+    println!(
+        "analyze: protocol={protocol} n={n} m={} (seed {seed})",
+        initial.space_complexity()
+    );
+
+    // Pass 1: static lint — no schedule executes.
+    let mut findings = analyze::lint_system(&initial, budget);
+
+    // Pass 2: happens-before check over a seeded bounded round-robin
+    // run. Ownership violations the runtime rejects become RS-W006
+    // findings; the trace itself then replays cleanly.
+    let mut sys = initial.clone();
+    let mut stuck = vec![false; n];
+    for slot in 0..steps {
+        let pid = ProcessId(slot % n);
+        if stuck[pid.0] || sys.is_terminated(pid) {
+            if (0..n).all(|i| stuck[i] || sys.is_terminated(ProcessId(i))) {
+                break;
+            }
+            continue;
+        }
+        match sys.step(pid) {
+            Ok(_) => {}
+            Err(ModelError::WriterViolation { process, component }) => {
+                findings.push((
+                    LintCode::HappensBefore,
+                    format!(
+                        "run (seed {seed}): runtime rejected p{process}'s write to \
+                         single-writer component {component}; process marked stuck"
+                    ),
+                ));
+                stuck[process] = true;
+            }
+            Err(e) => {
+                eprintln!("analyze: driven run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let events = sys.trace().to_vec();
+    findings.extend(analyze::check_execution(&initial, &events));
+
+    let report = analyze::AnalysisReport::from_findings(findings, &config);
+    for diagnostic in &report.diagnostics {
+        println!("{diagnostic}");
+    }
+    if report.is_clean() {
+        println!("analysis: clean ({} warnings)", report.warn_count());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "analysis: {} deny-level, {} warn-level diagnostics",
+            report.deny_count(),
+            report.warn_count()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_campaign_faults(
