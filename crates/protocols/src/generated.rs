@@ -1,0 +1,94 @@
+//! Named fixtures from the generated (`gen:`) protocol family.
+//!
+//! The hand-written families in this crate pin specific points of the
+//! design space: [`crate::racing`] sits *at* the space bound (and is
+//! observably fragile there), [`crate::ladder`] sits comfortably above
+//! it with a safety proof, [`crate::illformed`] violates the paper's
+//! preconditions on purpose. The generated family
+//! (`rsim_smr::gen`) fills the space *between* those points with seeded
+//! protocols: announce prologues over single-writer components plus a
+//! phased-racing core racing strictly above the bound (`m ≥ n + 1`).
+//!
+//! These fixtures give tests in this crate (and downstream) stable
+//! names for generated systems without reaching into the generator
+//! API, mirroring `racing_system` / `ladder_system`.
+
+use rsim_smr::gen::{GenSpec, Mutation};
+use rsim_smr::system::System;
+
+/// The generated base system for a seed — the `gen:SEED` protocol of
+/// the CLI, analyzer-clean and empirically agreement-safe.
+pub fn generated_system(seed: u64) -> System {
+    GenSpec::from_seed(seed).build_system()
+}
+
+/// A generated mutant system — the `gen:SEED:MUTATION` protocol of the
+/// CLI. Runtime-verdict mutants build and run; analyzer-reject mutants
+/// build but fail `rsim_smr::analyze` pre-flight.
+pub fn generated_mutant_system(seed: u64, mutation: Mutation) -> System {
+    mutation.apply(&GenSpec::from_seed(seed)).build_system()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsim_smr::analyze::{lint_system, AnalysisReport, LintConfig, DEFAULT_BUDGET};
+    use rsim_smr::gen::Mutation;
+    use rsim_smr::process::ProcessId;
+    use rsim_smr::value::Value;
+
+    #[test]
+    fn generated_bases_are_obstruction_free_like_racing() {
+        // The family's contract matches racing's: a solo process
+        // decides its own input within a small budget.
+        for seed in [0, 5, 19] {
+            let spec = GenSpec::from_seed(seed);
+            for i in 0..spec.procs {
+                let mut sys = generated_system(seed);
+                let out = sys.run_solo(ProcessId(i), 256).unwrap();
+                assert_eq!(out, Value::Int(i as i64 + 1), "gen:{seed} p{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_family_races_above_the_bound_unlike_racing() {
+        // racing_system is deliberately run at the tight m = n; the
+        // generated bases keep a register of slack (m ≥ n + 1), which
+        // is why their must-stay-clean margin holds empirically.
+        for seed in 0..32 {
+            let spec = GenSpec::from_seed(seed);
+            assert!(spec.race_m > spec.procs, "gen:{seed} races at the bound");
+        }
+    }
+
+    #[test]
+    fn shrink_mutant_drops_below_the_bound_like_broken_racing() {
+        // The shrink-m mutant is the generated analogue of racing with
+        // m below Corollary 33: same footprint relation, same predicted
+        // violability.
+        let spec = Mutation::ShrinkFootprint.apply(&GenSpec::from_seed(0));
+        assert!(spec.race_m < spec.procs);
+        // Still statically well-formed: the analyzer must let it
+        // through to the runtime search (the bound is a warn, not a
+        // deny — exactly like campaigning racing below the bound).
+        let sys = generated_mutant_system(0, Mutation::ShrinkFootprint);
+        let report = AnalysisReport::from_findings(
+            lint_system(&sys, DEFAULT_BUDGET),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.deny_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn trespass_mutant_is_rejected_like_illformed() {
+        // The trespass mutant reproduces the illformed fixture's
+        // RS-W001 arm inside the generated family.
+        let sys = generated_mutant_system(0, Mutation::TrespassWrite);
+        let report = AnalysisReport::from_findings(
+            lint_system(&sys, DEFAULT_BUDGET),
+            &LintConfig::default(),
+        );
+        assert!(report.deny_count() > 0, "trespass must be denied");
+    }
+}

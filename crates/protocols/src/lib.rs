@@ -17,6 +17,10 @@
 //!   the hypothesis-violating Π for the x-obstruction-free case
 //!   (Lemma 32 needs Π to be x-OF for the direct simulators to
 //!   terminate).
+//! * [`generated`] — named fixtures from the seeded `gen:` family of
+//!   `rsim-smr`: generated bases racing strictly above the bound and
+//!   their paper-aware mutants, bridging the hand-written families and
+//!   the fuzz harness.
 //! * [`illformed`] — a deliberately ill-formed fixture whose four
 //!   processes each violate a different paper precondition; the
 //!   `rsim-smr::analyze` pre-flight must report every lint code on it.
@@ -39,11 +43,13 @@
 
 pub mod approx;
 pub mod contrarian;
+pub mod generated;
 pub mod illformed;
 pub mod ladder;
 pub mod racing;
 
 pub use approx::{approx_system, compressed_approx_system, MidpointApprox};
 pub use contrarian::{contrarian_system, Contrarian};
+pub use generated::{generated_mutant_system, generated_system};
 pub use ladder::{ladder_system, LadderConsensus};
 pub use racing::{racing_system, PhasedRacing};

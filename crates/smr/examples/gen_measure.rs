@@ -1,0 +1,66 @@
+//! Scratch measurement harness: kill/clean rates per mutation across
+//! generator seeds. Not part of the shipped surface.
+
+use rsim_smr::campaign::{replay_run, SchedulerSpec};
+use rsim_smr::gen::fuzz::consensus_check;
+use rsim_smr::gen::grammar::GenSpec;
+use rsim_smr::gen::mutate::{Mutation, ALL_MUTATIONS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gen_seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let runs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let budget: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3_000);
+    let sched_name = args.get(4).cloned().unwrap_or_else(|| "random".into());
+    let sched = SchedulerSpec::parse(&sched_name).unwrap();
+
+    println!("gen_seeds={gen_seeds} runs={runs} budget={budget} sched={sched_name}");
+    let mut variants: Vec<(String, Option<Mutation>)> =
+        vec![("base".to_string(), None)];
+    for m in ALL_MUTATIONS {
+        if m.expected_lint().is_none() {
+            variants.push((m.name().to_string(), Some(m)));
+        }
+    }
+
+    for (name, mutation) in &variants {
+        let mut killed = 0u64;
+        let mut total_first_kill: u64 = 0;
+        let mut max_first_kill: u64 = 0;
+        let mut nkilled_seeds: Vec<u64> = Vec::new();
+        for seed in 0..gen_seeds {
+            let base = GenSpec::from_seed(seed);
+            let spec = match mutation {
+                Some(m) => m.apply(&base),
+                None => base,
+            };
+            let factory = |_s: u64| spec.build_system();
+            let check = consensus_check(spec.inputs());
+            let mut first: Option<u64> = None;
+            for s in 0..runs {
+                let rec = replay_run(&sched, s, budget, factory, &check);
+                if rec.violation.is_some() {
+                    first = Some(s);
+                    break;
+                }
+            }
+            match first {
+                Some(s) => {
+                    killed += 1;
+                    total_first_kill += s;
+                    max_first_kill = max_first_kill.max(s);
+                }
+                None => nkilled_seeds.push(seed),
+            }
+        }
+        let avg = if killed > 0 {
+            total_first_kill as f64 / killed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{name:18} killed {killed}/{gen_seeds}  avg_first_kill={avg:.1}  \
+             max_first_kill={max_first_kill}  survivors={nkilled_seeds:?}",
+        );
+    }
+}

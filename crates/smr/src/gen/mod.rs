@@ -1,0 +1,37 @@
+//! Seeded protocol generation and paper-aware mutation fuzzing.
+//!
+//! The paper's lower-bound machinery makes sharp predictions about
+//! *which* protocols must fail: any obstruction-free consensus protocol
+//! racing over fewer registers than Corollary 33 allows has a
+//! disagreeing schedule, ABA-susceptible write streams void the
+//! Corollary 36 reduction, and single-writer trespasses void §3's
+//! discipline outright. Hand-written protocol families exercise a
+//! handful of points in that space; this module generates the space.
+//!
+//! Three layers close the analyze → explore → shrink → bundle loop:
+//!
+//! * [`grammar`] — [`grammar::GenSpec`]: a seeded, byte-deterministic
+//!   grammar of well-formed protocols (process count, announce
+//!   prologue scripts over single-writer components, a phased-racing
+//!   agreement core with helping writes over a multi-writer footprint).
+//!   The same seed yields a byte-identical [`grammar::GenSpec::canonical`]
+//!   form on any thread; every emitted protocol passes the Pass 1
+//!   analyzer with zero deny-level diagnostics.
+//! * [`mutate`] — paper-aware mutation operators, each tagged with the
+//!   paper's predicted verdict ([`mutate::Verdict`]): must-violate
+//!   (footprint below the bound, dropped helping write, torn scan →
+//!   update window), must-stay-clean (widened footprint, reordered
+//!   prologue), or analyzer-must-reject (single-writer trespass, ABA
+//!   reuse, leaked yield symbol).
+//! * [`fuzz`] — the harness: generated protocol → pre-flight → seeded
+//!   campaign search → on violation, ddmin shrink → portable replay
+//!   bundle in a corpus directory, with a deterministic JSON report
+//!   (`fuzz --seeds A..B --mutants --corpus DIR` on the CLI).
+
+pub mod fuzz;
+pub mod grammar;
+pub mod mutate;
+
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+pub use grammar::{GenSpec, GenProtocol, ScriptProtocol};
+pub use mutate::{Mutation, Verdict};

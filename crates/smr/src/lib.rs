@@ -44,6 +44,10 @@
 //!   Theorem 21 feasibility, dead steps, yield handling) and a
 //!   happens-before trace checker, with stable `RS-Wxxx` lint codes
 //!   and `--deny`/`--warn`/`--allow` severity configuration.
+//! * [`gen`] — seeded, byte-deterministic protocol generation over a
+//!   small grammar, paper-aware mutation operators tagged with
+//!   predicted verdicts, and the fuzz harness closing the analyze →
+//!   explore → shrink → bundle loop.
 //!
 //! # Example: run two processes under an adversarial scheduler
 //!
@@ -82,6 +86,7 @@ pub mod error;
 pub mod explore;
 pub mod fault;
 pub mod fingerprint;
+pub mod gen;
 pub mod json;
 pub mod history;
 pub mod linearizability;

@@ -48,6 +48,16 @@ analyze-smoke:
     ! cargo run --release -- campaign --protocol illformed --runs 1
     cargo clippy -p rsim-smr --all-targets -- -D warnings
 
+# Generated-protocol mutation-kill fuzzing: every base must pass
+# pre-flight, every predicted-fatal mutant must be killed + shrunk +
+# bundled into fuzz-corpus/, analyzer-reject mutants must die at
+# pre-flight, and one stored bundle must replay bit-for-bit (mirrors
+# CI's fuzz-smoke job). Exit is nonzero if any prediction fails.
+fuzz-smoke:
+    cargo run --release -- fuzz --seeds 0..16 --mutants \
+        --corpus fuzz-corpus --json-out FUZZ_smoke.json
+    cargo run --release -- replay fuzz-corpus/gen-0-shrink-m.bundle.json --threads 4
+
 # Per-experiment Criterion benches (CRITERION_SAMPLES trims sample count).
 bench:
     cargo bench -p rsim-bench

@@ -45,6 +45,14 @@
 //!   run. Exits nonzero iff a deny-level diagnostic fires. The same
 //!   analysis runs automatically before every `campaign` (skip with
 //!   `--no-preflight`).
+//! * `fuzz [--seeds A..B] [--mutants] [--corpus DIR]` — seeded
+//!   generation of well-formed protocols (`gen:SEED` syntax usable with
+//!   `campaign`/`analyze`/`replay` too) plus the mutation-kill harness:
+//!   analyzer-reject mutants must die at pre-flight, must-violate
+//!   mutants must be killed, shrunk, and bundled into the corpus, and
+//!   must-stay-clean mutants must survive. Exit 0 iff every prediction
+//!   holds; `--json` emits a report that is byte-identical at any
+//!   `--threads`.
 //! * `report` — the full experiments report (same as the
 //!   `experiments_report` example).
 //!
@@ -79,6 +87,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
         "analyze" => cmd_analyze(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "replay" => cmd_replay(&args[1..], &flags),
         "aug" => cmd_aug(&flags),
         "audit" => cmd_audit(&flags),
@@ -106,7 +115,7 @@ fn print_usage() {
          \x20 revisionist-simulations bounds [N K X]\n\
          \x20 revisionist-simulations simulate --n N --m M --f F [--d D] [--seed S] [--trace]\n\
          \x20 revisionist-simulations sweep --n N --m M --f F [--runs R] [--threads T]\n\
-         \x20 revisionist-simulations campaign [--protocol racing|contrarian|ladder]\n\
+         \x20 revisionist-simulations campaign [--protocol racing|contrarian|ladder|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--sched rr,random,quantum:2,obstruction:1,crash:1]\n\
          \x20\x20\x20\x20 [--runs R] [--budget B] [--seed-start S] [--threads T] [--json]\n\
          \x20\x20\x20\x20 [--seed S]  (replay one run with the first --sched spec)\n\
@@ -116,9 +125,12 @@ fn print_usage() {
          \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
          \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
          \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
-         \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed]\n\
+         \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--seed S] [--budget B] [--steps K]\n\
          \x20\x20\x20\x20 [--deny CODES] [--warn CODES] [--allow CODES]  (RS-Wxxx, comma-separated)\n\
+         \x20 revisionist-simulations fuzz [--seeds A..B] [--mutants] [--corpus DIR]\n\
+         \x20\x20\x20\x20 [--kill-runs R] [--clean-runs R] [--budget B] [--threads T]\n\
+         \x20\x20\x20\x20 [--json] [--json-out PATH]  (generated-protocol mutation-kill fuzzing)\n\
          \x20 revisionist-simulations replay BUNDLE.json [--threads T]\n\
          \x20 revisionist-simulations aug --f F --m M [--ops K] [--seed S] [--certify]\n\
          \x20\x20\x20\x20 [--bundle PATH]  (bundle the first failed placement)\n\
@@ -370,6 +382,17 @@ fn protocol_factory(
     use revisionist_simulations::protocols::ladder::ladder_system;
     use revisionist_simulations::protocols::racing::racing_system;
     let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
+    // Generated protocols carry their whole configuration in the name
+    // (`gen:SEED[:MUTATION]`); --procs/--m/--rounds are ignored.
+    if protocol.starts_with("gen:") {
+        return match revisionist_simulations::smr::gen::GenSpec::parse_cli(protocol) {
+            Ok(spec) => Some(Box::new(move |_seed| spec.build_system())),
+            Err(e) => {
+                eprintln!("{e}");
+                None
+            }
+        };
+    }
     match protocol {
         "racing" => Some(Box::new(move |_seed| racing_system(m, &inputs))),
         "ladder" => Some(Box::new(move |_seed| ladder_system(&inputs, rounds))),
@@ -387,24 +410,37 @@ fn protocol_factory(
     }
 }
 
+/// A boxed campaign check: inspects a terminated system, returns the
+/// violation message if the protocol's task was violated.
+type ProtocolCheck =
+    Box<dyn Fn(&revisionist_simulations::smr::system::System) -> Option<String> + Sync>;
+
 /// The campaign check for a protocol family. Terminated runs of the
 /// agreement protocols must satisfy consensus; a violation is the
 /// observable Theorem 21 artifact and is recorded with its replayable
 /// seed. The contrarian family has no output task — there the campaign
 /// measures termination only.
-fn protocol_check(
-    protocol: &str,
-    procs: usize,
-) -> impl Fn(&revisionist_simulations::smr::system::System) -> Option<String> + Sync {
+fn protocol_check(protocol: &str, procs: usize) -> ProtocolCheck {
+    // Generated protocols use the fuzz harness's partial-output check —
+    // the same message text, so fuzz-corpus bundle fingerprints
+    // reproduce under `replay` and `campaign`.
+    if protocol.starts_with("gen:") {
+        if let Ok(spec) = revisionist_simulations::smr::gen::GenSpec::parse_cli(protocol)
+        {
+            return Box::new(revisionist_simulations::smr::gen::fuzz::consensus_check(
+                spec.inputs(),
+            ));
+        }
+    }
     let validate_consensus = protocol != "contrarian";
     let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
-    move |sys| {
+    Box::new(move |sys| {
         if !validate_consensus || !sys.all_terminated() {
             return None;
         }
         let outs: Vec<Value> = sys.outputs().into_iter().flatten().collect();
         consensus().validate(&inputs, &outs).err().map(|e| e.to_string())
-    }
+    })
 }
 
 /// Captures, minimises, and optionally bundles one campaign failure:
@@ -519,7 +555,10 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
-        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder, illformed)");
+        eprintln!(
+            "unknown --protocol {protocol} (racing, contrarian, ladder, illformed, \
+             gen:SEED[:MUTATION])"
+        );
         return ExitCode::FAILURE;
     };
 
@@ -749,7 +788,10 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
-        eprintln!("unknown --protocol {protocol} (racing, contrarian, ladder, illformed)");
+        eprintln!(
+            "unknown --protocol {protocol} (racing, contrarian, ladder, illformed, \
+             gen:SEED[:MUTATION])"
+        );
         return ExitCode::FAILURE;
     };
     let initial = factory(seed);
@@ -809,6 +851,104 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
             report.deny_count(),
             report.warn_count()
         );
+        ExitCode::FAILURE
+    }
+}
+
+/// The `fuzz` subcommand: seeded protocol generation plus the
+/// mutation-kill harness. Exit code 0 iff every generated base passed
+/// pre-flight and every mutant matched its paper-predicted verdict.
+fn cmd_fuzz(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::smr::gen::fuzz::MutantResult;
+    use revisionist_simulations::smr::gen::{run_fuzz, FuzzConfig};
+
+    let seeds_raw = flags.get("seeds").map_or("0..16", String::as_str);
+    let seeds = match seeds_raw.split_once("..") {
+        Some((a, b)) => match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(a), Ok(b)) if a < b => a..b,
+            _ => {
+                eprintln!("bad --seeds `{seeds_raw}` (need A..B with A < B)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("bad --seeds `{seeds_raw}` (need A..B, e.g. 0..100)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let defaults = FuzzConfig::default();
+    let config = FuzzConfig {
+        seeds,
+        mutants: flags.contains_key("mutants"),
+        corpus: flags.get("corpus").map(std::path::PathBuf::from),
+        kill_runs: get(flags, "kill-runs", defaults.kill_runs as usize) as u64,
+        clean_runs: get(flags, "clean-runs", defaults.clean_runs as usize) as u64,
+        budget: get(flags, "budget", defaults.budget),
+        threads: get(flags, "threads", 0),
+    };
+
+    let report = run_fuzz(&config);
+    let json = report.to_json();
+    if !write_json_out(flags, &json) {
+        return ExitCode::FAILURE;
+    }
+    if flags.contains_key("json") {
+        print!("{json}");
+    } else {
+        println!(
+            "fuzz: {} protocols generated from seeds {}..{}",
+            report.generated(),
+            config.seeds.start,
+            config.seeds.end
+        );
+        println!(
+            "  preflight: {} ok, {} rejected",
+            report.generated() - report.preflight_rejected(),
+            report.preflight_rejected()
+        );
+        if config.mutants {
+            println!(
+                "  must-violate:    {} killed, {} survived",
+                report.killed(),
+                report.survived()
+            );
+            println!(
+                "  must-stay-clean: {} clean, {} flagged",
+                report.clean(),
+                report.flagged()
+            );
+            println!(
+                "  analyzer-reject: {} rejected at preflight, {} missed",
+                report.rejected(),
+                report.rejected_missed()
+            );
+            println!("  bundles stored:  {}", report.bundles_stored());
+        }
+        for seed in &report.per_seed {
+            for mutant in &seed.mutants {
+                if !mutant.prediction_held() {
+                    println!(
+                        "  PREDICTION FAILED: gen:{}:{} predicted {}, got {}",
+                        seed.seed,
+                        mutant.mutation.name(),
+                        mutant.mutation.verdict().name(),
+                        mutant.result.tag()
+                    );
+                    if let MutantResult::Flagged { seed: s, violation } = &mutant.result
+                    {
+                        println!("    run seed {s}: {violation}");
+                    }
+                }
+            }
+        }
+        println!(
+            "fuzz: predictions {}",
+            if report.predictions_hold() { "hold" } else { "VIOLATED" }
+        );
+    }
+    if report.predictions_hold() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

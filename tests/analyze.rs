@@ -258,3 +258,59 @@ fn preflight_library_entry_rejects_the_fixture() {
     assert!(text.contains("pre-flight analysis rejected the system"));
     assert!(text.contains("RS-W001") && text.contains("RS-W002"));
 }
+
+// ---------------------------------------------------------------------
+// Analyzer/fuzz interplay: the generator's analyzer-reject mutants must
+// trip their exact lint codes through the CLI, with the same stable
+// rendered form scripts grep for — and gen bases must analyze clean.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_gen_trespass_write_trips_single_writer() {
+    let (stdout, _, ok) = run(&["analyze", "--protocol", "gen:7:trespass-write"]);
+    assert!(!ok, "trespassing mutant must fail analysis");
+    // Pass 1 catches the static trespass; Pass 2's driven run also sees
+    // the runtime rejection, so both codes pin here.
+    for line in [
+        "error[RS-W001]: process p0 mutates obj0 component 1 owned by p1 \
+         (single-writer discipline, §3)",
+        "error[RS-W006]: run (seed 0): runtime rejected p0's write to \
+         single-writer component 1; process marked stuck",
+    ] {
+        assert!(stdout.contains(line), "missing golden line {line:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn golden_gen_aba_reuse_trips_aba_freedom() {
+    let (stdout, _, ok) = run(&["analyze", "--protocol", "gen:7:aba-reuse"]);
+    assert!(!ok, "ABA mutant must fail analysis");
+    let line = "error[RS-W002]: process p0's solo write stream violates \
+                ABA-freedom: ABA on object 0 component 0: value 1001 \
+                reappears after Some(1002)";
+    assert!(stdout.contains(line), "missing golden line {line:?} in:\n{stdout}");
+}
+
+#[test]
+fn golden_gen_yield_leak_trips_yield_symbol_when_denied() {
+    // The fuzz harness escalates RS-W005 to deny; mirror that here.
+    let (stdout, _, ok) = run(&[
+        "analyze", "--protocol", "gen:7:yield-leak", "--deny", "RS-W005",
+    ]);
+    assert!(!ok, "yield-leak mutant must fail analysis under --deny RS-W005");
+    let line = "error[RS-W005]: process p0 writes the reserved yield symbol Y \
+                via U[0]=() at solo step 1";
+    assert!(stdout.contains(line), "missing golden line {line:?} in:\n{stdout}");
+}
+
+#[test]
+fn gen_bases_analyze_clean() {
+    for seed in ["0", "7", "41"] {
+        let (stdout, _, ok) = run(&["analyze", "--protocol", &format!("gen:{seed}")]);
+        assert!(ok, "gen base {seed} must analyze clean:\n{stdout}");
+        assert!(
+            stdout.contains("analysis: clean"),
+            "gen:{seed} not clean:\n{stdout}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Acceptance tests for the protocol generator and the mutation-kill
+//! fuzz harness.
+//!
+//! * **Generator soundness** (proptest + exhaustive corpus): every
+//!   protocol the grammar emits passes Pass 1 analysis with zero
+//!   deny-level diagnostics — under the *fuzz* lint config, which
+//!   escalates RS-W005 to deny — and the same seed yields a
+//!   byte-identical canonical form on any thread.
+//! * **Mutation kill** (end-to-end): every predicted-fatal mutant is
+//!   killed within the bounded budget, shrunk, bundled, and the bundle
+//!   replays bit-for-bit from disk; predicted-benign mutants stay
+//!   clean; analyzer-reject mutants die at pre-flight with their exact
+//!   lint codes and never reach the search stage.
+
+use proptest::prelude::*;
+
+use rsim_smr::analyze::{self, AnalysisReport};
+use rsim_smr::bundle::ReplayBundle;
+use rsim_smr::gen::fuzz::{self, run_fuzz, FuzzConfig, MutantResult};
+use rsim_smr::gen::mutate::Verdict;
+use rsim_smr::gen::GenSpec;
+
+// ---------------------------------------------------------------------
+// Satellite 1: generator soundness over a 256-seed corpus.
+// ---------------------------------------------------------------------
+
+/// Every seed in the 256-seed corpus yields a protocol the analyzer
+/// accepts with zero deny-level diagnostics — under the harness's
+/// stricter config (RS-W005 denied), not just the defaults.
+#[test]
+fn corpus_256_all_pass_preflight_with_zero_denials() {
+    let lint = fuzz::lint_config();
+    for seed in 0..256 {
+        let spec = GenSpec::from_seed(seed);
+        let findings = analyze::lint_system(&spec.build_system(), analyze::DEFAULT_BUDGET);
+        let report = AnalysisReport::from_findings(findings, &lint);
+        assert_eq!(
+            report.deny_count(),
+            0,
+            "gen seed {seed} denied by Pass 1:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The canonical form of every corpus seed is byte-identical no matter
+/// which thread elaborates it (generation draws from a self-contained
+/// SplitMix64 stream keyed only by the seed).
+#[test]
+fn corpus_256_canonical_bytes_identical_across_threads() {
+    let reference: Vec<String> =
+        (0..256).map(|s| GenSpec::from_seed(s).canonical()).collect();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                (0..256).map(|s| GenSpec::from_seed(s).canonical()).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for worker in workers {
+        assert_eq!(worker.join().expect("worker"), reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same-seed determinism holds far beyond the corpus prefix, and
+    /// re-elaboration is bit-stable.
+    #[test]
+    fn any_seed_elaborates_deterministically(seed in 0u64..1_000_000_000_000) {
+        let a = GenSpec::from_seed(seed);
+        let b = GenSpec::from_seed(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.canonical(), b.canonical());
+        // The grammar's advertised ranges hold everywhere.
+        prop_assert!(a.procs == 2 || a.procs == 3);
+        prop_assert!(a.race_m == a.procs + 1 || a.race_m == a.procs + 2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2 + 3: mutation-kill acceptance and analyzer interplay.
+// ---------------------------------------------------------------------
+
+/// One harness invocation over two generator seeds, asserting the full
+/// verdict table: fatal mutants killed + shrunk + bundled + replayed
+/// from disk, benign mutants clean, analyzer-reject mutants stopped at
+/// pre-flight with their exact codes (hence zero search runs burned).
+#[test]
+fn mutation_kill_acceptance_two_seeds() {
+    let corpus = std::env::temp_dir().join(format!(
+        "rsim-fuzz-gen-corpus-{}",
+        std::process::id()
+    ));
+    let config = FuzzConfig {
+        seeds: 0..2,
+        mutants: true,
+        corpus: Some(corpus.clone()),
+        clean_runs: 24,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&config);
+    assert!(report.predictions_hold(), "predictions failed:\n{}", report.to_json());
+    assert_eq!(report.generated(), 2);
+    assert_eq!(report.preflight_rejected(), 0);
+    assert_eq!(report.killed(), 6, "3 fatal mutants per seed");
+    assert_eq!(report.survived(), 0);
+    assert_eq!(report.clean(), 4, "2 benign mutants per seed");
+    assert_eq!(report.flagged(), 0);
+    assert_eq!(report.rejected(), 6, "3 analyzer mutants per seed");
+    assert_eq!(report.rejected_missed(), 0);
+    assert_eq!(report.bundles_stored(), 6);
+
+    for seed in &report.per_seed {
+        for mutant in &seed.mutants {
+            match (&mutant.result, mutant.mutation.verdict()) {
+                // Every analyzer-reject mutant names its predicted code
+                // — and carries no kill_seed/runs: the search stage was
+                // never entered.
+                (MutantResult::Rejected { codes }, Verdict::AnalyzerReject) => {
+                    let expected = mutant.mutation.expected_lint().unwrap();
+                    assert!(
+                        codes.iter().any(|c| c == expected),
+                        "{} expected {expected}, tripped {codes:?}",
+                        mutant.mutation.name()
+                    );
+                }
+                // Every kill shrank its counterexample and stored a
+                // bundle that replays bit-for-bit from disk through the
+                // same factory + check the harness used.
+                (
+                    MutantResult::Killed {
+                        original_decisions,
+                        shrunk_decisions,
+                        bundle: Some(path),
+                        ..
+                    },
+                    Verdict::MustViolate,
+                ) => {
+                    assert!(shrunk_decisions <= original_decisions);
+                    let bundle =
+                        ReplayBundle::load(std::path::Path::new(path)).expect("load");
+                    let spec = GenSpec::parse_cli(
+                        bundle.system_field("protocol").expect("protocol field"),
+                    )
+                    .expect("gen protocol parses");
+                    let check = fuzz::consensus_check(spec.inputs());
+                    let outcome = bundle
+                        .replay(&|| spec.build_system(), &|sys, _| check(sys))
+                        .expect("bundle replays bit-for-bit");
+                    assert_eq!(outcome.violation.as_deref(), Some(bundle.violation.as_str()));
+                }
+                (MutantResult::Clean { .. }, Verdict::MustStayClean) => {}
+                (result, verdict) => panic!(
+                    "gen:{}:{} — unexpected ({:?}, {:?})",
+                    seed.seed,
+                    mutant.mutation.name(),
+                    result,
+                    verdict
+                ),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+/// The JSON report is a pure function of the config: byte-identical at
+/// any worker count (ordered merge by seed index).
+#[test]
+fn fuzz_report_json_deterministic_across_thread_counts() {
+    let base = FuzzConfig {
+        seeds: 0..3,
+        mutants: true,
+        corpus: None,
+        clean_runs: 8,
+        ..FuzzConfig::default()
+    };
+    let mut configs = [base.clone(), base.clone(), base];
+    configs[0].threads = 1;
+    configs[1].threads = 2;
+    configs[2].threads = 5;
+    let reports: Vec<String> =
+        configs.iter().map(|c| run_fuzz(c).to_json()).collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+}

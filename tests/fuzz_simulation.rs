@@ -1,70 +1,46 @@
-//! Property-based fuzzing of the full simulation pipeline: random
-//! scripted protocols (arbitrary update patterns, bounded length, then
-//! output) are pushed through the covering-simulator machinery under
-//! random schedules, and every run must be wait-free, within budgets,
-//! and pass the Lemma 26/27 replay.
+//! Property-based fuzzing of the full simulation pipeline, driven by
+//! the protocol generator: scripted protocols derived from
+//! [`GenSpec`] prologues (arbitrary update patterns, bounded length,
+//! then output) are pushed through the covering-simulator machinery
+//! under random schedules, and every run must be wait-free, within
+//! budgets, and pass the Lemma 26/27 replay.
 //!
 //! This exercises `Construct(r)`, revision, window computation and the
 //! replay against protocol behaviours far weirder than the racing
-//! family: processes that hammer one component, alternate, or output
-//! immediately.
+//! family. The scripts come from `GenSpec::script_protocol`, so the
+//! same seeds the `fuzz` subcommand explores also feed the covering
+//! simulation, and a failing case here reduces to one `gen` seed.
+//!
+//! Simulation shapes are feasible *by construction* (`n = f·m + d` with
+//! `d` simulators covering directly), so no `prop_assume` filtering —
+//! the historic source of assume-saturation flakes — is needed.
 
 use proptest::prelude::*;
 use revisionist_simulations::core::bounds;
 use revisionist_simulations::core::replay;
 use revisionist_simulations::core::simulation::{Simulation, SimulationConfig};
-use revisionist_simulations::smr::process::{ProtocolStep, SnapshotProtocol};
+use revisionist_simulations::smr::gen::GenSpec;
 use revisionist_simulations::smr::value::Value;
-
-/// A deterministic scripted protocol: performs its updates then outputs
-/// a tag. Wait-free by construction (hence obstruction-free), which is
-/// all Theorem 21 requires of Π.
-#[derive(Clone, Debug)]
-struct Scripted {
-    script: Vec<(usize, i64)>,
-    pos: usize,
-    m: usize,
-    tag: i64,
-}
-
-impl SnapshotProtocol for Scripted {
-    fn on_scan(&mut self, _view: &[Value]) -> ProtocolStep {
-        if self.pos >= self.script.len() {
-            return ProtocolStep::Output(Value::Int(self.tag));
-        }
-        let (c, v) = self.script[self.pos];
-        self.pos += 1;
-        ProtocolStep::Update(c % self.m, Value::Int(v))
-    }
-    fn components(&self) -> usize {
-        self.m
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn scripted_simulations_are_wait_free_and_replay(
-        scripts in proptest::collection::vec(
-            proptest::collection::vec((0usize..3, 0i64..50), 0..8),
-            2..4, // f simulators
-        ),
+    fn generated_scripts_simulate_wait_free_and_replay(
+        gen_seed in 0u64..256,
+        f in 2usize..4, // simulators
         m in 1usize..3,
         seed in 0u64..10_000,
     ) {
-        let f = scripts.len();
-        let n = f * m; // exactly enough simulated processes
+        // d = 0 and n = f·m make the reduction feasible outright:
+        // (f − 0)·m + 0 = n. No filtering, hence no assume saturation.
+        let n = f * m;
         let config = SimulationConfig::new(n, m, f, 0);
-        prop_assume!(config.is_feasible());
+        prop_assert!(config.is_feasible(), "n = f*m must always be feasible");
+        let spec = GenSpec::from_seed(gen_seed);
         let inputs: Vec<Value> = (0..f as i64).map(Value::Int).collect();
-        let scripts2 = scripts.clone();
-        let make = move |i: usize| Scripted {
-            script: scripts2[i].clone(),
-            pos: 0,
-            m,
-            tag: i as i64,
-        };
+        let spec2 = spec.clone();
+        let make = move |i: usize| spec2.script_protocol(i, m, i as i64);
         let mut sim = Simulation::new(config, inputs, make).unwrap();
         sim.run_random(seed, 10_000_000).unwrap();
         prop_assert!(sim.all_terminated(), "simulation must be wait-free");
@@ -72,54 +48,39 @@ proptest! {
             let (_, bus) = sim.op_counts(i);
             prop_assert!(
                 (bus as u128) <= bounds::b_bound(m, i + 1),
-                "budget exceeded: q{i} applied {bus}"
+                "budget exceeded: q{} applied {}", i, bus
             );
             // Outputs are tags of the simulator's own processes
             // (colorless: every simulated process of q_i has tag i).
             prop_assert_eq!(sim.output(i), Some(&Value::Int(i as i64)));
         }
-        let scripts3 = scripts.clone();
-        let report = replay::validate(&sim, move |i| Scripted {
-            script: scripts3[i].clone(),
-            pos: 0,
-            m,
-            tag: i as i64,
+        let report = replay::validate(&sim, move |i| {
+            spec.script_protocol(i, m, i as i64)
         })
         .unwrap();
         prop_assert!(report.is_ok(), "replay failed: {:#?}", report.errors);
     }
 
     #[test]
-    fn mixed_direct_covering_scripted_simulations_replay(
-        scripts in proptest::collection::vec(
-            proptest::collection::vec((0usize..2, 0i64..50), 0..6),
-            3..4,
-        ),
+    fn mixed_direct_covering_generated_scripts_replay(
+        gen_seed in 0u64..256,
         seed in 0u64..5_000,
     ) {
-        let f = scripts.len();
-        let m = 2;
-        let d = 1;
+        // One direct simulator among three: n = (f − d)·m + d = 5,
+        // feasible by construction.
+        let (f, m, d) = (3, 2, 1);
         let n = (f - d) * m + d;
         let config = SimulationConfig::new(n, m, f, d);
-        prop_assume!(config.is_feasible());
+        prop_assert!(config.is_feasible(), "(f, d) shape must be feasible");
+        let spec = GenSpec::from_seed(gen_seed);
         let inputs: Vec<Value> = (0..f as i64).map(Value::Int).collect();
-        let scripts2 = scripts.clone();
-        let make = move |i: usize| Scripted {
-            script: scripts2[i].clone(),
-            pos: 0,
-            m,
-            tag: i as i64,
-        };
+        let spec2 = spec.clone();
+        let make = move |i: usize| spec2.script_protocol(i, m, i as i64);
         let mut sim = Simulation::new(config, inputs, make).unwrap();
         sim.run_random(seed, 10_000_000).unwrap();
         prop_assert!(sim.all_terminated());
-        let scripts3 = scripts.clone();
-        let report = replay::validate(&sim, move |i| Scripted {
-            script: scripts3[i].clone(),
-            pos: 0,
-            m,
-            tag: i as i64,
+        let report = replay::validate(&sim, move |i| {
+            spec.script_protocol(i, m, i as i64)
         })
         .unwrap();
         prop_assert!(report.is_ok(), "replay failed: {:#?}", report.errors);
