@@ -13,7 +13,7 @@
 
 use crate::error::ModelError;
 use crate::fault::FaultPlan;
-use crate::json::{write_atomic, Json};
+use crate::json::{write_atomic, write_atomic_new, Json};
 use crate::shrink::{execute, CexCheck, CexOutcome, Counterexample};
 use crate::system::System;
 use std::path::Path;
@@ -238,28 +238,37 @@ impl ReplayBundle {
     pub fn store(&self, path: &Path) -> std::io::Result<()> {
         write_atomic(path, &self.to_json())
     }
+
+    /// The canonical corpus file name for this bundle: keyed by the
+    /// violation fingerprint, so the same counterexample found by any
+    /// shard maps to the same path.
+    pub fn corpus_file_name(&self) -> String {
+        format!("cex-{:016x}.bundle.json", self.fingerprint)
+    }
+
+    /// Stores the bundle into a corpus directory, deduplicating by
+    /// fingerprint: the first writer creates
+    /// [`ReplayBundle::corpus_file_name`] atomically, every later
+    /// writer (same process, another process, or a crashed-and-retried
+    /// worker) finds the file already present and writes nothing.
+    /// Returns `true` if this call created the file. Two racing
+    /// writers can both reach the create step, but the create itself
+    /// is a hard-link publish — exactly one wins and no reader ever
+    /// sees a partial bundle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from the atomic writer.
+    pub fn store_dedup(&self, corpus_dir: &Path) -> std::io::Result<bool> {
+        let path = corpus_dir.join(self.corpus_file_name());
+        write_atomic_new(&path, &self.to_json())
+    }
 }
 
-/// JSON string literal with escaping (local copy; the campaign module
-/// keeps its own private one).
+/// JSON string literal with escaping (the workspace-wide routine in
+/// [`crate::json::escape`]).
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    crate::json::escape(s)
 }
 
 #[cfg(test)]
@@ -316,6 +325,57 @@ mod tests {
             "tmp file must be renamed away"
         );
         assert_eq!(ReplayBundle::load(&path).unwrap(), bundle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_store_dedups_racing_writers_by_fingerprint() {
+        let dir = std::env::temp_dir()
+            .join(format!("rsim-corpus-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bundle = sample();
+        // Two "shards" racing to publish the same fingerprint many
+        // times: exactly one create must win per round, and the file
+        // must always parse back to the full bundle (never torn).
+        let created: usize = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut wins = 0usize;
+                        for _ in 0..16 {
+                            if bundle.store_dedup(&dir).unwrap() {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+        assert_eq!(created, 1, "exactly one writer may create the file");
+        let path = dir.join(bundle.corpus_file_name());
+        assert_eq!(ReplayBundle::load(&path).unwrap(), bundle);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|name| name != path.file_name().unwrap())
+            .collect();
+        assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_fingerprints_get_distinct_corpus_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("rsim-corpus-distinct-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = sample();
+        let mut b = sample();
+        b.fingerprint ^= 0xdead_beef;
+        assert!(a.store_dedup(&dir).unwrap());
+        assert!(b.store_dedup(&dir).unwrap());
+        assert_ne!(a.corpus_file_name(), b.corpus_file_name());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -142,7 +142,7 @@ impl fmt::Display for SchedulerSpec {
 
 /// Campaign shape: the scheduler mix, the seed range, per-run budget
 /// and worker count.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct CampaignConfig {
     /// Scheduler mix; every spec runs against every seed.
     pub schedulers: Vec<SchedulerSpec>,
@@ -210,6 +210,11 @@ pub struct CampaignOptions {
     /// is recorded as a structured [`ModelError::CellTimeout`] failure
     /// so one pathological schedule cannot starve the worker fleet.
     pub cell_timeout: Option<Duration>,
+    /// Campaign identity stamped into every checkpoint this session
+    /// writes (see [`campaign_spec_id`]), so a later `--resume` can
+    /// fail closed instead of merging a checkpoint from a different
+    /// campaign.
+    pub spec_id: Option<String>,
 }
 
 impl Default for CampaignOptions {
@@ -224,8 +229,27 @@ impl Default for CampaignOptions {
             retries: 2,
             retry_backoff: Duration::from_millis(1),
             cell_timeout: None,
+            spec_id: None,
         }
     }
+}
+
+/// The identity string of a campaign: protocol plus every parameter
+/// that shapes the matrix or the per-run outcomes. Two campaigns with
+/// the same spec id produce interchangeable checkpoints; any other
+/// pair must never be merged. `threads` is deliberately excluded — the
+/// report is thread-count independent by construction.
+pub fn campaign_spec_id(protocol: &str, config: &CampaignConfig) -> String {
+    let schedulers: Vec<String> =
+        config.schedulers.iter().map(ToString::to_string).collect();
+    format!(
+        "protocol={} sched={} seeds={}+{} budget={}",
+        protocol,
+        schedulers.join(","),
+        config.seed_start,
+        config.runs,
+        config.budget,
+    )
 }
 
 /// A campaign checkpoint: which matrix indices already ran (with their
@@ -234,31 +258,85 @@ impl Default for CampaignOptions {
 /// identical to an uninterrupted run.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignCheckpoint {
+    /// The identity of the campaign that wrote this checkpoint (see
+    /// [`campaign_spec_id`]); `None` only in pre-service checkpoints.
+    /// Resume validates it so two different campaigns can never be
+    /// silently merged.
+    pub spec: Option<String>,
     /// Completed `(matrix index, record)` pairs.
     pub completed: Vec<(usize, RunRecord)>,
     /// Sorted fingerprint set at checkpoint time.
     pub fingerprints: Vec<u64>,
 }
 
+/// Serialises one completed `(matrix index, record)` pair as the JSON
+/// object used in checkpoints and service shard results — one format,
+/// so shard records merge bit-for-bit with single-process checkpoints.
+pub(crate) fn record_entry_json(index: usize, r: &RunRecord) -> String {
+    format!(
+        "{{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
+         \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
+         \"error\": {}, \"attempts\": {}}}",
+        index,
+        json_string(&r.scheduler),
+        r.seed,
+        r.steps,
+        r.terminated,
+        r.violation.as_deref().map_or("null".into(), json_string),
+        r.error.as_deref().map_or("null".into(), json_string),
+        r.attempts,
+    )
+}
+
+/// Parses one checkpoint/shard record entry (inverse of
+/// [`record_entry_json`]).
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadSpec`] on missing or mistyped fields.
+pub(crate) fn parse_record_entry(entry: &Json) -> Result<(usize, RunRecord), ModelError> {
+    let bad = |reason: &str| ModelError::BadSpec {
+        spec: "checkpoint".into(),
+        reason: reason.into(),
+    };
+    let field =
+        |key: &str| entry.get(key).ok_or_else(|| bad(&format!("missing `{key}`")));
+    let index = field("index")?.as_usize().ok_or_else(|| bad("bad `index`"))?;
+    let opt_str = |key: &str| -> Option<String> {
+        entry.get(key)?.as_str().map(str::to_string)
+    };
+    Ok((
+        index,
+        RunRecord {
+            scheduler: field("scheduler")?
+                .as_str()
+                .ok_or_else(|| bad("bad `scheduler`"))?
+                .to_string(),
+            seed: field("seed")?.as_u64().ok_or_else(|| bad("bad `seed`"))?,
+            steps: field("steps")?.as_usize().ok_or_else(|| bad("bad `steps`"))?,
+            terminated: field("terminated")?
+                .as_bool()
+                .ok_or_else(|| bad("bad `terminated`"))?,
+            violation: opt_str("violation"),
+            error: opt_str("error"),
+            // Absent in pre-supervisor checkpoints: one attempt.
+            attempts: entry.get("attempts").and_then(Json::as_usize).unwrap_or(1),
+        },
+    ))
+}
+
 impl CampaignCheckpoint {
     /// Serialises the checkpoint as JSON.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"completed\": [\n");
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        if let Some(spec) = &self.spec {
+            out.push_str(&format!("  \"spec\": {},\n", json_string(spec)));
+        }
+        out.push_str("  \"completed\": [\n");
         for (i, (index, r)) in self.completed.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
-                 \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
-                 \"error\": {}, \"attempts\": {}}}{}\n",
-                index,
-                json_string(&r.scheduler),
-                r.seed,
-                r.steps,
-                r.terminated,
-                r.violation.as_deref().map_or("null".into(), json_string),
-                r.error.as_deref().map_or("null".into(), json_string),
-                r.attempts,
-                if i + 1 < self.completed.len() { "," } else { "" },
-            ));
+            out.push_str("    ");
+            out.push_str(&record_entry_json(*index, r));
+            out.push_str(if i + 1 < self.completed.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ],\n  \"fingerprints\": [");
         for (i, fp) in self.fingerprints.iter().enumerate() {
@@ -282,43 +360,16 @@ impl CampaignCheckpoint {
             reason: reason.into(),
         };
         let doc = Json::parse(text)?;
-        let mut checkpoint = CampaignCheckpoint::default();
+        let mut checkpoint = CampaignCheckpoint {
+            spec: doc.get("spec").and_then(Json::as_str).map(str::to_string),
+            ..CampaignCheckpoint::default()
+        };
         for entry in doc
             .get("completed")
             .and_then(Json::as_arr)
             .ok_or_else(|| bad("missing `completed` array"))?
         {
-            let field = |key: &str| {
-                entry.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
-            };
-            let index =
-                field("index")?.as_usize().ok_or_else(|| bad("bad `index`"))?;
-            let opt_str = |key: &str| -> Option<String> {
-                entry.get(key)?.as_str().map(str::to_string)
-            };
-            checkpoint.completed.push((
-                index,
-                RunRecord {
-                    scheduler: field("scheduler")?
-                        .as_str()
-                        .ok_or_else(|| bad("bad `scheduler`"))?
-                        .to_string(),
-                    seed: field("seed")?.as_u64().ok_or_else(|| bad("bad `seed`"))?,
-                    steps: field("steps")?
-                        .as_usize()
-                        .ok_or_else(|| bad("bad `steps`"))?,
-                    terminated: field("terminated")?
-                        .as_bool()
-                        .ok_or_else(|| bad("bad `terminated`"))?,
-                    violation: opt_str("violation"),
-                    error: opt_str("error"),
-                    // Absent in pre-supervisor checkpoints: one attempt.
-                    attempts: entry
-                        .get("attempts")
-                        .and_then(Json::as_usize)
-                        .unwrap_or(1),
-                },
-            ));
+            checkpoint.completed.push(parse_record_entry(entry)?);
         }
         for fp in doc
             .get("fingerprints")
@@ -330,6 +381,24 @@ impl CampaignCheckpoint {
                 .push(fp.as_u64().ok_or_else(|| bad("bad fingerprint"))?);
         }
         Ok(checkpoint)
+    }
+
+    /// Fails closed if this checkpoint was written by a campaign whose
+    /// identity differs from `requested` (see [`campaign_spec_id`]).
+    /// Checkpoints without a recorded spec (pre-service format) pass —
+    /// there is nothing to compare against.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ResumeMismatch`] naming both specs.
+    pub fn ensure_matches(&self, requested: &str) -> Result<(), ModelError> {
+        match &self.spec {
+            Some(spec) if spec != requested => Err(ModelError::ResumeMismatch {
+                checkpoint: spec.clone(),
+                requested: requested.to_string(),
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Loads a checkpoint file.
@@ -348,7 +417,7 @@ impl CampaignCheckpoint {
 }
 
 /// Outcome of a single run; `(scheduler, seed)` replays it exactly.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunRecord {
     /// The scheduler spec, in its parseable syntax.
     pub scheduler: String,
@@ -497,26 +566,10 @@ impl CampaignReport {
     }
 }
 
-/// JSON string literal with escaping for the characters our messages
-/// can contain.
+/// JSON string literal with escaping (the workspace-wide routine in
+/// [`crate::json::escape`]).
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    crate::json::escape(s)
 }
 
 /// How often the per-cell timeout is polled, in steps: cheap enough to
@@ -715,11 +768,13 @@ where
 /// the campaign.
 fn write_checkpoint(
     path: &Path,
+    spec: Option<&str>,
     mut completed: Vec<(usize, RunRecord)>,
     cache: &FingerprintCache,
 ) {
     completed.sort_by_key(|(index, _)| *index);
     let checkpoint = CampaignCheckpoint {
+        spec: spec.map(str::to_string),
         completed,
         fingerprints: cache.snapshot(),
     };
@@ -913,7 +968,12 @@ where
                     if let (Some(completed), Some(path)) =
                         (to_checkpoint, &options.checkpoint_path)
                     {
-                        write_checkpoint(path, completed, &cache);
+                        write_checkpoint(
+                            path,
+                            options.spec_id.as_deref(),
+                            completed,
+                            &cache,
+                        );
                     }
                 }
             });
@@ -925,7 +985,7 @@ where
     // A final checkpoint captures everything this session completed, so
     // a watchdog-truncated campaign is always resumable.
     if let Some(path) = &options.checkpoint_path {
-        write_checkpoint(path, records.clone(), &cache);
+        write_checkpoint(path, options.spec_id.as_deref(), records.clone(), &cache);
     }
 
     let skipped_runs = total - records.len();
@@ -942,11 +1002,36 @@ where
         _ => None,
     };
 
+    assemble_report(
+        config,
+        records,
+        cache.len(),
+        cache.truncated(),
+        truncation,
+        degraded.load(Ordering::Relaxed),
+    )
+}
+
+/// Folds index-sorted run records into a [`CampaignReport`]. This is
+/// the *single* aggregation routine: [`run_campaign_with`] feeds it the
+/// records of one process, the service merge layer feeds it records
+/// reassembled from many worker shards — so a merged multi-process
+/// report is byte-identical to a single-process one by construction,
+/// not by parallel maintenance of two aggregators.
+pub(crate) fn assemble_report(
+    config: &CampaignConfig,
+    records: Vec<(usize, RunRecord)>,
+    distinct_configs: usize,
+    cache_truncated: bool,
+    truncation: Option<String>,
+    degraded_runs: usize,
+) -> CampaignReport {
+    let total = config.schedulers.len() * config.runs;
     let mut report = CampaignReport {
         config: config.clone(),
         total_runs: records.len(),
         terminated_runs: 0,
-        distinct_configs: cache.len(),
+        distinct_configs,
         total_steps: 0,
         per_scheduler: config
             .schedulers
@@ -960,11 +1045,11 @@ where
             })
             .collect(),
         failures: Vec::new(),
-        skipped_runs,
+        skipped_runs: total - records.len(),
         truncation,
-        cache_truncated: cache.truncated(),
+        cache_truncated,
         retried_runs: 0,
-        degraded_runs: degraded.load(Ordering::Relaxed),
+        degraded_runs,
     };
     for (index, record) in records {
         let tally = &mut report.per_scheduler[index / config.runs];
@@ -1751,6 +1836,7 @@ mod tests {
     #[test]
     fn checkpoint_round_trips_through_json() {
         let checkpoint = CampaignCheckpoint {
+            spec: Some("protocol=racing sched=random seeds=0+40 budget=500".into()),
             completed: vec![
                 (
                     0,

@@ -63,6 +63,25 @@ pub enum ModelError {
         /// The rendered deny-level diagnostics, one per line.
         diagnostics: String,
     },
+    /// A resume was attempted against a checkpoint written by a
+    /// *different* campaign: the checkpoint's recorded spec does not
+    /// match the requested one. Merging them would silently corrupt the
+    /// aggregates, so the resume fails closed naming both specs.
+    ResumeMismatch {
+        /// The spec the checkpoint was written under.
+        checkpoint: String,
+        /// The spec the resuming campaign requested.
+        requested: String,
+    },
+    /// A campaign-service failure: journal corruption beyond recovery,
+    /// an unusable state directory, or a coordinator-level protocol
+    /// error. Worker deaths are *not* errors — they are leases to retry.
+    Service {
+        /// What the service was doing.
+        context: String,
+        /// Why it failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -98,6 +117,15 @@ impl fmt::Display for ModelError {
             ModelError::PreflightRejected { diagnostics } => {
                 write!(f, "pre-flight analysis rejected the system:\n{diagnostics}")
             }
+            ModelError::ResumeMismatch { checkpoint, requested } => write!(
+                f,
+                "resume mismatch: checkpoint was written by campaign \
+                 `{checkpoint}` but the requested campaign is `{requested}` \
+                 — refusing to merge incompatible aggregates"
+            ),
+            ModelError::Service { context, reason } => {
+                write!(f, "campaign service failure during {context}: {reason}")
+            }
         }
     }
 }
@@ -132,6 +160,14 @@ mod tests {
             },
             ModelError::PreflightRejected {
                 diagnostics: "error[RS-W001]: p0 writes component 1 owned by p1".into(),
+            },
+            ModelError::ResumeMismatch {
+                checkpoint: "protocol=racing sched=rr seeds=0+10".into(),
+                requested: "protocol=contrarian sched=rr seeds=0+10".into(),
+            },
+            ModelError::Service {
+                context: "journal recovery".into(),
+                reason: "state dir is not writable".into(),
             },
         ];
         for e in errs {

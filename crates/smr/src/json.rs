@@ -11,23 +11,123 @@
 
 use crate::error::ModelError;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Writes `contents` to `path` atomically: the bytes go to a sibling
-/// `.tmp` file first, which is then renamed over the destination, so a
-/// reader (or a crash mid-write) never observes a half-written file.
+/// Flushes the directory entry containing `path` so a rename (or link)
+/// into it survives power loss. Directory fsync is a POSIX-ism; on
+/// platforms where directories cannot be opened it is skipped — the
+/// rename itself is still atomic, only its durability window widens.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match std::fs::File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        // Windows (and some filesystems) refuse to open directories;
+        // that is a capability gap, not a caller error.
+        Err(_) => Ok(()),
+    }
+}
+
+/// Writes `contents` to `path` atomically and durably: the bytes go to
+/// a sibling `.tmp` file first, which is fsynced and then renamed over
+/// the destination, after which the parent directory entry is fsynced
+/// too — so a reader never observes a half-written file, and a power
+/// loss never leaves a renamed-but-unjournalled entry. A crash between
+/// write and rename leaves only the `.tmp` debris; the destination is
+/// either the old bytes or the new bytes, never a mix.
 ///
 /// This is the single write path for every JSON artifact the workspace
-/// produces — campaign checkpoints, replay bundles, and `--json-out`
-/// reports all funnel through here.
+/// produces — campaign checkpoints, replay bundles, service snapshots,
+/// and `--json-out` reports all funnel through here.
 ///
 /// # Errors
 ///
-/// Propagates the underlying I/O error from the write or the rename.
+/// Propagates the underlying I/O error from the write, the fsync, or
+/// the rename.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        // The temp file's bytes must be on disk *before* the rename
+        // makes them reachable, else a crash can expose an empty file
+        // under the final name.
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Distinguishes concurrent writers' temp files (process id alone is
+/// not enough: two threads of one process may race on the same target).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically creates `path` with `contents` **iff it does not already
+/// exist**, with the same durability guarantees as [`write_atomic`].
+/// Returns `true` if this call created the file, `false` if some other
+/// writer (thread, process, or an earlier run) got there first — in
+/// which case the existing file is left untouched.
+///
+/// The bytes are staged in a uniquely-named temp file (fsynced), then
+/// published with a hard link — the one POSIX primitive that is both
+/// atomic and exclusive — so two writers racing on the same path can
+/// never interleave bytes or both report success. This is what
+/// deduplicates violation-bundle corpora: the first shard to produce a
+/// fingerprint wins, every later shard observes `false`.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the benign already-exists race.
+pub fn write_atomic_new(path: &Path, contents: &str) -> io::Result<bool> {
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    let linked = match std::fs::hard_link(&tmp, path) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(e),
+    };
+    // The staged copy is debris either way once the link call resolved.
+    let _ = std::fs::remove_file(&tmp);
+    if matches!(linked, Ok(true)) {
+        sync_parent_dir(path)?;
+    }
+    linked
+}
+
+/// Renders `s` as a JSON string literal, escaping quotes, backslashes,
+/// and control characters. The single escaping routine shared by every
+/// hand-rolled writer in the workspace (reports, checkpoints, bundles,
+/// service journals).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A parsed JSON value.

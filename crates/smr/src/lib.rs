@@ -35,6 +35,11 @@
 //! * [`campaign`] — seeded randomised campaign runner: many runs across
 //!   protocol families and scheduler mixes, fanned over cores, each run
 //!   replayable from its recorded seed.
+//! * [`service`] — the crash-tolerant multi-process campaign service:
+//!   a journaled crash-safe job queue, leased work units executed by
+//!   worker processes with heartbeats/retry/quarantine, a
+//!   determinism-preserving merge layer, and built-in chaos injection
+//!   (worker SIGKILL, torn journal writes).
 //! * [`history`] / [`linearizability`] — operation histories and a
 //!   Wing–Gong linearizability checker for implemented objects.
 //! * [`trace`] — per-process column diagrams and summaries of
@@ -93,6 +98,7 @@ pub mod linearizability;
 pub mod object;
 pub mod process;
 pub mod sched;
+pub mod service;
 pub mod shrink;
 pub mod system;
 pub mod trace;

@@ -1,0 +1,131 @@
+//! Built-in chaos injection.
+//!
+//! A [`ChaosPlan`] tells the coordinator to attack its *own* run:
+//! SIGKILL the worker holding a named unit the moment it first
+//! heartbeats (`kill@unit:U`), or tear the journal write of a named
+//! unit's result — append a prefix of the record and drop the rest,
+//! exactly what a power loss mid-`write(2)` leaves behind
+//! (`torn@result:U`). Each injection fires once; the acceptance gate
+//! is that the merged report converges to the unkilled single-process
+//! reference anyway.
+
+use crate::error::ModelError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parsed `--chaos` plan: which units to attack, each once.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ChaosPlan {
+    kills: BTreeSet<u64>,
+    torn: BTreeSet<u64>,
+    fired_kills: BTreeSet<u64>,
+    fired_torn: BTreeSet<u64>,
+}
+
+impl ChaosPlan {
+    /// Parses the CLI syntax: comma-separated `kill@unit:U` and
+    /// `torn@result:U` directives (empty string = no chaos).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] naming the malformed directive.
+    pub fn parse(text: &str) -> Result<ChaosPlan, ModelError> {
+        let bad = |part: &str, reason: &str| ModelError::BadSpec {
+            spec: format!("chaos directive `{part}`"),
+            reason: reason.into(),
+        };
+        let mut plan = ChaosPlan::default();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let unit = |prefix: &str| -> Result<u64, ModelError> {
+                part.strip_prefix(prefix)
+                    .ok_or_else(|| {
+                        bad(part, "expected kill@unit:U or torn@result:U")
+                    })?
+                    .parse()
+                    .map_err(|_| bad(part, "unit id must be an integer"))
+            };
+            if part.starts_with("kill@unit:") {
+                plan.kills.insert(unit("kill@unit:")?);
+            } else if part.starts_with("torn@result:") {
+                plan.torn.insert(unit("torn@result:")?);
+            } else {
+                return Err(bad(part, "expected kill@unit:U or torn@result:U"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// No injections configured at all?
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.torn.is_empty()
+    }
+
+    /// Should the worker holding `unit` be killed now? Fires at most
+    /// once per unit.
+    pub fn take_kill(&mut self, unit: u64) -> bool {
+        self.kills.contains(&unit) && self.fired_kills.insert(unit)
+    }
+
+    /// Should `unit`'s result journal write be torn? Fires at most
+    /// once per unit.
+    pub fn take_torn(&mut self, unit: u64) -> bool {
+        self.torn.contains(&unit) && self.fired_torn.insert(unit)
+    }
+
+    /// Kills injected so far.
+    pub fn kills_fired(&self) -> usize {
+        self.fired_kills.len()
+    }
+
+    /// Torn writes injected so far.
+    pub fn torn_fired(&self) -> usize {
+        self.fired_torn.len()
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> =
+            self.kills.iter().map(|u| format!("kill@unit:{u}")).collect();
+        parts.extend(self.torn.iter().map(|u| format!("torn@result:{u}")));
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trips() {
+        let plan = ChaosPlan::parse("kill@unit:1,torn@result:3,kill@unit:4").unwrap();
+        assert_eq!(plan.to_string(), "kill@unit:1,kill@unit:4,torn@result:3");
+        assert_eq!(
+            ChaosPlan::parse(&plan.to_string()).unwrap(),
+            plan,
+        );
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injections_fire_exactly_once() {
+        let mut plan = ChaosPlan::parse("kill@unit:2,torn@result:2").unwrap();
+        assert!(!plan.take_kill(1), "unit 1 is not targeted");
+        assert!(plan.take_kill(2));
+        assert!(!plan.take_kill(2), "kill fires once");
+        assert!(plan.take_torn(2));
+        assert!(!plan.take_torn(2), "torn fires once");
+        assert_eq!(plan.kills_fired(), 1);
+        assert_eq!(plan.torn_fired(), 1);
+    }
+
+    #[test]
+    fn malformed_directives_are_structured_errors() {
+        for bad in ["kill@unit:x", "explode@unit:1", "kill@", "torn@result:"] {
+            assert!(
+                matches!(ChaosPlan::parse(bad), Err(ModelError::BadSpec { .. })),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The campaign-service coordinator: leases units to worker processes
+//! and converges on the merged report.
+//!
+//! The coordinator owns no execution — it spawns worker processes
+//! (`worker_cmd`, normally the CLI's `campaign-worker` subcommand),
+//! feeds them [`CoordMsg::Lease`] frames over stdin, and listens to
+//! heartbeats and results on their stdout. Everything that matters is
+//! journaled through [`JobQueue`] *before* it is acted on, so a
+//! coordinator crash recovers to the same place; worker death is an
+//! expected event (requeue with backoff, quarantine after
+//! `max_lease_attempts`), not an error. Chaos injection
+//! ([`ChaosPlan`]) runs inside this loop on purpose: the service
+//! attacks itself through exactly the code paths real faults take.
+
+use crate::campaign::CampaignReport;
+use crate::error::ModelError;
+use crate::service::chaos::ChaosPlan;
+use crate::service::lease::{LeaseEvent, LeaseManager};
+use crate::service::merge::{merge_report, ShardResult};
+use crate::service::proto::{read_frame, write_frame, CoordMsg, WorkerMsg};
+use crate::service::queue::{JobQueue, JournalRecord};
+use crate::service::unit::{ServiceSpec, WorkUnit};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How the service runs: fleet size, durability locations, lease
+/// timing, retry policy, and the chaos plan.
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Worker processes to keep alive (capped at the unsettled unit
+    /// count — idle processes are not spawned).
+    pub workers: usize,
+    /// State directory: journal, snapshot, per-unit checkpoints.
+    pub state_dir: PathBuf,
+    /// Corpus directory for deduplicated violation bundles.
+    pub corpus_dir: PathBuf,
+    /// A lease whose worker stays silent this long is killed and
+    /// requeued.
+    pub lease_timeout: Duration,
+    /// How often workers heartbeat while executing a unit.
+    pub heartbeat_interval: Duration,
+    /// Failed leases before a unit is quarantined as poison.
+    pub max_lease_attempts: usize,
+    /// Base retry backoff, doubled per failed lease.
+    pub retry_backoff: Duration,
+    /// Journal appends between snapshot compactions.
+    pub compact_every: usize,
+    /// Fault injections to run against this service run.
+    pub chaos: ChaosPlan,
+    /// The worker process command line (argv). Normally the CLI
+    /// passes its own executable plus `campaign-worker`; tests
+    /// substitute failing commands to exercise quarantine.
+    pub worker_cmd: Vec<String>,
+}
+
+impl ServiceOptions {
+    /// Options with production defaults for the given locations and
+    /// worker command.
+    pub fn new(state_dir: PathBuf, corpus_dir: PathBuf, worker_cmd: Vec<String>) -> ServiceOptions {
+        ServiceOptions {
+            workers: 2,
+            state_dir,
+            corpus_dir,
+            lease_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(200),
+            max_lease_attempts: 3,
+            retry_backoff: Duration::from_millis(50),
+            compact_every: 32,
+            chaos: ChaosPlan::default(),
+            worker_cmd,
+        }
+    }
+}
+
+/// Operational counters for one service run. Diagnostics only — the
+/// merged report never depends on them (that is the determinism
+/// contract).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Units in the partition.
+    pub units: usize,
+    /// Units whose shards came from a previous run's journal.
+    pub recovered_units: usize,
+    /// Leases granted this run.
+    pub leases: usize,
+    /// Leases that ended in requeue (death, expiry, torn write).
+    pub requeues: usize,
+    /// Units quarantined as poison.
+    pub quarantined_units: usize,
+    /// Worker processes spawned.
+    pub workers_spawned: usize,
+    /// Chaos: workers SIGKILLed.
+    pub kills_injected: usize,
+    /// Chaos: journal writes torn.
+    pub torn_injected: usize,
+    /// Corrupt/torn journal lines dropped during recovery.
+    pub dropped_journal_lines: usize,
+}
+
+/// A finished service run: the merged report plus operational stats.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// The merged campaign report — bit-for-bit what a single-process
+    /// run of the same spec produces, regardless of the run's
+    /// crash/retry history.
+    pub report: CampaignReport,
+    /// Operational counters (stderr material, never in the report).
+    pub stats: ServiceStats,
+}
+
+enum Event {
+    Msg(usize, WorkerMsg),
+    Gone(usize),
+}
+
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    current: Option<u64>,
+    alive: bool,
+}
+
+fn spawn_worker(
+    opts: &ServiceOptions,
+    wid: usize,
+    tx: &mpsc::Sender<Event>,
+) -> Result<WorkerHandle, ModelError> {
+    let mut child = Command::new(&opts.worker_cmd[0])
+        .args(&opts.worker_cmd[1..])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| ModelError::Service {
+            context: format!("spawning worker `{}`", opts.worker_cmd.join(" ")),
+            reason: e.to_string(),
+        })?;
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take().expect("piped stdout");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            match WorkerMsg::parse(&payload) {
+                Ok(msg) => {
+                    if tx.send(Event::Msg(wid, msg)).is_err() {
+                        return;
+                    }
+                }
+                // An unparseable frame means the worker is not
+                // speaking the protocol: stop trusting the stream.
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send(Event::Gone(wid));
+    });
+    Ok(WorkerHandle { child, stdin, current: None, alive: true })
+}
+
+/// Runs the full service: recover, lease, supervise, merge.
+///
+/// # Errors
+///
+/// [`ModelError::ResumeMismatch`] when the state directory belongs to
+/// a different campaign; [`ModelError::Service`] for unrecoverable
+/// infrastructure faults (unusable state dir, unjournalable disk,
+/// unspawnable workers). Worker deaths, lease expiries, torn journal
+/// writes, and poison units are *handled*, not returned.
+pub fn run_service(spec: &ServiceSpec, opts: &ServiceOptions) -> Result<ServiceOutcome, ModelError> {
+    if opts.worker_cmd.is_empty() {
+        return Err(ModelError::Service {
+            context: "configuring workers".into(),
+            reason: "worker_cmd must name an executable".into(),
+        });
+    }
+    let (mut queue, recovered) = JobQueue::open(&opts.state_dir, opts.compact_every)?;
+    match &recovered.spec {
+        Some(prev) if prev.identity() != spec.identity() => {
+            return Err(ModelError::ResumeMismatch {
+                checkpoint: prev.identity(),
+                requested: spec.identity(),
+            });
+        }
+        Some(_) => {}
+        None => queue.append(&JournalRecord::Init { spec: spec.clone() })?,
+    }
+    std::fs::create_dir_all(&opts.corpus_dir).map_err(|e| ModelError::Service {
+        context: "creating corpus directory".into(),
+        reason: e.to_string(),
+    })?;
+
+    let units: BTreeMap<u64, WorkUnit> =
+        spec.partition().into_iter().map(|u| (u.id, u)).collect();
+    let mut lease = LeaseManager::new(
+        units.keys().copied(),
+        opts.max_lease_attempts,
+        opts.retry_backoff,
+    );
+    let mut shards: Vec<ShardResult> = Vec::new();
+    let mut stats = ServiceStats {
+        units: units.len(),
+        recovered_units: recovered.shards.len(),
+        dropped_journal_lines: recovered.dropped_lines,
+        ..ServiceStats::default()
+    };
+    for shard in recovered.shards {
+        // Shards for units outside the partition would mean a spec
+        // mismatch, which was rejected above.
+        if units.contains_key(&shard.unit) {
+            lease.mark_done(shard.unit);
+            shards.push(shard);
+        }
+    }
+    for (unit, attempts) in &recovered.attempts {
+        lease.restore_attempts(*unit, *attempts);
+    }
+    for (unit, reason) in &recovered.quarantined {
+        lease.mark_quarantined(*unit, reason);
+    }
+
+    let mut chaos = opts.chaos.clone();
+    if !lease.all_settled() {
+        supervise(spec, opts, &units, &mut lease, &mut queue, &mut shards, &mut chaos, &mut stats)?;
+    }
+    stats.kills_injected = chaos.kills_fired();
+    stats.torn_injected = chaos.torn_fired();
+
+    let quarantined = lease.quarantined();
+    stats.quarantined_units = quarantined.len();
+    let quarantined_runs: usize = quarantined
+        .iter()
+        .filter_map(|(id, _)| units.get(id).map(|u| u.runs))
+        .sum();
+    queue.compact(spec, &shards, &lease.pending_attempts(), &quarantined)?;
+    let report = merge_report(&spec.config, &shards, quarantined_runs);
+    Ok(ServiceOutcome { report, stats })
+}
+
+/// The live supervision loop: spawn, assign, heartbeat, reap, retry.
+#[allow(clippy::too_many_arguments)]
+fn supervise(
+    spec: &ServiceSpec,
+    opts: &ServiceOptions,
+    units: &BTreeMap<u64, WorkUnit>,
+    lease: &mut LeaseManager,
+    queue: &mut JobQueue,
+    shards: &mut Vec<ShardResult>,
+    chaos: &mut ChaosPlan,
+    stats: &mut ServiceStats,
+) -> Result<(), ModelError> {
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut workers: Vec<WorkerHandle> = Vec::new();
+    let tick = Duration::from_millis(25);
+
+    let unsettled = |lease: &LeaseManager| {
+        units
+            .keys()
+            .filter(|id| {
+                !matches!(
+                    lease.state(**id),
+                    Some(
+                        crate::service::lease::UnitState::Done
+                            | crate::service::lease::UnitState::Quarantined { .. }
+                    )
+                )
+            })
+            .count()
+    };
+
+    while !lease.all_settled() {
+        // Keep the fleet at strength: one spawn round per loop pass
+        // bounds the respawn rate for crash-looping worker commands.
+        let desired = opts.workers.max(1).min(unsettled(lease));
+        while workers.iter().filter(|w| w.alive).count() < desired {
+            let wid = workers.len();
+            workers.push(spawn_worker(opts, wid, &tx)?);
+            stats.workers_spawned += 1;
+        }
+
+        assign_idle(opts, units, lease, queue, &mut workers, stats)?;
+
+        match rx.recv_timeout(tick) {
+            Ok(Event::Msg(wid, WorkerMsg::Heartbeat { unit })) => {
+                lease.heartbeat(unit, Instant::now());
+                if chaos.take_kill(unit) {
+                    // SIGKILL mid-unit: the reader thread's EOF turns
+                    // this into a normal worker death downstream.
+                    if let Some(w) = workers.get_mut(wid) {
+                        let _ = w.child.kill();
+                    }
+                }
+            }
+            Ok(Event::Msg(wid, WorkerMsg::Result { unit, shard })) => {
+                let now = Instant::now();
+                if let Some(w) = workers.get_mut(wid) {
+                    w.current = None;
+                }
+                if chaos.take_torn(unit) {
+                    // Injected power loss mid-append: persist a torn
+                    // prefix, drop the in-memory result, and requeue —
+                    // the unit must be re-earned through recovery-real
+                    // paths.
+                    let record = JournalRecord::Result { shard };
+                    let keep = record.to_json().len() / 2;
+                    queue.torn_append(&record, keep)?;
+                    if let Some(ev) = lease.fail_lease(unit, now, "journal write torn")
+                    {
+                        journal_lease_event(queue, stats, &ev)?;
+                    }
+                } else if lease.complete(unit) {
+                    queue.append(&JournalRecord::Result { shard: shard.clone() })?;
+                    shards.push(shard);
+                    queue.maybe_compact(
+                        spec,
+                        shards,
+                        &lease.pending_attempts(),
+                        &lease.quarantined(),
+                    )?;
+                }
+                // A duplicate result (crash/retry race) falls through
+                // silently: determinism makes it identical to the one
+                // already journaled.
+            }
+            Ok(Event::Gone(wid)) => {
+                let now = Instant::now();
+                if let Some(w) = workers.get_mut(wid) {
+                    if w.alive {
+                        w.alive = false;
+                        w.current = None;
+                        w.stdin = None;
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        for ev in lease.worker_died(wid, now, "worker process died")
+                        {
+                            journal_lease_event(queue, stats, &ev)?;
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Lease expiry: a silent worker is dead to us even if
+                // the process lingers — kill it and let the reader
+                // thread's EOF path do the requeue.
+                let now = Instant::now();
+                for (_unit, wid) in lease.expired(now, opts.lease_timeout) {
+                    if let Some(w) = workers.get_mut(wid) {
+                        if w.alive {
+                            let _ = w.child.kill();
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ModelError::Service {
+                    context: "supervision loop".into(),
+                    reason: "event channel disconnected".into(),
+                });
+            }
+        }
+    }
+
+    // All settled: release the fleet.
+    for w in &mut workers {
+        if w.alive {
+            if let Some(stdin) = &mut w.stdin {
+                let _ = write_frame(stdin, &CoordMsg::Shutdown.to_json());
+            }
+            w.stdin = None;
+            let _ = w.child.wait();
+        }
+    }
+    Ok(())
+}
+
+fn journal_lease_event(
+    queue: &mut JobQueue,
+    stats: &mut ServiceStats,
+    event: &LeaseEvent,
+) -> Result<(), ModelError> {
+    match event {
+        LeaseEvent::Requeued { unit, attempt, reason } => {
+            stats.requeues += 1;
+            queue.append(&JournalRecord::Requeue {
+                unit: *unit,
+                attempt: *attempt,
+                reason: reason.clone(),
+            })
+        }
+        LeaseEvent::Quarantined { unit, reason } => {
+            queue.append(&JournalRecord::Quarantine {
+                unit: *unit,
+                reason: reason.clone(),
+            })
+        }
+    }
+}
+
+/// Hands the next available units to idle workers.
+fn assign_idle(
+    opts: &ServiceOptions,
+    units: &BTreeMap<u64, WorkUnit>,
+    lease: &mut LeaseManager,
+    queue: &mut JobQueue,
+    workers: &mut [WorkerHandle],
+    stats: &mut ServiceStats,
+) -> Result<(), ModelError> {
+    let now = Instant::now();
+    for (wid, worker) in workers.iter_mut().enumerate() {
+        if !worker.alive || worker.current.is_some() {
+            continue;
+        }
+        let Some(unit_id) = lease.next_available(now) else {
+            break;
+        };
+        let attempt = lease.lease(unit_id, wid, now);
+        stats.leases += 1;
+        queue.append(&JournalRecord::Lease { unit: unit_id, attempt })?;
+        let msg = CoordMsg::Lease {
+            unit: units[&unit_id].clone(),
+            state_dir: opts.state_dir.display().to_string(),
+            corpus_dir: opts.corpus_dir.display().to_string(),
+            heartbeat_ms: opts.heartbeat_interval.as_millis().max(1) as u64,
+        };
+        let sent = match &mut worker.stdin {
+            Some(stdin) => write_frame(stdin, &msg.to_json()).is_ok(),
+            None => false,
+        };
+        if sent {
+            worker.current = Some(unit_id);
+        } else {
+            // The worker died before taking the lease: treat as a
+            // normal death so the unit requeues with an attempt
+            // consumed (a crash-looping worker command must converge
+            // to quarantine, not spin forever).
+            worker.alive = false;
+            worker.stdin = None;
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+            for ev in lease.worker_died(wid, now, "worker died before lease") {
+                journal_lease_event(queue, stats, &ev)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignConfig, SchedulerSpec};
+
+    fn tiny_spec() -> ServiceSpec {
+        ServiceSpec {
+            system: vec![
+                ("kind".into(), "campaign".into()),
+                ("protocol".into(), "racing".into()),
+            ],
+            config: CampaignConfig {
+                schedulers: vec![SchedulerSpec::RoundRobin],
+                seed_start: 0,
+                runs: 2,
+                budget: 100,
+                threads: 1,
+            },
+            unit_runs: 1,
+        }
+    }
+
+    fn dirs(tag: &str) -> (PathBuf, PathBuf) {
+        let base = std::env::temp_dir()
+            .join(format!("rsim-coord-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        (base.join("state"), base.join("corpus"))
+    }
+
+    /// Workers that die instantly must drive every unit to quarantine
+    /// — never hang, never spin forever — and the report must say so.
+    #[test]
+    fn crash_looping_workers_quarantine_all_units() {
+        let (state, corpus) = dirs("quarantine");
+        let mut opts = ServiceOptions::new(
+            state.clone(),
+            corpus,
+            vec!["sh".into(), "-c".into(), "exit 1".into()],
+        );
+        opts.workers = 2;
+        opts.max_lease_attempts = 2;
+        opts.retry_backoff = Duration::from_millis(1);
+        let outcome = run_service(&tiny_spec(), &opts).unwrap();
+        assert_eq!(outcome.stats.quarantined_units, 2);
+        assert_eq!(outcome.report.total_runs, 0);
+        assert_eq!(outcome.report.skipped_runs, 2);
+        let notice = outcome.report.truncation.as_deref().unwrap();
+        assert!(notice.contains("quarantined"), "notice: {notice}");
+        // Quarantine state is durable: a rerun does not retry poison
+        // units, it converges immediately to the same report.
+        let rerun = run_service(&tiny_spec(), &opts).unwrap();
+        assert_eq!(rerun.report.to_json(), outcome.report.to_json());
+        assert_eq!(rerun.stats.leases, 0, "poison units are not re-leased");
+        let _ = std::fs::remove_dir_all(state.parent().unwrap());
+    }
+
+    /// A state directory from one campaign refuses a different one.
+    #[test]
+    fn mismatched_state_dir_fails_closed() {
+        let (state, corpus) = dirs("mismatch");
+        let mut opts = ServiceOptions::new(
+            state.clone(),
+            corpus,
+            vec!["sh".into(), "-c".into(), "exit 1".into()],
+        );
+        opts.max_lease_attempts = 1;
+        opts.retry_backoff = Duration::from_millis(1);
+        run_service(&tiny_spec(), &opts).unwrap();
+        let mut other = tiny_spec();
+        other.config.runs = 3;
+        match run_service(&other, &opts) {
+            Err(ModelError::ResumeMismatch { checkpoint, requested }) => {
+                assert!(checkpoint.contains("seeds=0+2"), "{checkpoint}");
+                assert!(requested.contains("seeds=0+3"), "{requested}");
+            }
+            other => panic!("expected ResumeMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(state.parent().unwrap());
+    }
+
+    #[test]
+    fn empty_worker_cmd_is_a_structured_error() {
+        let (state, corpus) = dirs("emptycmd");
+        let opts = ServiceOptions::new(state.clone(), corpus, Vec::new());
+        assert!(matches!(
+            run_service(&tiny_spec(), &opts),
+            Err(ModelError::Service { .. })
+        ));
+        let _ = std::fs::remove_dir_all(state.parent().unwrap());
+    }
+}

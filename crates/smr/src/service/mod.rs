@@ -1,0 +1,38 @@
+//! Crash-tolerant multi-process campaign service.
+//!
+//! The single-process campaign runner ([`crate::campaign`]) already
+//! survives panics, timeouts, and its own restarts (checkpoints); this
+//! module promotes it into a *service* that survives anything short of
+//! losing the disk: the (scheduler × seed-range) matrix is partitioned
+//! into self-describing [`unit::WorkUnit`]s held in a persistent
+//! crash-safe job queue ([`queue::JobQueue`]: append-only checksummed
+//! journal plus atomic snapshot compaction), a coordinator
+//! ([`coordinator::run_service`]) leases units to worker *processes*
+//! over a length-prefixed JSON stdio protocol ([`proto`]) with
+//! heartbeats, lease expiry, bounded retry-with-backoff on worker
+//! death, and quarantine of poison units ([`lease::LeaseManager`]),
+//! and a merge layer ([`merge`]) reassembles worker shards through the
+//! *same* aggregation routine the single-process runner uses — so the
+//! merged report is bit-for-bit independent of sharding, worker count,
+//! crash/retry history, and merge order, by construction.
+//!
+//! Robustness is proven, not assumed: [`chaos::ChaosPlan`] lets the
+//! service SIGKILL its own workers mid-unit and tear its own journal
+//! writes, and the acceptance gate requires the merged report to stay
+//! byte-identical to an unkilled single-process reference run.
+
+pub mod chaos;
+pub mod coordinator;
+pub mod lease;
+pub mod merge;
+pub mod proto;
+pub mod queue;
+pub mod unit;
+
+pub use chaos::ChaosPlan;
+pub use coordinator::{run_service, ServiceOptions, ServiceOutcome, ServiceStats};
+pub use lease::{LeaseEvent, LeaseManager, UnitState};
+pub use merge::{merge_report, ShardResult};
+pub use proto::{read_frame, write_frame, CoordMsg, WorkerMsg};
+pub use queue::{JobQueue, JournalRecord, RecoveredState};
+pub use unit::{ServiceSpec, WorkUnit};

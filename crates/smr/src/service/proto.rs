@@ -1,0 +1,278 @@
+//! The coordinator ⇄ worker wire protocol.
+//!
+//! Frames are length-prefixed JSON over stdio: 8 lowercase hex digits
+//! (the payload byte length), a newline, then exactly that many
+//! payload bytes. Length prefixing — not line framing — because
+//! payloads embed whole shard results whose violation messages may
+//! contain anything. The coordinator writes [`CoordMsg`] frames to a
+//! worker's stdin; the worker writes [`WorkerMsg`] frames to stdout
+//! (its stderr passes through for human diagnostics).
+
+use crate::error::ModelError;
+use crate::json::{escape, Json};
+use crate::service::merge::ShardResult;
+use crate::service::unit::WorkUnit;
+use std::io::{self, BufRead, Write};
+
+/// Refuse frames above this size: a corrupt length prefix must not
+/// make the reader try to allocate gigabytes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (a closed pipe means the peer
+/// died; callers treat that as a dead worker, not a fatal fault).
+pub fn write_frame(w: &mut dyn Write, payload: &str) -> io::Result<()> {
+    write!(w, "{:08x}\n{payload}", payload.len())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at
+/// a frame boundary (the peer closed the stream between frames).
+///
+/// # Errors
+///
+/// Returns an I/O error on a malformed prefix, an oversized length, or
+/// EOF inside a frame.
+pub fn read_frame(r: &mut dyn BufRead) -> io::Result<Option<String>> {
+    let mut prefix = String::new();
+    if r.read_line(&mut prefix)? == 0 {
+        return Ok(None);
+    }
+    let len = usize::from_str_radix(prefix.trim_end(), 16).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length prefix {prefix:?}"),
+        )
+    })?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Coordinator → worker messages.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoordMsg {
+    /// Execute this unit; checkpoint under `state_dir`, publish
+    /// violation bundles under `corpus_dir`, heartbeat every
+    /// `heartbeat_ms`.
+    Lease {
+        /// The self-describing unit.
+        unit: WorkUnit,
+        /// Directory for the unit checkpoint.
+        state_dir: String,
+        /// Directory for deduplicated violation bundles.
+        corpus_dir: String,
+        /// Heartbeat period, milliseconds.
+        heartbeat_ms: u64,
+    },
+    /// No more work: exit cleanly.
+    Shutdown,
+}
+
+impl CoordMsg {
+    /// Serialises the message as JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            CoordMsg::Lease { unit, state_dir, corpus_dir, heartbeat_ms } => {
+                format!(
+                    "{{\"type\": \"lease\", \"unit\": {}, \"state_dir\": {}, \
+                     \"corpus_dir\": {}, \"heartbeat_ms\": {}}}",
+                    unit.to_json(),
+                    escape(state_dir),
+                    escape(corpus_dir),
+                    heartbeat_ms,
+                )
+            }
+            CoordMsg::Shutdown => "{\"type\": \"shutdown\"}".into(),
+        }
+    }
+
+    /// Parses a message from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] on malformed JSON, an unknown
+    /// type, or missing fields.
+    pub fn parse(text: &str) -> Result<CoordMsg, ModelError> {
+        let bad = |reason: &str| ModelError::BadSpec {
+            spec: "coordinator message".into(),
+            reason: reason.into(),
+        };
+        let doc = Json::parse(text)?;
+        match doc.get("type").and_then(Json::as_str) {
+            Some("lease") => Ok(CoordMsg::Lease {
+                unit: WorkUnit::parse(
+                    doc.get("unit").ok_or_else(|| bad("missing `unit`"))?,
+                )?,
+                state_dir: doc
+                    .get("state_dir")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing `state_dir`"))?
+                    .to_string(),
+                corpus_dir: doc
+                    .get("corpus_dir")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing `corpus_dir`"))?
+                    .to_string(),
+                heartbeat_ms: doc
+                    .get("heartbeat_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing `heartbeat_ms`"))?,
+            }),
+            Some("shutdown") => Ok(CoordMsg::Shutdown),
+            Some(other) => Err(bad(&format!("unknown message type `{other}`"))),
+            None => Err(bad("missing `type`")),
+        }
+    }
+}
+
+/// Worker → coordinator messages.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WorkerMsg {
+    /// Liveness signal while executing a unit; sent immediately on
+    /// lease receipt and then periodically.
+    Heartbeat {
+        /// The unit being executed.
+        unit: u64,
+    },
+    /// The unit's completed shard result.
+    Result {
+        /// The completed unit.
+        unit: u64,
+        /// Its records and fingerprints, in global matrix coordinates.
+        shard: ShardResult,
+    },
+}
+
+impl WorkerMsg {
+    /// Serialises the message as JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            WorkerMsg::Heartbeat { unit } => {
+                format!("{{\"type\": \"heartbeat\", \"unit\": {unit}}}")
+            }
+            WorkerMsg::Result { unit, shard } => format!(
+                "{{\"type\": \"result\", \"unit\": {unit}, \"shard\": {}}}",
+                shard.to_json()
+            ),
+        }
+    }
+
+    /// Parses a message from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] on malformed JSON, an unknown
+    /// type, or missing fields.
+    pub fn parse(text: &str) -> Result<WorkerMsg, ModelError> {
+        let bad = |reason: &str| ModelError::BadSpec {
+            spec: "worker message".into(),
+            reason: reason.into(),
+        };
+        let doc = Json::parse(text)?;
+        let unit = || {
+            doc.get("unit")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing `unit`"))
+        };
+        match doc.get("type").and_then(Json::as_str) {
+            Some("heartbeat") => Ok(WorkerMsg::Heartbeat { unit: unit()? }),
+            Some("result") => Ok(WorkerMsg::Result {
+                unit: unit()?,
+                shard: ShardResult::parse(
+                    doc.get("shard").ok_or_else(|| bad("missing `shard`"))?,
+                )?,
+            }),
+            Some(other) => Err(bad(&format!("unknown message type `{other}`"))),
+            None => Err(bad("missing `type`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip_including_newlines() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "first\npayload").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "third").unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("first\npayload"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("third"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_and_bad_prefixes_are_io_errors() {
+        // EOF inside the payload.
+        let mut r = BufReader::new(&b"00000010\nshort"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Garbage prefix.
+        let mut r = BufReader::new(&b"not-hex!\npayload"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Oversized length must not allocate.
+        let mut r = BufReader::new(&b"ffffffff\nx"[..]);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn coord_messages_round_trip() {
+        let lease = CoordMsg::Lease {
+            unit: WorkUnit {
+                id: 3,
+                index_base: 24,
+                scheduler: "random".into(),
+                seed_start: 8,
+                runs: 8,
+                budget: 500,
+                system: vec![("kind".into(), "campaign".into())],
+            },
+            state_dir: "/tmp/state".into(),
+            corpus_dir: "/tmp/corpus".into(),
+            heartbeat_ms: 200,
+        };
+        assert_eq!(CoordMsg::parse(&lease.to_json()).unwrap(), lease);
+        let shutdown = CoordMsg::Shutdown;
+        assert_eq!(CoordMsg::parse(&shutdown.to_json()).unwrap(), shutdown);
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        let beat = WorkerMsg::Heartbeat { unit: 7 };
+        assert_eq!(WorkerMsg::parse(&beat.to_json()).unwrap(), beat);
+        let result = WorkerMsg::Result {
+            unit: 7,
+            shard: ShardResult {
+                unit: 7,
+                records: Vec::new(),
+                fingerprints: vec![1, u64::MAX - 1],
+                degraded_runs: 0,
+                cache_truncated: false,
+            },
+        };
+        assert_eq!(WorkerMsg::parse(&result.to_json()).unwrap(), result);
+    }
+
+    #[test]
+    fn unknown_message_types_are_structured_errors() {
+        assert!(CoordMsg::parse("{\"type\": \"pause\"}").is_err());
+        assert!(WorkerMsg::parse("{\"type\": \"pause\"}").is_err());
+        assert!(WorkerMsg::parse("{}").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Durability regressions for the campaign's persistent artifacts: a
+//! torn write (power loss, SIGKILL mid-`write(2)`) must never be
+//! mistaken for a valid checkpoint, and the atomic writers must leave
+//! either the old bytes or the new bytes — never a blend, never a
+//! stray temp file.
+
+use rsim_smr::campaign::{CampaignCheckpoint, RunRecord};
+use rsim_smr::json::{write_atomic, write_atomic_new};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("rsim-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn checkpoint() -> CampaignCheckpoint {
+    let record = |seed: u64, violation: Option<&str>| RunRecord {
+        scheduler: "random".into(),
+        seed,
+        steps: 40 + seed as usize,
+        terminated: true,
+        violation: violation.map(str::to_string),
+        error: None,
+        attempts: 1,
+    };
+    CampaignCheckpoint {
+        spec: Some("protocol=racing sched=random seeds=0+40 budget=500".into()),
+        completed: vec![
+            (0, record(0, None)),
+            (3, record(3, Some("outputs disagree: \"1\" vs \"2\""))),
+            (7, record(7, None)),
+        ],
+        fingerprints: vec![11, 42, u64::MAX - 1],
+    }
+}
+
+/// The torn-write sweep: a checkpoint truncated at *every* byte offset
+/// must fail closed. `parse` may only succeed when the surviving prefix
+/// still encodes the complete checkpoint (i.e. the tear cost nothing
+/// but trailing whitespace) — a partial record list silently parsing as
+/// a shorter campaign would corrupt every resumed aggregate.
+#[test]
+fn checkpoint_truncated_at_every_byte_offset_fails_closed() {
+    let full = checkpoint();
+    let json = full.to_json();
+    for cut in 0..json.len() {
+        let Some(torn) = json.get(..cut) else {
+            continue; // mid-UTF-8 boundary: unrepresentable as &str
+        };
+        match CampaignCheckpoint::parse(torn) {
+            Err(e) => {
+                // Structured, named error — not a panic, not a unit value.
+                let msg = e.to_string().to_lowercase();
+                assert!(
+                    msg.contains("checkpoint") || msg.contains("json"),
+                    "cut at {cut}: unhelpful error {e}"
+                );
+            }
+            Ok(parsed) => assert_eq!(
+                parsed.to_json(),
+                json,
+                "cut at {cut} parsed as a DIFFERENT checkpoint"
+            ),
+        }
+    }
+}
+
+/// Same sweep at the filesystem level, through `load`: truncate the
+/// on-disk file to every prefix length and require a structured error
+/// or the identical checkpoint back.
+#[test]
+fn checkpoint_file_truncation_fails_closed_through_load() {
+    let dir = tmp_dir("load");
+    let path = dir.join("campaign.checkpoint.json");
+    let full = checkpoint();
+    let json = full.to_json();
+    write_atomic(&path, &json).unwrap();
+    assert_eq!(
+        CampaignCheckpoint::load(&path).unwrap().to_json(),
+        json,
+        "untruncated file must round-trip"
+    );
+    for keep in 0..json.len() as u64 {
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(keep).unwrap();
+        drop(file);
+        if let Ok(parsed) = CampaignCheckpoint::load(&path) {
+            assert_eq!(
+                parsed.to_json(),
+                json,
+                "truncation to {keep} bytes parsed as a different checkpoint"
+            );
+        }
+        // Restore for the next iteration.
+        write_atomic(&path, &json).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `write_atomic` replaces the whole file and cleans up after itself:
+/// after any number of writes there is exactly one file in the
+/// directory (no abandoned `.tmp`s) holding exactly the last payload.
+#[test]
+fn write_atomic_replaces_wholesale_and_leaves_no_temp_files() {
+    let dir = tmp_dir("atomic");
+    let path = dir.join("report.json");
+    write_atomic(&path, "{\"v\": 1}\n").unwrap();
+    write_atomic(&path, "{\"v\": 2, \"longer\": true}\n").unwrap();
+    write_atomic(&path, "{\"v\": 3}\n").unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 3}\n");
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries, vec!["report.json"], "stray files: {entries:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `write_atomic_new` is create-if-absent: the first writer wins, later
+/// writers get `Ok(false)` and must not disturb the original bytes.
+#[test]
+fn write_atomic_new_first_writer_wins() {
+    let dir = tmp_dir("new");
+    let path = dir.join("cex-0000000000000017.bundle.json");
+    assert!(write_atomic_new(&path, "first\n").unwrap());
+    assert!(!write_atomic_new(&path, "second\n").unwrap());
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 1, "stray files: {entries:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

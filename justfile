@@ -36,6 +36,27 @@ smoke-replay:
         > tampered.bundle.json
     ! cargo run --release -- replay tampered.bundle.json
 
+# Chaos determinism gate for the multi-process campaign service: a
+# service run with a worker SIGKILLed mid-unit and a torn journal
+# write injected must merge to a report byte-identical to the
+# single-process no-fault reference, every corpus bundle must replay,
+# and a second run over the same state dir must converge from the
+# journal alone (mirrors CI's smoke-service job).
+smoke-service:
+    rm -rf svc-state
+    cargo run --release -- campaign --protocol racing --procs 3 --m 2 \
+        --sched rr,random --runs 40 --threads 1 --json-out svc-ref.json
+    cargo run --release -- campaign-service --protocol racing --procs 3 --m 2 \
+        --sched rr,random --runs 40 --workers 2 --unit-runs 8 \
+        --state svc-state --chaos kill@unit:1,torn@result:3 \
+        --json-out svc-merged.json
+    cmp svc-ref.json svc-merged.json
+    for b in svc-state/corpus/*.bundle.json; do \
+        cargo run --release -- replay "$b" || exit 1; done
+    cargo run --release -- campaign-service --protocol racing --procs 3 --m 2 \
+        --sched rr,random --runs 40 --state svc-state --json-out svc-rerun.json
+    cmp svc-ref.json svc-rerun.json
+
 # Pre-flight analyzer smoke: every shipped protocol must analyze clean
 # (deny-level), the ill-formed fixture must be rejected with its stable
 # lint codes, and the analyzer module must be clippy-clean (mirrors

@@ -25,6 +25,18 @@
 //!   fault plans (`sweep` enumerates every single-crash placement) and
 //!   certify non-blocking progress: survivors must terminate under
 //!   every plan, and any outputs must still be valid.
+//! * `campaign-service --protocol P [--workers W] [--unit-runs U]
+//!   [--state DIR] [--corpus DIR] [--chaos kill@unit:U,torn@result:U]`
+//!   — the crash-tolerant multi-process campaign service: the matrix is
+//!   partitioned into journaled work units leased to `campaign-worker`
+//!   processes (heartbeats, lease expiry, retry-with-backoff,
+//!   quarantine); the merged report is byte-identical to a
+//!   single-process `campaign` run of the same spec, regardless of
+//!   worker count, crashes, or chaos injection, and violation bundles
+//!   land deduplicated in one corpus replayable by `replay`.
+//! * `campaign-worker` — internal: a service worker process speaking
+//!   length-prefixed JSON on stdio. Spawned by `campaign-service`, not
+//!   meant for direct use.
 //! * `aug --f F --m M [--ops K] [--seed S]` — drive the augmented
 //!   snapshot under a random contended schedule and specification-check
 //!   the run. With `--certify`, instead check every single-crash *and*
@@ -86,6 +98,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
+        "campaign-service" => cmd_campaign_service(&flags),
+        "campaign-worker" => cmd_campaign_worker(),
         "analyze" => cmd_analyze(&flags),
         "fuzz" => cmd_fuzz(&flags),
         "replay" => cmd_replay(&args[1..], &flags),
@@ -125,6 +139,12 @@ fn print_usage() {
          \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
          \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
          \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
+         \x20 revisionist-simulations campaign-service [--protocol P] [--procs N] [--m M]\n\
+         \x20\x20\x20\x20 [--sched S1,S2,...] [--runs R] [--budget B] [--seed-start S]\n\
+         \x20\x20\x20\x20 [--workers W] [--unit-runs U] [--state DIR] [--corpus DIR]\n\
+         \x20\x20\x20\x20 [--chaos kill@unit:U,torn@result:U] [--max-lease-attempts K]\n\
+         \x20\x20\x20\x20 [--lease-timeout SECS] [--json] [--json-out PATH] [--no-preflight]\n\
+         \x20\x20\x20\x20 (crash-tolerant multi-process campaign; resumes from --state)\n\
          \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--seed S] [--budget B] [--steps K]\n\
          \x20\x20\x20\x20 [--deny CODES] [--warn CODES] [--allow CODES]  (RS-Wxxx, comma-separated)\n\
@@ -443,43 +463,39 @@ fn protocol_check(protocol: &str, procs: usize) -> ProtocolCheck {
     })
 }
 
-/// Captures, minimises, and optionally bundles one campaign failure:
-/// re-runs the (spec, seed, plan) cell to record its decision trace,
-/// ddmin-shrinks it while preserving the violation fingerprint, prints
-/// the shrink ratio, and — when `bundle_path` is given — writes the
-/// minimized counterexample as a portable replay bundle.
-fn shrink_failure_to_bundle(
-    bundle: Option<(&str, &[(String, String)])>,
+/// Captures and ddmin-minimises one failing cell: re-runs the
+/// (spec, seed, plan) cell to record its decision trace, shrinks it
+/// while preserving the violation fingerprint, prints the shrink ratio
+/// (stderr, so `--json` stdout stays machine-parseable), and returns
+/// the minimized counterexample as a portable replay bundle.
+fn minimized_bundle(
+    system: &[(String, String)],
     spec: &revisionist_simulations::smr::campaign::SchedulerSpec,
     seed: u64,
     budget: usize,
     plan: &revisionist_simulations::smr::fault::FaultPlan,
     factory: &dyn Fn(u64) -> revisionist_simulations::smr::system::System,
     check: revisionist_simulations::smr::shrink::CexCheck,
-) -> bool {
+) -> Option<revisionist_simulations::smr::bundle::ReplayBundle> {
     use revisionist_simulations::smr::bundle::{tool_id, ReplayBundle, BUNDLE_VERSION};
     use revisionist_simulations::smr::shrink;
 
     let Some((cex, _)) = shrink::capture(spec, seed, budget, plan, factory, check)
     else {
         eprintln!("  could not re-capture the failure as a decision trace");
-        return false;
+        return None;
     };
     let seeded = || factory(seed);
     let (shrunk, report) = shrink::shrink(&cex, &seeded, check);
-    // stderr, so `--json` stdout stays machine-parseable.
     eprintln!("  shrunk counterexample: {}", report.ratio());
     let outcome = shrink::execute(&seeded, &shrunk, check);
     let (Some(violation), Some(fingerprint)) =
         (outcome.violation.clone(), outcome.fingerprint())
     else {
         eprintln!("  shrunk trace no longer violates — not bundling");
-        return false;
+        return None;
     };
-    let Some((path, system)) = bundle else {
-        return true;
-    };
-    let bundle = ReplayBundle {
+    Some(ReplayBundle {
         version: BUNDLE_VERSION,
         tool: tool_id(),
         system: system.to_vec(),
@@ -489,8 +505,30 @@ fn shrink_failure_to_bundle(
         decisions: shrunk.decisions.iter().map(|p| p.0).collect(),
         fingerprint,
         violation,
+    })
+}
+
+/// [`minimized_bundle`], writing the result to a `--bundle PATH` when
+/// one was given.
+fn shrink_failure_to_bundle(
+    bundle: Option<(&str, &[(String, String)])>,
+    spec: &revisionist_simulations::smr::campaign::SchedulerSpec,
+    seed: u64,
+    budget: usize,
+    plan: &revisionist_simulations::smr::fault::FaultPlan,
+    factory: &dyn Fn(u64) -> revisionist_simulations::smr::system::System,
+    check: revisionist_simulations::smr::shrink::CexCheck,
+) -> bool {
+    let system = bundle.map_or(&[][..], |(_, s)| s);
+    let Some(minimized) =
+        minimized_bundle(system, spec, seed, budget, plan, factory, check)
+    else {
+        return false;
     };
-    match bundle.store(std::path::Path::new(path)) {
+    let Some((path, _)) = bundle else {
+        return true;
+    };
+    match minimized.store(std::path::Path::new(path)) {
         Ok(()) => {
             eprintln!("  replay bundle written to {path}");
             true
@@ -646,6 +684,11 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         budget,
         threads: get(flags, "threads", 0),
     };
+    // The campaign identity stamped into checkpoints; resume refuses a
+    // checkpoint from any other campaign instead of silently merging
+    // incompatible aggregates.
+    let spec_id =
+        revisionist_simulations::smr::campaign::campaign_spec_id(protocol, &config);
     let mut options = CampaignOptions {
         wall_limit: flags
             .get("wall-limit")
@@ -656,11 +699,16 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         checkpoint_every: flags.get("checkpoint-every").and_then(|v| v.parse().ok()),
         checkpoint_path: flags.get("checkpoint").map(std::path::PathBuf::from),
         resume_from: None,
+        spec_id: Some(spec_id.clone()),
         ..CampaignOptions::default()
     };
     if let Some(path) = flags.get("resume") {
         match CampaignCheckpoint::load(std::path::Path::new(path)) {
             Ok(checkpoint) => {
+                if let Err(e) = checkpoint.ensure_matches(&spec_id) {
+                    eprintln!("cannot resume: {e}");
+                    return ExitCode::FAILURE;
+                }
                 options.resume_from = Some(checkpoint);
                 // Keep checkpointing to the same file unless overridden.
                 if options.checkpoint_path.is_none() {
@@ -1082,6 +1130,434 @@ fn cmd_campaign_faults(
         }
         ExitCode::FAILURE
     }
+}
+
+/// Executes one leased work unit inside a `campaign-worker` process:
+/// rebuilds the protocol from the unit's system description, runs its
+/// seed range single-threaded with a per-run checkpoint (so a SIGKILL
+/// loses at most the uncommitted run), resumes a dead predecessor's
+/// partial checkpoint when its spec id matches, publishes every
+/// violation as a deduplicated corpus bundle, and returns the shard
+/// result in global matrix coordinates.
+fn worker_execute_unit(
+    unit: &revisionist_simulations::smr::service::WorkUnit,
+    state_dir: &std::path::Path,
+    corpus_dir: &std::path::Path,
+) -> Result<revisionist_simulations::smr::service::ShardResult, String> {
+    use revisionist_simulations::smr::campaign::{
+        run_campaign_with, CampaignCheckpoint, CampaignConfig, CampaignOptions,
+        SchedulerSpec,
+    };
+    use revisionist_simulations::smr::fault::FaultPlan;
+    use revisionist_simulations::smr::service::ShardResult;
+
+    let field = |key: &str| {
+        unit.system.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    };
+    let protocol =
+        field("protocol").ok_or("unit system lacks `protocol`")?.to_string();
+    let num = |key: &str, default: usize| {
+        field(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let procs = num("procs", 3);
+    let m = num("m", 2);
+    let rounds = num("rounds", 3);
+    let factory = protocol_factory(&protocol, procs, m, rounds)
+        .ok_or_else(|| format!("unknown protocol `{protocol}`"))?;
+    let check = protocol_check(&protocol, procs);
+    let sched =
+        SchedulerSpec::parse(&unit.scheduler).map_err(|e| e.to_string())?;
+
+    let config = CampaignConfig {
+        schedulers: vec![sched.clone()],
+        seed_start: unit.seed_start,
+        runs: unit.runs,
+        budget: unit.budget,
+        threads: 1,
+    };
+    let spec_id = unit.spec_id();
+    let checkpoint_path =
+        state_dir.join(format!("unit-{}.checkpoint.json", unit.id));
+    let mut options = CampaignOptions {
+        checkpoint_every: Some(1),
+        checkpoint_path: Some(checkpoint_path.clone()),
+        spec_id: Some(spec_id.clone()),
+        ..CampaignOptions::default()
+    };
+    // A killed predecessor's partial checkpoint resumes — but only if it
+    // was written for exactly this unit of this campaign.
+    if let Ok(checkpoint) = CampaignCheckpoint::load(&checkpoint_path) {
+        if checkpoint.ensure_matches(&spec_id).is_ok() {
+            options.resume_from = Some(checkpoint);
+        }
+    }
+    let report = run_campaign_with(&config, &options, &factory, &check);
+
+    // The terminal checkpoint is the shard payload: every completed
+    // record plus the fingerprint set, durable before the result frame.
+    let checkpoint = CampaignCheckpoint::load(&checkpoint_path)
+        .map_err(|e| format!("unit checkpoint unreadable after run: {e}"))?;
+    if checkpoint.completed.len() < unit.runs {
+        return Err(format!(
+            "unit incomplete: {} of {} runs recorded",
+            checkpoint.completed.len(),
+            unit.runs
+        ));
+    }
+
+    // Every violating run becomes a minimized, deduplicated corpus
+    // bundle; dedup is by violation fingerprint, so crash/retry replays
+    // of the same failure collapse to one artifact.
+    for (_, record) in checkpoint.completed.iter().filter(|(_, r)| r.violation.is_some())
+    {
+        let Some(bundle) = minimized_bundle(
+            &unit.system,
+            &sched,
+            record.seed,
+            unit.budget,
+            &FaultPlan::none(),
+            &|seed| factory(seed),
+            &|sys, _crashed| check(sys),
+        ) else {
+            continue;
+        };
+        match bundle.store_dedup(corpus_dir) {
+            Ok(true) => eprintln!(
+                "  corpus: new bundle {} (seed {})",
+                bundle.corpus_file_name(),
+                record.seed
+            ),
+            Ok(false) => {}
+            Err(e) => return Err(format!("cannot write corpus bundle: {e}")),
+        }
+    }
+
+    Ok(ShardResult {
+        unit: unit.id,
+        records: checkpoint
+            .completed
+            .into_iter()
+            .map(|(local, record)| (unit.index_base + local, record))
+            .collect(),
+        fingerprints: checkpoint.fingerprints,
+        degraded_runs: report.degraded_runs,
+        cache_truncated: report.cache_truncated,
+    })
+}
+
+/// The `campaign-worker` subcommand: a service worker process. Reads
+/// length-prefixed [`CoordMsg`] frames from stdin, heartbeats on a
+/// background thread while executing a leased unit, and writes the
+/// shard result back as a frame. Exits nonzero on any error — the
+/// coordinator's lease machinery treats a dead worker as a requeue.
+fn cmd_campaign_worker() -> ExitCode {
+    use revisionist_simulations::smr::service::{
+        read_frame, write_frame, CoordMsg, WorkerMsg,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    // Frames must hit the pipe whole; stdout writes go through one
+    // mutex so heartbeats never interleave with a result frame.
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF between frames: the coordinator went away.
+            Ok(None) => return ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("campaign-worker: bad frame: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let msg = match CoordMsg::parse(&frame) {
+            Ok(msg) => msg,
+            Err(e) => {
+                eprintln!("campaign-worker: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (unit, state_dir, corpus_dir, heartbeat_ms) = match msg {
+            CoordMsg::Shutdown => return ExitCode::SUCCESS,
+            CoordMsg::Lease { unit, state_dir, corpus_dir, heartbeat_ms } => {
+                (unit, state_dir, corpus_dir, heartbeat_ms)
+            }
+        };
+
+        // Heartbeat immediately (the lease is live before the first run
+        // finishes), then keep beating from a background thread for the
+        // duration of the unit.
+        let stop = Arc::new(AtomicBool::new(false));
+        let beats = {
+            let out = Arc::clone(&out);
+            let stop = Arc::clone(&stop);
+            let unit_id = unit.id;
+            let period = Duration::from_millis(heartbeat_ms.max(1));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let beat = WorkerMsg::Heartbeat { unit: unit_id }.to_json();
+                    let sent = {
+                        let mut out = out.lock().expect("stdout lock");
+                        write_frame(&mut *out, &beat).is_ok()
+                    };
+                    if !sent {
+                        // Closed pipe: the coordinator died or revoked
+                        // the lease; executing to completion is still
+                        // useful (the checkpoint survives).
+                        break;
+                    }
+                    std::thread::sleep(period);
+                }
+            })
+        };
+        let result = worker_execute_unit(
+            &unit,
+            std::path::Path::new(&state_dir),
+            std::path::Path::new(&corpus_dir),
+        );
+        stop.store(true, Ordering::Relaxed);
+        let _ = beats.join();
+        match result {
+            Ok(shard) => {
+                let msg = WorkerMsg::Result { unit: unit.id, shard };
+                let mut out = out.lock().expect("stdout lock");
+                if let Err(e) = write_frame(&mut *out, &msg.to_json()) {
+                    eprintln!("campaign-worker: cannot send result: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign-worker: unit {}: {e}", unit.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+/// The `campaign-service` subcommand: the crash-tolerant multi-process
+/// campaign front-end. Builds the service spec from campaign-style
+/// flags, pre-flights the protocol, then hands the matrix to
+/// [`run_service`] — which partitions it into journaled work units,
+/// leases them to `campaign-worker` processes, and merges shard
+/// results into a report byte-identical to a single-process
+/// `campaign` run of the same spec.
+fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::smr::campaign::{CampaignConfig, SchedulerSpec};
+    use revisionist_simulations::smr::service::{
+        run_service, ChaosPlan, ServiceOptions, ServiceSpec,
+    };
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    let protocol = flags.get("protocol").map_or("racing", String::as_str);
+    let procs = get(flags, "procs", 3);
+    let m = get(flags, "m", 2);
+    let rounds = get(flags, "rounds", 3);
+    let specs: Vec<SchedulerSpec> = {
+        let raw = flags.get("sched").map_or("random", String::as_str);
+        let mut parsed = Vec::new();
+        for part in raw.split(',').filter(|p| !p.is_empty()) {
+            match SchedulerSpec::parse(part) {
+                Ok(spec) => parsed.push(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        parsed
+    };
+    if specs.is_empty() {
+        eprintln!("--sched needs at least one scheduler spec");
+        return ExitCode::FAILURE;
+    }
+    let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
+        eprintln!(
+            "unknown --protocol {protocol} (racing, contrarian, ladder, illformed, \
+             gen:SEED[:MUTATION])"
+        );
+        return ExitCode::FAILURE;
+    };
+    // Same mandatory pre-flight as `campaign`: lint once in the
+    // coordinator rather than once per worker process.
+    if !flags.contains_key("no-preflight") {
+        use revisionist_simulations::smr::analyze::LintConfig;
+        use revisionist_simulations::smr::campaign::preflight_campaign;
+        let base_seed = get(flags, "seed-start", 0) as u64;
+        match preflight_campaign(&factory, base_seed, &LintConfig::default()) {
+            Ok(report) => {
+                if report.warn_count() > 0 {
+                    eprintln!("{}", report.render());
+                }
+                eprintln!("preflight: ok ({} warnings)", report.warn_count());
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("(--no-preflight runs the service anyway)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    drop(factory);
+
+    let spec = ServiceSpec {
+        // The same ordered description `campaign` stamps into replay
+        // bundles — workers rebuild the system from it, and corpus
+        // bundles replay under the stock `replay` subcommand.
+        system: vec![
+            ("kind".into(), "campaign".into()),
+            ("protocol".into(), protocol.to_string()),
+            ("procs".into(), procs.to_string()),
+            ("m".into(), m.to_string()),
+            ("rounds".into(), rounds.to_string()),
+        ],
+        config: CampaignConfig {
+            schedulers: specs,
+            seed_start: get(flags, "seed-start", 0) as u64,
+            runs: get(flags, "runs", 100),
+            budget: get(flags, "budget", 2_000),
+            threads: 1,
+        },
+        unit_runs: get(flags, "unit-runs", 8).max(1),
+    };
+
+    let state_dir = PathBuf::from(
+        flags.get("state").map_or("campaign-state", String::as_str),
+    );
+    let corpus_dir = flags
+        .get("corpus")
+        .map_or_else(|| state_dir.join("corpus"), PathBuf::from);
+    let exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("campaign-service: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = ServiceOptions::new(
+        state_dir,
+        corpus_dir,
+        vec![exe.display().to_string(), "campaign-worker".into()],
+    );
+    opts.workers = get(flags, "workers", 2).max(1);
+    opts.max_lease_attempts = get(flags, "max-lease-attempts", 3).max(1);
+    if let Some(secs) = flags.get("lease-timeout").and_then(|v| v.parse().ok()) {
+        opts.lease_timeout = Duration::from_secs(secs);
+    }
+    if let Some(raw) = flags.get("chaos") {
+        match ChaosPlan::parse(raw) {
+            Ok(plan) => {
+                if !plan.is_empty() {
+                    eprintln!("chaos plan armed: {plan}");
+                }
+                opts.chaos = plan;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!(
+                    "valid --chaos directives: kill@unit:U | torn@result:U \
+                     (comma-separated)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome = match run_service(&spec, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("campaign-service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = &outcome.stats;
+    eprintln!(
+        "service: {} units ({} recovered), {} leases, {} requeues, \
+         {} quarantined, {} workers spawned",
+        stats.units,
+        stats.recovered_units,
+        stats.leases,
+        stats.requeues,
+        stats.quarantined_units,
+        stats.workers_spawned,
+    );
+    if stats.kills_injected + stats.torn_injected > 0 {
+        eprintln!(
+            "  chaos: {} worker kills, {} torn journal writes injected",
+            stats.kills_injected, stats.torn_injected,
+        );
+    }
+    if stats.dropped_journal_lines > 0 {
+        eprintln!(
+            "  journal: {} damaged lines dropped during recovery",
+            stats.dropped_journal_lines,
+        );
+    }
+
+    let report = &outcome.report;
+    if !write_json_out(flags, &report.to_json()) {
+        return ExitCode::FAILURE;
+    }
+    if flags.contains_key("json") {
+        print!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "campaign-service: protocol={protocol} procs={procs} schedulers=[{}] \
+         seeds={}..{} workers={}",
+        report
+            .config
+            .schedulers
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        report.config.seed_start,
+        report.config.seed_start + report.config.runs as u64,
+        opts.workers,
+    );
+    println!(
+        "  {} runs: {} terminated, {} distinct configs, {} total steps",
+        report.total_runs,
+        report.terminated_runs,
+        report.distinct_configs,
+        report.total_steps,
+    );
+    if let Some(notice) = &report.truncation {
+        println!("  TRUNCATED: {notice} ({} runs skipped)", report.skipped_runs);
+    }
+    if report.degraded_runs > 0 {
+        println!(
+            "  {} runs completed only after retries (degraded)",
+            report.degraded_runs
+        );
+    }
+    for tally in &report.per_scheduler {
+        println!(
+            "  {:<14} {} runs, {} terminated, {} failures",
+            tally.scheduler, tally.runs, tally.terminated, tally.failures
+        );
+    }
+    if report.failures.is_empty() {
+        println!("  no violations or errors");
+    } else {
+        println!("  {} failing runs (each replayable):", report.failures.len());
+        for r in report.failures.iter().take(10) {
+            println!(
+                "    --sched {} --seed {}: {}",
+                r.scheduler,
+                r.seed,
+                r.violation.as_deref().or(r.error.as_deref()).unwrap_or("?")
+            );
+        }
+        if report.failures.len() > 10 {
+            println!("    ... and {} more", report.failures.len() - 10);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_replay(args: &[String], flags: &HashMap<String, String>) -> ExitCode {

@@ -176,3 +176,29 @@ fn aug_certify_checks_every_placement() {
     assert!(stdout.contains("crash/stall"), "stdout was: {stdout}");
     assert!(stdout.contains("CERTIFIED"), "stdout was: {stdout}");
 }
+
+#[test]
+fn campaign_resume_refuses_a_checkpoint_from_another_campaign() {
+    let dir = std::env::temp_dir()
+        .join(format!("rsim-cli-resume-mismatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mismatch.checkpoint.json");
+    let path_str = path.to_str().unwrap();
+    let (_, _, ok) = run(&[
+        "campaign", "--runs", "10", "--budget", "500", "--checkpoint", path_str,
+    ]);
+    assert!(ok);
+    // Same checkpoint file, different campaign shape: fail closed with
+    // a structured error naming both identities.
+    let (_, stderr, ok) = run(&[
+        "campaign", "--runs", "12", "--budget", "500", "--resume", path_str,
+    ]);
+    assert!(!ok, "mismatched resume must be refused");
+    assert!(stderr.contains("cannot resume"), "stderr was: {stderr}");
+    assert!(stderr.contains("resume mismatch"), "stderr was: {stderr}");
+    assert!(
+        stderr.contains("seeds=0+10") && stderr.contains("seeds=0+12"),
+        "both campaign identities must be named: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
