@@ -1098,7 +1098,7 @@ pub struct FaultCampaignConfig {
 pub type FaultCheck<'a> = &'a (dyn Fn(&System, &[ProcessId]) -> Option<String> + Sync);
 
 /// Outcome of one fault run; `(plan, scheduler, seed)` replays it.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FaultRunRecord {
     /// The fault plan, in its parseable syntax.
     pub plan: String,
@@ -1128,8 +1128,67 @@ impl FaultRunRecord {
     }
 }
 
+/// Serialises one completed `(matrix index, fault record)` pair as the
+/// JSON object used in both [`FaultCampaignReport::to_json`] failures
+/// and service shard results — one format, so shards merge bit-for-bit
+/// with the single-process report.
+pub(crate) fn fault_record_entry_json(r: &FaultRunRecord) -> String {
+    format!(
+        "{{\"plan\": {}, \"scheduler\": {}, \"seed\": {}, \
+         \"steps\": {}, \"crashed\": {}, \"survivors_terminated\": {}, \
+         \"violation\": {}, \"error\": {}, \"attempts\": {}}}",
+        json_string(&r.plan),
+        json_string(&r.scheduler),
+        r.seed,
+        r.steps,
+        r.crashed,
+        r.survivors_terminated,
+        r.violation.as_deref().map_or("null".into(), json_string),
+        r.error.as_deref().map_or("null".into(), json_string),
+        r.attempts,
+    )
+}
+
+/// Parses one fault-record entry (inverse of
+/// [`fault_record_entry_json`]).
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadSpec`] on missing or mistyped fields.
+pub(crate) fn parse_fault_record_entry(
+    entry: &Json,
+) -> Result<FaultRunRecord, ModelError> {
+    let bad = |reason: &str| ModelError::BadSpec {
+        spec: "fault record".into(),
+        reason: reason.into(),
+    };
+    let field =
+        |key: &str| entry.get(key).ok_or_else(|| bad(&format!("missing `{key}`")));
+    let opt_str =
+        |key: &str| -> Option<String> { entry.get(key)?.as_str().map(str::to_string) };
+    Ok(FaultRunRecord {
+        plan: field("plan")?
+            .as_str()
+            .ok_or_else(|| bad("bad `plan`"))?
+            .to_string(),
+        scheduler: field("scheduler")?
+            .as_str()
+            .ok_or_else(|| bad("bad `scheduler`"))?
+            .to_string(),
+        seed: field("seed")?.as_u64().ok_or_else(|| bad("bad `seed`"))?,
+        steps: field("steps")?.as_usize().ok_or_else(|| bad("bad `steps`"))?,
+        crashed: field("crashed")?.as_usize().ok_or_else(|| bad("bad `crashed`"))?,
+        survivors_terminated: field("survivors_terminated")?
+            .as_bool()
+            .ok_or_else(|| bad("bad `survivors_terminated`"))?,
+        violation: opt_str("violation"),
+        error: opt_str("error"),
+        attempts: entry.get("attempts").and_then(Json::as_usize).unwrap_or(1),
+    })
+}
+
 /// Aggregated fault-campaign outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FaultCampaignReport {
     /// The base scheduler spec.
     pub scheduler: String,
@@ -1146,12 +1205,18 @@ pub struct FaultCampaignReport {
     pub failures: Vec<FaultRunRecord>,
     /// Runs the supervisor re-attempted after a transient worker panic.
     pub retried_runs: usize,
+    /// Matrix cells with no surviving record (service campaigns only:
+    /// runs lost to quarantined work units). Always zero in a
+    /// single-process run.
+    pub missing_runs: usize,
 }
 
 impl FaultCampaignReport {
     /// Did every plan × seed certify?
     pub fn is_certified(&self) -> bool {
-        self.failures.is_empty() && self.certified_runs == self.total_runs
+        self.failures.is_empty()
+            && self.missing_runs == 0
+            && self.certified_runs == self.total_runs
     }
 
     /// Renders the report as JSON (hand-rolled; no serde).
@@ -1167,23 +1232,17 @@ impl FaultCampaignReport {
         out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
         out.push_str(&format!("  \"certified\": {},\n", self.is_certified()));
         out.push_str(&format!("  \"retried_runs\": {},\n", self.retried_runs));
+        if self.missing_runs > 0 {
+            // Emitted only when runs were lost (quarantined service
+            // units), so complete merged reports stay byte-identical
+            // to the single-process rendering.
+            out.push_str(&format!("  \"missing_runs\": {},\n", self.missing_runs));
+        }
         out.push_str("  \"failures\": [\n");
         for (i, r) in self.failures.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"plan\": {}, \"scheduler\": {}, \"seed\": {}, \
-                 \"steps\": {}, \"crashed\": {}, \"survivors_terminated\": {}, \
-                 \"violation\": {}, \"error\": {}, \"attempts\": {}}}{}\n",
-                json_string(&r.plan),
-                json_string(&r.scheduler),
-                r.seed,
-                r.steps,
-                r.crashed,
-                r.survivors_terminated,
-                r.violation.as_deref().map_or("null".into(), json_string),
-                r.error.as_deref().map_or("null".into(), json_string),
-                r.attempts,
-                if i + 1 < self.failures.len() { "," } else { "" },
-            ));
+            out.push_str("    ");
+            out.push_str(&fault_record_entry_json(r));
+            out.push_str(if i + 1 < self.failures.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
         out
@@ -1308,6 +1367,30 @@ where
     F: Fn(u64) -> System + Sync,
 {
     let total = config.plans.len() * config.runs;
+    let records = run_fault_records(config, options, factory, check);
+    assemble_fault_report(
+        &config.base.to_string(),
+        config.plans.len(),
+        total,
+        records.into_iter().enumerate().collect(),
+    )
+}
+
+/// Executes the fault matrix and returns its records in matrix order
+/// (plan-major, then seed) — the raw material of
+/// [`run_fault_campaign_with`], exposed so service workers can execute
+/// one unit's slice and ship the records to the coordinator for a
+/// byte-identical merged report.
+pub fn run_fault_records<F>(
+    config: &FaultCampaignConfig,
+    options: &CampaignOptions,
+    factory: F,
+    check: FaultCheck,
+) -> Vec<FaultRunRecord>
+where
+    F: Fn(u64) -> System + Sync,
+{
+    let total = config.plans.len() * config.runs;
     let threads = if config.threads > 0 {
         config.threads
     } else {
@@ -1392,15 +1475,31 @@ where
     });
     let mut records = records.into_inner().expect("records lock");
     records.sort_by_key(|(index, _)| *index);
+    records.into_iter().map(|(_, record)| record).collect()
+}
 
+/// Folds index-sorted fault records into a [`FaultCampaignReport`].
+/// Like [`assemble_report`], this is the *single* aggregation routine:
+/// [`run_fault_campaign_with`] feeds it one process's records, the
+/// service merge layer feeds it records reassembled from many worker
+/// shards — byte-identical reports by construction. `expected_total`
+/// is the full matrix size; cells with no surviving record (quarantined
+/// units) are counted as `missing_runs` and veto certification.
+pub(crate) fn assemble_fault_report(
+    base: &str,
+    plans: usize,
+    expected_total: usize,
+    records: Vec<(usize, FaultRunRecord)>,
+) -> FaultCampaignReport {
     let mut report = FaultCampaignReport {
-        scheduler: config.base.to_string(),
-        plans: config.plans.len(),
+        scheduler: base.to_string(),
+        plans,
         total_runs: records.len(),
         certified_runs: 0,
         total_steps: 0,
         failures: Vec::new(),
         retried_runs: 0,
+        missing_runs: expected_total - records.len().min(expected_total),
     };
     for (_, record) in records {
         report.total_steps += record.steps;

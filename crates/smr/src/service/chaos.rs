@@ -1,30 +1,69 @@
 //! Built-in chaos injection.
 //!
 //! A [`ChaosPlan`] tells the coordinator to attack its *own* run:
-//! SIGKILL the worker holding a named unit the moment it first
-//! heartbeats (`kill@unit:U`), or tear the journal write of a named
-//! unit's result — append a prefix of the record and drop the rest,
-//! exactly what a power loss mid-`write(2)` leaves behind
-//! (`torn@result:U`). Each injection fires once; the acceptance gate
-//! is that the merged report converges to the unkilled single-process
-//! reference anyway.
+//!
+//! * **Process chaos** — SIGKILL the worker holding a named unit the
+//!   moment it first heartbeats (`kill@unit:U`), or tear the journal
+//!   write of a named unit's result — append a prefix of the record
+//!   and drop the rest, exactly what a power loss mid-`write(2)`
+//!   leaves behind (`torn@result:U`). Each injection fires once.
+//! * **Network chaos** — a deterministic in-process proxy sitting on
+//!   every coordinator-side stream. Frames crossing the proxy (in
+//!   either direction, handshakes excepted) are numbered by one
+//!   global counter, and directives name counter values: `drop@N`
+//!   discards frame N, `delay@N` holds it ~50 ms, `dup@N` delivers it
+//!   twice, `corrupt@N` flips a payload byte before checksum
+//!   verification, `partition@A-B` drops every frame in `[A,B)` *and*
+//!   severs the carrying connection. Because the schedule is a pure
+//!   function of the frame counter, the same chaos spec injures the
+//!   same logical traffic on every run — which is what makes the
+//!   byte-identity gate meaningful under network fault injection.
+//!
+//! The acceptance gate for all of it is the same: the merged report
+//! converges to the uninjured single-process reference anyway.
 
 use crate::error::ModelError;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Duration;
 
-/// A parsed `--chaos` plan: which units to attack, each once.
+/// What the network-chaos proxy decides to do with one frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NetAction {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Discard the frame silently.
+    Drop,
+    /// Hold the frame for the given duration, then deliver it.
+    Delay(Duration),
+    /// Deliver the frame twice.
+    Dup,
+    /// Flip one payload byte, then deliver (the checksum catches it).
+    Corrupt,
+    /// Discard the frame and sever the carrying connection (the
+    /// partition directive: the link is down, not just lossy).
+    Sever,
+}
+
+/// A parsed `--chaos` plan: which units and which wire frames to
+/// attack.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct ChaosPlan {
     kills: BTreeSet<u64>,
     torn: BTreeSet<u64>,
     fired_kills: BTreeSet<u64>,
     fired_torn: BTreeSet<u64>,
+    net_drop: BTreeSet<u64>,
+    net_delay: BTreeSet<u64>,
+    net_dup: BTreeSet<u64>,
+    net_corrupt: BTreeSet<u64>,
+    net_partitions: Vec<(u64, u64)>,
 }
 
 impl ChaosPlan {
-    /// Parses the CLI syntax: comma-separated `kill@unit:U` and
-    /// `torn@result:U` directives (empty string = no chaos).
+    /// Parses the CLI syntax: comma-separated `kill@unit:U`,
+    /// `torn@result:U`, `drop@N`, `delay@N`, `dup@N`, `corrupt@N`,
+    /// and `partition@A-B` directives (empty string = no chaos).
     ///
     /// # Errors
     ///
@@ -36,28 +75,72 @@ impl ChaosPlan {
         };
         let mut plan = ChaosPlan::default();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let unit = |prefix: &str| -> Result<u64, ModelError> {
+            let num = |prefix: &str| -> Result<u64, ModelError> {
                 part.strip_prefix(prefix)
-                    .ok_or_else(|| {
-                        bad(part, "expected kill@unit:U or torn@result:U")
-                    })?
+                    .expect("caller checked the prefix")
                     .parse()
-                    .map_err(|_| bad(part, "unit id must be an integer"))
+                    .map_err(|_| bad(part, "expected an integer after `@`"))
             };
             if part.starts_with("kill@unit:") {
-                plan.kills.insert(unit("kill@unit:")?);
+                plan.kills.insert(
+                    part.strip_prefix("kill@unit:")
+                        .expect("checked")
+                        .parse()
+                        .map_err(|_| bad(part, "unit id must be an integer"))?,
+                );
             } else if part.starts_with("torn@result:") {
-                plan.torn.insert(unit("torn@result:")?);
+                plan.torn.insert(
+                    part.strip_prefix("torn@result:")
+                        .expect("checked")
+                        .parse()
+                        .map_err(|_| bad(part, "unit id must be an integer"))?,
+                );
+            } else if part.starts_with("drop@") {
+                plan.net_drop.insert(num("drop@")?);
+            } else if part.starts_with("delay@") {
+                plan.net_delay.insert(num("delay@")?);
+            } else if part.starts_with("dup@") {
+                plan.net_dup.insert(num("dup@")?);
+            } else if part.starts_with("corrupt@") {
+                plan.net_corrupt.insert(num("corrupt@")?);
+            } else if let Some(range) = part.strip_prefix("partition@") {
+                let (a, b) = range
+                    .split_once('-')
+                    .ok_or_else(|| bad(part, "expected partition@A-B"))?;
+                let a: u64 = a
+                    .parse()
+                    .map_err(|_| bad(part, "partition bounds must be integers"))?;
+                let b: u64 = b
+                    .parse()
+                    .map_err(|_| bad(part, "partition bounds must be integers"))?;
+                if a >= b {
+                    return Err(bad(part, "partition range must be non-empty (A < B)"));
+                }
+                plan.net_partitions.push((a, b));
             } else {
-                return Err(bad(part, "expected kill@unit:U or torn@result:U"));
+                return Err(bad(
+                    part,
+                    "expected kill@unit:U, torn@result:U, drop@N, delay@N, \
+                     dup@N, corrupt@N, or partition@A-B",
+                ));
             }
         }
+        plan.net_partitions.sort_unstable();
         Ok(plan)
     }
 
     /// No injections configured at all?
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.torn.is_empty()
+        self.kills.is_empty() && self.torn.is_empty() && !self.has_net()
+    }
+
+    /// Any network directives configured?
+    pub fn has_net(&self) -> bool {
+        !(self.net_drop.is_empty()
+            && self.net_delay.is_empty()
+            && self.net_dup.is_empty()
+            && self.net_corrupt.is_empty()
+            && self.net_partitions.is_empty())
     }
 
     /// Should the worker holding `unit` be killed now? Fires at most
@@ -81,6 +164,23 @@ impl ChaosPlan {
     pub fn torn_fired(&self) -> usize {
         self.fired_torn.len()
     }
+
+    /// Builds the runtime network-chaos proxy for this plan.
+    pub fn net_chaos(&self) -> NetChaos {
+        NetChaos {
+            drop: self.net_drop.clone(),
+            delay: self.net_delay.clone(),
+            dup: self.net_dup.clone(),
+            corrupt: self.net_corrupt.clone(),
+            partitions: self.net_partitions.clone(),
+            counter: 0,
+            dropped: 0,
+            delayed: 0,
+            duplicated: 0,
+            corrupted: 0,
+            severed: 0,
+        }
+    }
 }
 
 impl fmt::Display for ChaosPlan {
@@ -88,7 +188,78 @@ impl fmt::Display for ChaosPlan {
         let mut parts: Vec<String> =
             self.kills.iter().map(|u| format!("kill@unit:{u}")).collect();
         parts.extend(self.torn.iter().map(|u| format!("torn@result:{u}")));
+        parts.extend(self.net_drop.iter().map(|n| format!("drop@{n}")));
+        parts.extend(self.net_delay.iter().map(|n| format!("delay@{n}")));
+        parts.extend(self.net_dup.iter().map(|n| format!("dup@{n}")));
+        parts.extend(self.net_corrupt.iter().map(|n| format!("corrupt@{n}")));
+        parts.extend(
+            self.net_partitions.iter().map(|(a, b)| format!("partition@{a}-{b}")),
+        );
         write!(f, "{}", parts.join(","))
+    }
+}
+
+/// How long `delay@N` holds a frame. Long enough to reorder traffic
+/// against heartbeat cadence, short enough to stay inside any sane
+/// lease window.
+pub const CHAOS_DELAY: Duration = Duration::from_millis(50);
+
+/// The runtime state of the network-chaos proxy: one global frame
+/// counter over every non-handshake frame the coordinator sends or
+/// receives, consulted under a single lock so the numbering is a
+/// total order regardless of connection interleaving.
+#[derive(Debug)]
+pub struct NetChaos {
+    drop: BTreeSet<u64>,
+    delay: BTreeSet<u64>,
+    dup: BTreeSet<u64>,
+    corrupt: BTreeSet<u64>,
+    partitions: Vec<(u64, u64)>,
+    counter: u64,
+    dropped: usize,
+    delayed: usize,
+    duplicated: usize,
+    corrupted: usize,
+    severed: usize,
+}
+
+impl NetChaos {
+    /// Numbers the next frame and decides its fate. Partition wins
+    /// over everything (the link is *down*); the first frame of a
+    /// partition window severs, the rest drop.
+    pub fn next_frame(&mut self) -> NetAction {
+        let n = self.counter;
+        self.counter += 1;
+        if let Some(&(a, _)) =
+            self.partitions.iter().find(|&&(a, b)| n >= a && n < b)
+        {
+            if n == a {
+                self.severed += 1;
+                return NetAction::Sever;
+            }
+            self.dropped += 1;
+            return NetAction::Drop;
+        }
+        if self.drop.contains(&n) {
+            self.dropped += 1;
+            NetAction::Drop
+        } else if self.delay.contains(&n) {
+            self.delayed += 1;
+            NetAction::Delay(CHAOS_DELAY)
+        } else if self.dup.contains(&n) {
+            self.duplicated += 1;
+            NetAction::Dup
+        } else if self.corrupt.contains(&n) {
+            self.corrupted += 1;
+            NetAction::Corrupt
+        } else {
+            NetAction::Deliver
+        }
+    }
+
+    /// (dropped, delayed, duplicated, corrupted, severed) so far.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        (self.dropped, self.delayed, self.duplicated, self.corrupted, self.severed)
     }
 }
 
@@ -108,6 +279,19 @@ mod tests {
     }
 
     #[test]
+    fn net_directives_round_trip_and_flag_has_net() {
+        let plan = ChaosPlan::parse(
+            "drop@7,delay@2,dup@11,corrupt@5,partition@20-23,kill@unit:0",
+        )
+        .unwrap();
+        assert!(plan.has_net());
+        assert!(!plan.is_empty());
+        assert_eq!(ChaosPlan::parse(&plan.to_string()).unwrap(), plan);
+        let quiet = ChaosPlan::parse("kill@unit:1").unwrap();
+        assert!(!quiet.has_net(), "process chaos alone is not net chaos");
+    }
+
+    #[test]
     fn injections_fire_exactly_once() {
         let mut plan = ChaosPlan::parse("kill@unit:2,torn@result:2").unwrap();
         assert!(!plan.take_kill(1), "unit 1 is not targeted");
@@ -120,8 +304,48 @@ mod tests {
     }
 
     #[test]
+    fn net_chaos_schedule_is_a_pure_function_of_the_counter() {
+        let plan =
+            ChaosPlan::parse("drop@1,delay@2,dup@3,corrupt@4,partition@6-8").unwrap();
+        let run = |mut chaos: NetChaos| -> Vec<NetAction> {
+            (0..10).map(|_| chaos.next_frame()).collect()
+        };
+        let first = run(plan.net_chaos());
+        assert_eq!(first, run(plan.net_chaos()), "schedule must be deterministic");
+        assert_eq!(
+            first,
+            vec![
+                NetAction::Deliver,
+                NetAction::Drop,
+                NetAction::Delay(CHAOS_DELAY),
+                NetAction::Dup,
+                NetAction::Corrupt,
+                NetAction::Deliver,
+                NetAction::Sever,
+                NetAction::Drop,
+                NetAction::Deliver,
+                NetAction::Deliver,
+            ]
+        );
+        let mut chaos = plan.net_chaos();
+        for _ in 0..10 {
+            chaos.next_frame();
+        }
+        assert_eq!(chaos.counts(), (2, 1, 1, 1, 1));
+    }
+
+    #[test]
     fn malformed_directives_are_structured_errors() {
-        for bad in ["kill@unit:x", "explode@unit:1", "kill@", "torn@result:"] {
+        for bad in [
+            "kill@unit:x",
+            "explode@unit:1",
+            "kill@",
+            "torn@result:",
+            "drop@x",
+            "partition@5",
+            "partition@9-3",
+            "partition@4-4",
+        ] {
             assert!(
                 matches!(ChaosPlan::parse(bad), Err(ModelError::BadSpec { .. })),
                 "`{bad}` should be rejected"

@@ -13,8 +13,9 @@
 //! order shards arrived.
 
 use crate::campaign::{
-    assemble_report, parse_record_entry, record_entry_json, CampaignConfig,
-    CampaignReport, RunRecord,
+    assemble_fault_report, assemble_report, fault_record_entry_json,
+    parse_fault_record_entry, parse_record_entry, record_entry_json, CampaignConfig,
+    CampaignReport, FaultCampaignReport, FaultRunRecord, RunRecord,
 };
 use crate::error::ModelError;
 use crate::json::Json;
@@ -27,6 +28,9 @@ pub struct ShardResult {
     pub unit: u64,
     /// Run records, keyed by *global* matrix index.
     pub records: Vec<(usize, RunRecord)>,
+    /// Fault run records, keyed by *global* matrix index (fault-matrix
+    /// units only; empty for ordinary campaign units).
+    pub fault_records: Vec<(usize, FaultRunRecord)>,
     /// Sorted fingerprint set visited by the shard's runs.
     pub fingerprints: Vec<u64>,
     /// Runs the shard executed at degraded budget (0 for service
@@ -39,10 +43,27 @@ pub struct ShardResult {
 
 impl ShardResult {
     /// Serialises the shard as JSON. Record entries use the same
-    /// encoding as campaign checkpoints ([`record_entry_json`]).
+    /// encoding as campaign checkpoints ([`record_entry_json`]); the
+    /// `fault_records` field is emitted only when non-empty so ordinary
+    /// shard payloads (and pre-fault journals) keep their exact bytes.
     pub fn to_json(&self) -> String {
+        let faults = if self.fault_records.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"fault_records\": [{}]",
+                self.fault_records
+                    .iter()
+                    .map(|(i, r)| format!(
+                        "{{\"index\": {i}, \"record\": {}}}",
+                        fault_record_entry_json(r)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        };
         format!(
-            "{{\"unit\": {}, \"records\": [{}], \"fingerprints\": [{}], \
+            "{{\"unit\": {}, \"records\": [{}]{faults}, \"fingerprints\": [{}], \
              \"degraded_runs\": {}, \"cache_truncated\": {}}}",
             self.unit,
             self.records
@@ -78,6 +99,24 @@ impl ShardResult {
         {
             records.push(parse_record_entry(entry)?);
         }
+        let mut fault_records = Vec::new();
+        if let Some(entries) = doc.get("fault_records") {
+            for entry in
+                entries.as_arr().ok_or_else(|| bad("`fault_records` must be an array"))?
+            {
+                fault_records.push((
+                    entry
+                        .get("index")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| bad("fault record missing `index`"))?,
+                    parse_fault_record_entry(
+                        entry
+                            .get("record")
+                            .ok_or_else(|| bad("fault record missing `record`"))?,
+                    )?,
+                ));
+            }
+        }
         let mut fingerprints = Vec::new();
         for fp in doc
             .get("fingerprints")
@@ -92,6 +131,7 @@ impl ShardResult {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad("missing `unit`"))?,
             records,
+            fault_records,
             fingerprints,
             degraded_runs: doc
                 .get("degraded_runs")
@@ -161,6 +201,27 @@ pub fn merge_report(
     )
 }
 
+/// Merges fault-matrix shards into the fault-campaign report, with the
+/// same contract as [`merge_report`]: first-wins dedup by global matrix
+/// index (every run is a deterministic function of `(plan, scheduler,
+/// seed)`, so duplicates from crash/retry history are identical), then
+/// the single shared aggregation routine. Runs lost to quarantined
+/// units surface as `missing_runs` and veto certification.
+pub fn merge_fault_report(
+    base: &str,
+    plans: usize,
+    runs: usize,
+    shards: &[ShardResult],
+) -> FaultCampaignReport {
+    let mut by_index: BTreeMap<usize, FaultRunRecord> = BTreeMap::new();
+    for shard in shards {
+        for (index, record) in &shard.fault_records {
+            by_index.entry(*index).or_insert_with(|| record.clone());
+        }
+    }
+    assemble_fault_report(base, plans, plans * runs, by_index.into_iter().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +254,7 @@ mod tests {
             ShardResult {
                 unit: 0,
                 records: vec![(0, record("rr", 0, 7)), (1, record("rr", 1, 9))],
+                fault_records: Vec::new(),
                 fingerprints: vec![10, 20],
                 degraded_runs: 0,
                 cache_truncated: false,
@@ -203,7 +265,49 @@ mod tests {
                     (2, record("random", 0, 5)),
                     (3, record("random", 1, 6)),
                 ],
+                fault_records: Vec::new(),
                 fingerprints: vec![20, 30],
+                degraded_runs: 0,
+                cache_truncated: false,
+            },
+        ]
+    }
+
+    fn fault_record(plan: &str, seed: u64, steps: usize) -> FaultRunRecord {
+        FaultRunRecord {
+            plan: plan.into(),
+            scheduler: "rr".into(),
+            seed,
+            steps,
+            crashed: 1,
+            survivors_terminated: true,
+            violation: None,
+            error: None,
+            attempts: 1,
+        }
+    }
+
+    fn fault_shards() -> Vec<ShardResult> {
+        vec![
+            ShardResult {
+                unit: 0,
+                records: Vec::new(),
+                fault_records: vec![
+                    (0, fault_record("crash@0:1", 0, 4)),
+                    (1, fault_record("crash@0:1", 1, 5)),
+                ],
+                fingerprints: Vec::new(),
+                degraded_runs: 0,
+                cache_truncated: false,
+            },
+            ShardResult {
+                unit: 1,
+                records: Vec::new(),
+                fault_records: vec![
+                    (2, fault_record("crash@1:1", 0, 6)),
+                    (3, fault_record("crash@1:1", 1, 7)),
+                ],
+                fingerprints: Vec::new(),
                 degraded_runs: 0,
                 cache_truncated: false,
             },
@@ -212,9 +316,42 @@ mod tests {
 
     #[test]
     fn shard_round_trips_through_json() {
-        for shard in shards() {
+        for shard in shards().into_iter().chain(fault_shards()) {
             assert_eq!(ShardResult::parse_str(&shard.to_json()).unwrap(), shard);
         }
+    }
+
+    #[test]
+    fn faultless_shard_json_has_no_fault_records_field() {
+        assert!(
+            !shards()[0].to_json().contains("fault_records"),
+            "pre-fault journal byte-compatibility requires omitting the field"
+        );
+    }
+
+    #[test]
+    fn fault_merge_is_order_and_duplicate_independent() {
+        let mut forward = fault_shards();
+        let baseline = merge_fault_report("rr", 2, 2, &forward).to_json();
+        forward.reverse();
+        assert_eq!(merge_fault_report("rr", 2, 2, &forward).to_json(), baseline);
+        let mut with_dup = fault_shards();
+        with_dup.push(fault_shards()[0].clone());
+        assert_eq!(merge_fault_report("rr", 2, 2, &with_dup).to_json(), baseline);
+        let merged = merge_fault_report("rr", 2, 2, &fault_shards());
+        assert_eq!(merged.total_runs, 4);
+        assert_eq!(merged.certified_runs, 4);
+        assert_eq!(merged.total_steps, 4 + 5 + 6 + 7);
+        assert!(merged.is_certified());
+    }
+
+    #[test]
+    fn missing_fault_runs_veto_certification() {
+        let partial = vec![fault_shards().remove(0)];
+        let merged = merge_fault_report("rr", 2, 2, &partial);
+        assert_eq!(merged.missing_runs, 2);
+        assert!(!merged.is_certified());
+        assert!(merged.to_json().contains("\"missing_runs\": 2"));
     }
 
     #[test]

@@ -16,9 +16,22 @@
 //! merged report is bit-for-bit independent of sharding, worker count,
 //! crash/retry history, and merge order, by construction.
 //!
+//! The worker link is a pluggable [`transport::Transport`]: the
+//! original spawned-process stdio framing, or TCP (`--listen` /
+//! `--connect`) for cross-machine fleets — with a versioned handshake
+//! that fails closed on protocol or spec mismatch, checksummed frames,
+//! read/write deadlines, and session resumption so a worker that
+//! reconnects within its lease window reclaims its unit without
+//! burning an attempt. Fault-plan matrices ([`ServiceSpec::faults`])
+//! partition across workers exactly like scheduler matrices, and each
+//! run stores a per-claim [`summary::ServiceSummary`] beside the
+//! journal.
+//!
 //! Robustness is proven, not assumed: [`chaos::ChaosPlan`] lets the
-//! service SIGKILL its own workers mid-unit and tear its own journal
-//! writes, and the acceptance gate requires the merged report to stay
+//! service SIGKILL its own workers mid-unit, tear its own journal
+//! writes, and (through the deterministic [`chaos::NetChaos`] proxy)
+//! drop, delay, duplicate, corrupt, and sever its own wire frames —
+//! and the acceptance gate requires the merged report to stay
 //! byte-identical to an unkilled single-process reference run.
 
 pub mod chaos;
@@ -27,12 +40,22 @@ pub mod lease;
 pub mod merge;
 pub mod proto;
 pub mod queue;
+pub mod summary;
+pub mod transport;
 pub mod unit;
 
-pub use chaos::ChaosPlan;
-pub use coordinator::{run_service, ServiceOptions, ServiceOutcome, ServiceStats};
+pub use chaos::{ChaosPlan, NetAction, NetChaos};
+pub use coordinator::{
+    run_service, run_service_with_transport, MergedReport, ServiceOptions,
+    ServiceOutcome, ServiceStats,
+};
 pub use lease::{LeaseEvent, LeaseManager, UnitState};
-pub use merge::{merge_report, ShardResult};
-pub use proto::{read_frame, write_frame, CoordMsg, WorkerMsg};
+pub use merge::{merge_fault_report, merge_report, ShardResult};
+pub use proto::{
+    encode_frame, read_frame, read_frame_raw, verify_frame, write_frame,
+    CoordMsg, FrameError, WorkerMsg, PROTO_VERSION,
+};
 pub use queue::{JobQueue, JournalRecord, RecoveredState};
+pub use summary::{build_summary, ClaimSummary, ServiceSummary};
+pub use transport::{Remote, RemoteError, Transport};
 pub use unit::{ServiceSpec, WorkUnit};

@@ -448,6 +448,7 @@ mod tests {
                 threads: 1,
             },
             unit_runs: 4,
+            faults: Vec::new(),
         }
     }
 
@@ -466,6 +467,7 @@ mod tests {
                     attempts: 1,
                 },
             )],
+            fault_records: Vec::new(),
             fingerprints: vec![unit, unit + 100],
             degraded_runs: 0,
             cache_truncated: false,

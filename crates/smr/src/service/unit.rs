@@ -28,22 +28,44 @@ pub struct ServiceSpec {
     /// Seeds per work unit (the partition grain). The last unit of a
     /// scheduler may be smaller.
     pub unit_runs: usize,
+    /// Fault plans, in their parseable syntax. Empty for ordinary
+    /// campaigns; non-empty switches the partition to the fault
+    /// matrix: plans × seeds under the *first* scheduler (the base),
+    /// exactly the matrix `campaign --faults` walks single-process.
+    pub faults: Vec<String>,
 }
 
 impl ServiceSpec {
     /// The campaign identity this service run must match on resume:
-    /// system description plus every matrix-shaping parameter.
+    /// system description plus every matrix-shaping parameter
+    /// (including the fault-plan list when present).
     pub fn identity(&self) -> String {
-        let desc: Vec<String> =
+        let mut desc: Vec<String> =
             self.system.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        if !self.faults.is_empty() {
+            desc.push(format!("faults={}", self.faults.join(";")));
+        }
         campaign_spec_id(&desc.join(","), &self.config)
     }
 
-    /// Serialises the spec as JSON.
+    /// Serialises the spec as JSON. The `faults` field is emitted only
+    /// when non-empty so pre-fault journals stay byte-identical.
     pub fn to_json(&self) -> String {
+        let faults = if self.faults.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"faults\": [{}]",
+                self.faults
+                    .iter()
+                    .map(|p| escape(p))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        };
         format!(
             "{{\"system\": {{{}}}, \"schedulers\": [{}], \"seed_start\": {}, \
-             \"runs\": {}, \"budget\": {}, \"unit_runs\": {}}}",
+             \"runs\": {}, \"budget\": {}, \"unit_runs\": {}{faults}}}",
             self.system
                 .iter()
                 .map(|(k, v)| format!("{}: {}", escape(k), escape(v)))
@@ -115,6 +137,19 @@ impl ServiceSpec {
                 threads: 1,
             },
             unit_runs: num("unit_runs")?.max(1),
+            faults: match doc.get("faults") {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_arr()
+                    .ok_or_else(|| bad("`faults` must be an array"))?
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("`faults` entries must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
         })
     }
 
@@ -127,26 +162,48 @@ impl ServiceSpec {
         ServiceSpec::parse(&Json::parse(text)?)
     }
 
-    /// Total runs in the campaign matrix.
+    /// Total runs in the campaign matrix: schedulers × seeds for an
+    /// ordinary campaign, plans × seeds for a fault campaign.
     pub fn total_runs(&self) -> usize {
-        self.config.schedulers.len() * self.config.runs
+        if self.faults.is_empty() {
+            self.config.schedulers.len() * self.config.runs
+        } else {
+            self.faults.len() * self.config.runs
+        }
     }
 
-    /// Cuts the matrix into work units: scheduler-major, then seed
-    /// chunks of `unit_runs`. The partition is a pure function of the
-    /// spec — every coordinator (re)start derives the identical unit
-    /// list, which is what lets the journal refer to units by id alone.
+    /// Cuts the matrix into work units: major-axis (schedulers, or
+    /// fault plans when `faults` is non-empty), then seed chunks of
+    /// `unit_runs`. The partition is a pure function of the spec —
+    /// every coordinator (re)start derives the identical unit list,
+    /// which is what lets the journal refer to units by id alone.
     pub fn partition(&self) -> Vec<WorkUnit> {
         let grain = self.unit_runs.max(1);
         let mut units = Vec::new();
-        for (si, sched) in self.config.schedulers.iter().enumerate() {
+        let base_sched = self.config.schedulers[0].to_string();
+        let majors: Vec<(String, String)> = if self.faults.is_empty() {
+            self.config
+                .schedulers
+                .iter()
+                .map(|s| (s.to_string(), String::new()))
+                .collect()
+        } else {
+            // Fault matrix: plan-major under the single base scheduler,
+            // matching `run_fault_campaign`'s plan-major index order.
+            self.faults
+                .iter()
+                .map(|p| (base_sched.clone(), p.clone()))
+                .collect()
+        };
+        for (mi, (sched, plan)) in majors.iter().enumerate() {
             let mut off = 0;
             while off < self.config.runs {
                 let runs = grain.min(self.config.runs - off);
                 units.push(WorkUnit {
                     id: units.len() as u64,
-                    index_base: si * self.config.runs + off,
-                    scheduler: sched.to_string(),
+                    index_base: mi * self.config.runs + off,
+                    scheduler: sched.clone(),
+                    plan: plan.clone(),
                     seed_start: self.config.seed_start + off as u64,
                     runs,
                     budget: self.config.budget,
@@ -171,6 +228,10 @@ pub struct WorkUnit {
     pub index_base: usize,
     /// The scheduler spec, in its parseable syntax.
     pub scheduler: String,
+    /// The fault plan, in its parseable syntax — empty for ordinary
+    /// campaign units. A fault unit runs its seed range under this one
+    /// crash/stall placement instead of a plain campaign slice.
+    pub plan: String,
     /// First seed of the unit's range.
     pub seed_start: u64,
     /// Runs in the unit.
@@ -190,8 +251,13 @@ impl WorkUnit {
     pub fn spec_id(&self) -> String {
         let desc: Vec<String> =
             self.system.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let plan = if self.plan.is_empty() {
+            String::new()
+        } else {
+            format!(" plan={}", self.plan)
+        };
         format!(
-            "unit={} base={} {} sched={} seeds={}+{} budget={}",
+            "unit={} base={} {} sched={}{plan} seeds={}+{} budget={}",
             self.id,
             self.index_base,
             desc.join(","),
@@ -202,10 +268,16 @@ impl WorkUnit {
         )
     }
 
-    /// Serialises the unit as JSON.
+    /// Serialises the unit as JSON. The `plan` field is emitted only
+    /// when non-empty so pre-fault journals stay byte-identical.
     pub fn to_json(&self) -> String {
+        let plan = if self.plan.is_empty() {
+            String::new()
+        } else {
+            format!(", \"plan\": {}", escape(&self.plan))
+        };
         format!(
-            "{{\"id\": {}, \"index_base\": {}, \"scheduler\": {}, \
+            "{{\"id\": {}, \"index_base\": {}, \"scheduler\": {}{plan}, \
              \"seed_start\": {}, \"runs\": {}, \"budget\": {}, \
              \"system\": {{{}}}}}",
             self.id,
@@ -260,6 +332,11 @@ impl WorkUnit {
                 .and_then(Json::as_str)
                 .ok_or_else(|| bad("missing `scheduler`"))?
                 .to_string(),
+            plan: doc
+                .get("plan")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
             seed_start: doc
                 .get("seed_start")
                 .and_then(Json::as_u64)
@@ -293,13 +370,61 @@ mod tests {
                 threads: 1,
             },
             unit_runs: 4,
+            faults: Vec::new(),
         }
+    }
+
+    fn fault_spec() -> ServiceSpec {
+        let mut s = spec();
+        s.config.schedulers = vec![SchedulerSpec::RoundRobin];
+        s.faults = vec!["crash@0:2".into(), "crash@1:2".into(), "crash@2:2".into()];
+        s
     }
 
     #[test]
     fn spec_round_trips_through_json() {
         let s = spec();
         assert_eq!(ServiceSpec::parse_str(&s.to_json()).unwrap(), s);
+        let f = fault_spec();
+        assert_eq!(ServiceSpec::parse_str(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn faultless_spec_json_has_no_faults_field() {
+        assert!(
+            !spec().to_json().contains("faults"),
+            "pre-fault journal byte-compatibility requires omitting the field"
+        );
+    }
+
+    #[test]
+    fn fault_partition_is_plan_major_under_the_base_scheduler() {
+        let f = fault_spec();
+        let units = f.partition();
+        // 3 plans × 10 runs at grain 4 → (4+4+2) × 3.
+        assert_eq!(units.len(), 9);
+        let covered: usize = units.iter().map(|u| u.runs).sum();
+        assert_eq!(covered, f.total_runs());
+        assert_eq!(f.total_runs(), 30);
+        for u in &units {
+            assert_eq!(u.scheduler, "rr", "fault units run the base scheduler");
+            assert!(!u.plan.is_empty());
+        }
+        // Plan-major tiling matches run_fault_campaign's index order.
+        assert_eq!(units[3].plan, "crash@1:2");
+        assert_eq!(units[3].index_base, 10);
+        assert_eq!(units[3].seed_start, 5);
+        assert_eq!(units[8].plan, "crash@2:2");
+        assert_eq!(units[8].index_base, 28);
+    }
+
+    #[test]
+    fn fault_plans_change_the_identity() {
+        assert_ne!(spec().identity(), fault_spec().identity());
+        let mut other = fault_spec();
+        other.faults.pop();
+        assert_ne!(fault_spec().identity(), other.identity());
+        assert_eq!(fault_spec().identity(), fault_spec().identity());
     }
 
     #[test]
@@ -330,7 +455,7 @@ mod tests {
 
     #[test]
     fn unit_round_trips_through_json() {
-        for unit in spec().partition() {
+        for unit in spec().partition().into_iter().chain(fault_spec().partition()) {
             let doc = Json::parse(&unit.to_json()).unwrap();
             assert_eq!(WorkUnit::parse(&doc).unwrap(), unit);
         }

@@ -107,6 +107,7 @@ fn retry_exhaustion_surfaces_in_the_merged_report() {
     let shard = ShardResult {
         unit: 0,
         records,
+        fault_records: Vec::new(),
         fingerprints: vec![1, 2, 3],
         degraded_runs: 1,
         cache_truncated: false,
@@ -182,6 +183,7 @@ fn cell_timeout_on_final_cell_still_flushes_terminal_checkpoint() {
     let shard = ShardResult {
         unit: 0,
         records: checkpoint.completed.clone(),
+        fault_records: Vec::new(),
         fingerprints: checkpoint.fingerprints.clone(),
         degraded_runs: 0,
         cache_truncated: false,

@@ -1,0 +1,306 @@
+//! TCP transport acceptance: handshake fail-closed, session
+//! resumption inside the lease window, requeue-after-expiry, and
+//! corrupt-peer accounting — all driven through `--workers 0` external
+//! fleet mode, with the test playing the worker over a raw socket so
+//! every wire event is scripted exactly.
+
+use rsim_smr::campaign::{CampaignConfig, RunRecord, SchedulerSpec};
+use rsim_smr::service::{
+    encode_frame, read_frame, run_service_with_transport, write_frame,
+    CoordMsg, ServiceOptions, ServiceSpec, ShardResult, Transport, WorkUnit,
+    WorkerMsg, PROTO_VERSION,
+};
+use std::io::{BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn spec() -> ServiceSpec {
+    ServiceSpec {
+        system: vec![
+            ("kind".into(), "campaign".into()),
+            ("protocol".into(), "racing".into()),
+        ],
+        config: CampaignConfig {
+            schedulers: vec![SchedulerSpec::RoundRobin],
+            seed_start: 0,
+            runs: 2,
+            budget: 100,
+            threads: 1,
+        },
+        unit_runs: 2, // One unit: every test scripts a single lease.
+        faults: Vec::new(),
+    }
+}
+
+fn base_dir(tag: &str) -> PathBuf {
+    let base = std::env::temp_dir()
+        .join(format!("rsim-transport-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    base
+}
+
+/// Starts the service on a background thread with an external (zero
+/// spawned workers) TCP fleet; returns the dial address and the join
+/// handle for the merged outcome.
+fn start_service(
+    base: &Path,
+    lease_timeout: Duration,
+) -> (String, std::thread::JoinHandle<rsim_smr::service::ServiceOutcome>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut opts = ServiceOptions::new(
+        base.join("state"),
+        base.join("corpus"),
+        Vec::new(),
+    );
+    opts.workers = 0;
+    opts.lease_timeout = lease_timeout;
+    opts.retry_backoff = Duration::from_millis(1);
+    let handle = std::thread::spawn(move || {
+        run_service_with_transport(&spec(), &opts, &Transport::Tcp(listener))
+            .unwrap()
+    });
+    (addr, handle)
+}
+
+/// A scripted worker: one connection, one persistent reader (so no
+/// handshake bytes are ever lost between reads).
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn hello(
+        &mut self,
+        version: u32,
+        session: Option<u64>,
+        spec_id: Option<String>,
+    ) -> CoordMsg {
+        self.send(&WorkerMsg::Hello { version, session, spec_id, tag: None });
+        self.read()
+    }
+
+    fn send(&mut self, msg: &WorkerMsg) {
+        write_frame(&mut self.stream, &msg.to_json()).unwrap();
+    }
+
+    fn read(&mut self) -> CoordMsg {
+        let payload = read_frame(&mut self.reader)
+            .unwrap()
+            .expect("coordinator closed the connection");
+        CoordMsg::parse(&payload).unwrap()
+    }
+
+    fn expect_lease(&mut self) -> WorkUnit {
+        match self.read() {
+            CoordMsg::Lease { unit, .. } => unit,
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    }
+}
+
+/// A well-formed shard for `unit`, as a real worker would report it.
+fn shard_for(unit: &WorkUnit) -> ShardResult {
+    ShardResult {
+        unit: unit.id,
+        records: (0..unit.runs)
+            .map(|i| {
+                (
+                    unit.index_base + i,
+                    RunRecord {
+                        scheduler: unit.scheduler.clone(),
+                        seed: unit.seed_start + i as u64,
+                        steps: 3,
+                        terminated: true,
+                        violation: None,
+                        error: None,
+                        attempts: 1,
+                    },
+                )
+            })
+            .collect(),
+        fault_records: Vec::new(),
+        fingerprints: vec![41, 42],
+        degraded_runs: 0,
+        cache_truncated: false,
+    }
+}
+
+/// A worker that loses its connection mid-lease and reconnects inside
+/// the lease window presents its session token, resumes the session,
+/// and completes the unit — one lease, zero requeues, zero burned
+/// attempts.
+#[test]
+fn resumed_session_reclaims_its_lease_without_burning_an_attempt() {
+    let base = base_dir("resume");
+    let (addr, svc) = start_service(&base, Duration::from_secs(10));
+
+    let mut first = Client::connect(&addr);
+    let CoordMsg::Welcome { session, spec_id, .. } =
+        first.hello(PROTO_VERSION, None, None)
+    else {
+        panic!("expected a welcome");
+    };
+    let unit = first.expect_lease();
+    drop(first); // The network blip: connection lost, lease still live.
+
+    let mut second = Client::connect(&addr);
+    match second.hello(PROTO_VERSION, Some(session), Some(spec_id)) {
+        CoordMsg::Welcome { session: resumed, .. } => {
+            assert_eq!(resumed, session, "resume keeps the session token");
+        }
+        other => panic!("expected a resumed welcome, got {other:?}"),
+    }
+    // The lease survived the blip: no fresh lease frame is owed, the
+    // worker just finishes what it was doing.
+    second.send(&WorkerMsg::Result { unit: unit.id, shard: shard_for(&unit) });
+
+    let outcome = svc.join().unwrap();
+    assert_eq!(outcome.stats.sessions, 1);
+    assert_eq!(outcome.stats.resumed_sessions, 1);
+    assert_eq!(outcome.stats.leases, 1, "the blip burned no lease attempt");
+    assert_eq!(outcome.stats.requeues, 0);
+    assert_eq!(outcome.report.campaign().total_runs, 2);
+    assert_eq!(outcome.summary.claims[0].retried_units, 0);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// A worker that goes silent past the lease window loses the lease —
+/// the coordinator severs it and requeues with an attempt burned — but
+/// the unit completes when the worker comes back.
+#[test]
+fn expired_lease_requeues_and_a_reconnect_completes_the_unit() {
+    let base = base_dir("expiry");
+    let (addr, svc) = start_service(&base, Duration::from_millis(300));
+
+    let mut worker = Client::connect(&addr);
+    let CoordMsg::Welcome { session, spec_id, .. } =
+        worker.hello(PROTO_VERSION, None, None)
+    else {
+        panic!("expected a welcome");
+    };
+    let _unit = worker.expect_lease();
+    // Silence: no heartbeat, no result. The lease must expire.
+    std::thread::sleep(Duration::from_millis(900));
+
+    let mut back = Client::connect(&addr);
+    match back.hello(PROTO_VERSION, Some(session), Some(spec_id)) {
+        CoordMsg::Welcome { .. } => {}
+        other => panic!("expected a welcome, got {other:?}"),
+    }
+    let unit = back.expect_lease(); // The requeued unit, attempt two.
+    back.send(&WorkerMsg::Result { unit: unit.id, shard: shard_for(&unit) });
+
+    let outcome = svc.join().unwrap();
+    assert_eq!(outcome.stats.requeues, 1, "the expiry burned an attempt");
+    assert_eq!(outcome.stats.leases, 2);
+    assert_eq!(outcome.stats.quarantined_units, 0);
+    assert_eq!(outcome.report.campaign().total_runs, 2);
+    assert_eq!(
+        outcome.summary.claims[0].retried_units, 1,
+        "the summary records the retried unit"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Version and spec-id mismatches fail closed (fatal reject: the
+/// worker must not retry), an unknown session token is a non-fatal
+/// reject (retry fresh), and none of them create sessions.
+#[test]
+fn handshake_fails_closed_on_version_and_spec_mismatch() {
+    let base = base_dir("handshake");
+    let (addr, svc) = start_service(&base, Duration::from_secs(10));
+
+    let mut wrong_version = Client::connect(&addr);
+    match wrong_version.hello(PROTO_VERSION + 1, None, None) {
+        CoordMsg::Reject { reason, fatal } => {
+            assert!(fatal, "version mismatch can never heal");
+            assert!(reason.contains("protocol version"), "{reason}");
+        }
+        other => panic!("expected a reject, got {other:?}"),
+    }
+
+    let mut wrong_spec = Client::connect(&addr);
+    match wrong_spec.hello(PROTO_VERSION, None, Some("bogus-campaign".into())) {
+        CoordMsg::Reject { reason, fatal } => {
+            assert!(fatal, "a worker from another campaign must not join");
+            assert!(reason.contains("spec mismatch"), "{reason}");
+        }
+        other => panic!("expected a reject, got {other:?}"),
+    }
+
+    let mut stale = Client::connect(&addr);
+    match stale.hello(PROTO_VERSION, Some(7), None) {
+        CoordMsg::Reject { reason, fatal } => {
+            assert!(!fatal, "an unknown token just means: retry fresh");
+            assert!(reason.contains("session"), "{reason}");
+        }
+        other => panic!("expected a reject, got {other:?}"),
+    }
+
+    let mut good = Client::connect(&addr);
+    assert!(matches!(
+        good.hello(PROTO_VERSION, None, None),
+        CoordMsg::Welcome { .. }
+    ));
+    let unit = good.expect_lease();
+    good.send(&WorkerMsg::Result { unit: unit.id, shard: shard_for(&unit) });
+
+    let outcome = svc.join().unwrap();
+    assert_eq!(outcome.stats.sessions, 1, "rejects never became sessions");
+    assert_eq!(outcome.stats.resumed_sessions, 0);
+    assert_eq!(outcome.report.campaign().total_runs, 2);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// A corrupt frame is a *corrupt peer*, not a slow one: the checksum
+/// rejects it at the wire, the lease attempt is burned immediately
+/// (repeat offenders converge to quarantine), and the event is counted
+/// — but the session itself may reconnect and make amends.
+#[test]
+fn corrupt_worker_frame_burns_a_lease_attempt() {
+    let base = base_dir("corrupt");
+    let (addr, svc) = start_service(&base, Duration::from_secs(10));
+
+    let mut worker = Client::connect(&addr);
+    let CoordMsg::Welcome { session, spec_id, .. } =
+        worker.hello(PROTO_VERSION, None, None)
+    else {
+        panic!("expected a welcome");
+    };
+    let _unit = worker.expect_lease();
+    // Damage the last payload byte of an otherwise well-formed frame:
+    // the checksum must reject it before it ever parses.
+    let mut bytes =
+        encode_frame(&WorkerMsg::Heartbeat { unit: 0 }.to_json()).into_bytes();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    worker.stream.write_all(&bytes).unwrap();
+
+    let mut back = Client::connect(&addr);
+    match back.hello(PROTO_VERSION, Some(session), Some(spec_id)) {
+        CoordMsg::Welcome { .. } => {}
+        other => panic!("expected a welcome, got {other:?}"),
+    }
+    let unit = back.expect_lease(); // Requeued: the corrupt frame cost one.
+    back.send(&WorkerMsg::Result { unit: unit.id, shard: shard_for(&unit) });
+
+    let outcome = svc.join().unwrap();
+    assert_eq!(outcome.stats.corrupt_frames, 1);
+    assert_eq!(outcome.stats.requeues, 1, "corruption burns the attempt");
+    assert_eq!(outcome.stats.resumed_sessions, 1);
+    assert_eq!(outcome.stats.quarantined_units, 0);
+    assert_eq!(outcome.report.campaign().total_runs, 2);
+    assert_eq!(outcome.summary.corrupt_frames, 1);
+    let _ = std::fs::remove_dir_all(&base);
+}

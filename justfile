@@ -57,6 +57,32 @@ smoke-service:
         --sched rr,random --runs 40 --state svc-state --json-out svc-rerun.json
     cmp svc-ref.json svc-rerun.json
 
+# TCP transport determinism gate: workers dial the coordinator over a
+# real socket while the chaos proxy drops, delays, duplicates,
+# corrupts and partitions frames and one worker is SIGKILLed — the
+# merged report must stay byte-identical to the single-process
+# reference, and a --faults matrix must shard across TCP workers with
+# the same guarantee (mirrors CI's smoke-service-tcp job).
+smoke-service-tcp:
+    rm -rf svc-tcp-state svc-tcp-faults-state
+    cargo run --release -- campaign --protocol racing --procs 3 --m 2 \
+        --sched rr,random --runs 40 --threads 1 --json-out svc-tcp-ref.json
+    cargo run --release -- campaign-service --protocol racing --procs 3 --m 2 \
+        --sched rr,random --runs 40 --listen 127.0.0.1:0 --workers 2 \
+        --unit-runs 8 --lease-timeout 2 --max-lease-attempts 10 \
+        --state svc-tcp-state --summary \
+        --chaos kill@unit:2,drop@4,delay@6,dup@9,corrupt@11,partition@14-16 \
+        --json-out svc-tcp-merged.json
+    cmp svc-tcp-ref.json svc-tcp-merged.json
+    cargo run --release -- campaign --protocol racing --procs 3 --m 2 \
+        --sched rr --runs 4 --faults sweep:2 --threads 1 \
+        --json-out svc-tcp-faults-ref.json
+    cargo run --release -- campaign-service --protocol racing --procs 3 --m 2 \
+        --sched rr --runs 4 --faults sweep:2 --listen 127.0.0.1:0 \
+        --workers 2 --unit-runs 2 --state svc-tcp-faults-state --summary \
+        --json-out svc-tcp-faults-merged.json
+    cmp svc-tcp-faults-ref.json svc-tcp-faults-merged.json
+
 # Pre-flight analyzer smoke: every shipped protocol must analyze clean
 # (deny-level), the ill-formed fixture must be rejected with its stable
 # lint codes, and the analyzer module must be clippy-clean (mirrors

@@ -99,7 +99,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
         "campaign-service" => cmd_campaign_service(&flags),
-        "campaign-worker" => cmd_campaign_worker(),
+        "campaign-worker" => cmd_campaign_worker(&flags),
         "analyze" => cmd_analyze(&flags),
         "fuzz" => cmd_fuzz(&flags),
         "replay" => cmd_replay(&args[1..], &flags),
@@ -141,10 +141,15 @@ fn print_usage() {
          \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
          \x20 revisionist-simulations campaign-service [--protocol P] [--procs N] [--m M]\n\
          \x20\x20\x20\x20 [--sched S1,S2,...] [--runs R] [--budget B] [--seed-start S]\n\
+         \x20\x20\x20\x20 [--faults PLANS|sweep[:MAXSTEP]]  (shard a fault matrix across workers)\n\
          \x20\x20\x20\x20 [--workers W] [--unit-runs U] [--state DIR] [--corpus DIR]\n\
-         \x20\x20\x20\x20 [--chaos kill@unit:U,torn@result:U] [--max-lease-attempts K]\n\
-         \x20\x20\x20\x20 [--lease-timeout SECS] [--json] [--json-out PATH] [--no-preflight]\n\
+         \x20\x20\x20\x20 [--listen ADDR]  (TCP transport; --workers 0 = externally managed fleet)\n\
+         \x20\x20\x20\x20 [--chaos kill@unit:U,torn@result:U,drop@N,delay@N,dup@N,corrupt@N,partition@A-B]\n\
+         \x20\x20\x20\x20 [--max-lease-attempts K] [--lease-timeout SECS] [--summary]\n\
+         \x20\x20\x20\x20 [--json] [--json-out PATH] [--no-preflight]\n\
          \x20\x20\x20\x20 (crash-tolerant multi-process campaign; resumes from --state)\n\
+         \x20 revisionist-simulations campaign-worker [--connect ADDR [--tag K]]\n\
+         \x20\x20\x20\x20 (service worker: spawned over stdio pipes, or TCP via --connect)\n\
          \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--seed S] [--budget B] [--steps K]\n\
          \x20\x20\x20\x20 [--deny CODES] [--warn CODES] [--allow CODES]  (RS-Wxxx, comma-separated)\n\
@@ -623,8 +628,6 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
 
-    let validate_consensus = protocol != "contrarian";
-    let fault_inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
     let check = protocol_check(protocol, procs);
 
     let budget = get(flags, "budget", 2_000);
@@ -651,8 +654,8 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
                 threads: get(flags, "threads", 0),
             },
             procs,
+            protocol,
             &factory,
-            validate_consensus.then_some(fault_inputs.as_slice()),
             bundle_system,
         );
     }
@@ -1001,74 +1004,95 @@ fn cmd_fuzz(flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
-fn cmd_campaign_faults(
-    flags: &HashMap<String, String>,
-    faults_raw: &str,
-    mut config: revisionist_simulations::smr::campaign::FaultCampaignConfig,
-    procs: usize,
-    factory: &(dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync),
-    validity_inputs: Option<&[Value]>,
-    bundle_system: Vec<(String, String)>,
-) -> ExitCode {
-    use revisionist_simulations::smr::campaign::run_fault_campaign;
-    use revisionist_simulations::smr::fault::FaultPlan;
-    use revisionist_simulations::smr::process::ProcessId;
-    use revisionist_simulations::smr::system::System;
+/// The `--faults` usage hint, shared by `campaign` and
+/// `campaign-service`.
+const FAULTS_HINT: &str = "valid --faults: `sweep[:MAXSTEP]` (every single-crash \
+                           placement) or comma-separated plans of crash@P:S, \
+                           stall@P:FROM-TO, crash-after@P:OP:K joined by `+`";
 
-    let faults_hint = "valid --faults: `sweep[:MAXSTEP]` (every single-crash \
-                       placement) or comma-separated plans of crash@P:S, \
-                       stall@P:FROM-TO, crash-after@P:OP:K joined by `+`";
-    let plans: Vec<FaultPlan> = if let Some(rest) = faults_raw.strip_prefix("sweep") {
+/// Expands a `--faults` argument into concrete fault plans: `sweep`
+/// crashes each process before each Block-Update step, anything else
+/// is a comma-separated plan list.
+fn parse_fault_plans(
+    faults_raw: &str,
+    procs: usize,
+) -> Result<Vec<revisionist_simulations::smr::fault::FaultPlan>, String> {
+    use revisionist_simulations::smr::fault::FaultPlan;
+    let plans = if let Some(rest) = faults_raw.strip_prefix("sweep") {
         let max_step = if rest.is_empty() {
             5 // The 6-step Block-Update sequence: crash before each step.
         } else if let Some(bound) = rest.strip_prefix(':') {
-            match bound.parse() {
-                Ok(v) => v,
-                Err(_) => {
-                    eprintln!("bad --faults sweep bound `{bound}`");
-                    eprintln!("{faults_hint}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            bound
+                .parse()
+                .map_err(|_| format!("bad --faults sweep bound `{bound}`"))?
         } else {
-            eprintln!("bad --faults `{faults_raw}`");
-            eprintln!("{faults_hint}");
-            return ExitCode::FAILURE;
+            return Err(format!("bad --faults `{faults_raw}`"));
         };
         FaultPlan::single_crash_plans(procs, max_step)
     } else {
         let mut parsed = Vec::new();
         for part in faults_raw.split(',').filter(|p| !p.is_empty()) {
-            match FaultPlan::parse(part) {
-                Ok(plan) => parsed.push(plan),
-                Err(e) => {
-                    eprintln!("{e}");
-                    eprintln!("{faults_hint}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            parsed.push(FaultPlan::parse(part).map_err(|e| e.to_string())?);
         }
         parsed
     };
     if plans.is_empty() {
-        eprintln!("--faults needs at least one plan");
-        eprintln!("{faults_hint}");
-        return ExitCode::FAILURE;
+        return Err("--faults needs at least one plan".into());
     }
-    config.plans = plans;
+    Ok(plans)
+}
 
-    // Validity survives crashes: any output a survivor produces must be
-    // some process's input. Agreement need not — obstruction-free
-    // consensus is not crash-tolerant, which is the paper's point — so
-    // the certificate here is non-blocking progress plus validity.
-    let check = move |sys: &System, _crashed: &[ProcessId]| -> Option<String> {
-        let inputs = validity_inputs?;
+/// The fault-campaign certificate for a protocol family, shared by the
+/// single-process `campaign --faults` runner and service workers — both
+/// sides must agree exactly or merged fault reports would drift from
+/// the single-process reference.
+///
+/// Validity survives crashes: any output a survivor produces must be
+/// some process's input. Agreement need not — obstruction-free
+/// consensus is not crash-tolerant, which is the paper's point — so
+/// the certificate here is non-blocking progress plus validity.
+fn fault_validity_check(
+    protocol: &str,
+    procs: usize,
+) -> impl Fn(
+    &revisionist_simulations::smr::system::System,
+    &[revisionist_simulations::smr::process::ProcessId],
+) -> Option<String>
+       + Sync {
+    let inputs: Option<Vec<Value>> = (protocol != "contrarian")
+        .then(|| (1..=procs as i64).map(Value::Int).collect());
+    move |sys, _crashed| {
+        let inputs = inputs.as_ref()?;
         sys.outputs()
             .into_iter()
             .flatten()
             .find(|out| !inputs.contains(out))
             .map(|out| format!("output {out:?} is not any process's input"))
+    }
+}
+
+fn cmd_campaign_faults(
+    flags: &HashMap<String, String>,
+    faults_raw: &str,
+    mut config: revisionist_simulations::smr::campaign::FaultCampaignConfig,
+    procs: usize,
+    protocol: &str,
+    factory: &(dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync),
+    bundle_system: Vec<(String, String)>,
+) -> ExitCode {
+    use revisionist_simulations::smr::campaign::run_fault_campaign;
+    use revisionist_simulations::smr::fault::FaultPlan;
+
+    config.plans = match parse_fault_plans(faults_raw, procs) {
+        Ok(plans) => plans,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{FAULTS_HINT}");
+            return ExitCode::FAILURE;
+        }
     };
+
+    let check = fault_validity_check(protocol, procs);
     let report = run_fault_campaign(&config, factory, &check);
 
     if !write_json_out(flags, &report.to_json()) {
@@ -1164,6 +1188,10 @@ fn worker_execute_unit(
     let rounds = num("rounds", 3);
     let factory = protocol_factory(&protocol, procs, m, rounds)
         .ok_or_else(|| format!("unknown protocol `{protocol}`"))?;
+    // A non-empty fault plan switches the unit to the fault matrix.
+    if !unit.plan.is_empty() {
+        return worker_execute_fault_unit(unit, &protocol, procs, &factory);
+    }
     let check = protocol_check(&protocol, procs);
     let sched =
         SchedulerSpec::parse(&unit.scheduler).map_err(|e| e.to_string())?;
@@ -1239,24 +1267,86 @@ fn worker_execute_unit(
             .into_iter()
             .map(|(local, record)| (unit.index_base + local, record))
             .collect(),
+        fault_records: Vec::new(),
         fingerprints: checkpoint.fingerprints,
         degraded_runs: report.degraded_runs,
         cache_truncated: report.cache_truncated,
     })
 }
 
-/// The `campaign-worker` subcommand: a service worker process. Reads
-/// length-prefixed [`CoordMsg`] frames from stdin, heartbeats on a
-/// background thread while executing a leased unit, and writes the
-/// shard result back as a frame. Exits nonzero on any error — the
-/// coordinator's lease machinery treats a dead worker as a requeue.
-fn cmd_campaign_worker() -> ExitCode {
+/// Executes one leased *fault* unit: a contiguous seed range under one
+/// crash/stall placement, using the same record runner and certificate
+/// as `campaign --faults`. Fault runs are deterministic and cheap per
+/// unit, so there is no per-run checkpoint — a retried unit simply
+/// reruns, and the merge layer's first-wins dedup cannot tell the
+/// difference.
+fn worker_execute_fault_unit(
+    unit: &revisionist_simulations::smr::service::WorkUnit,
+    protocol: &str,
+    procs: usize,
+    factory: &(dyn Fn(u64) -> revisionist_simulations::smr::system::System + Sync),
+) -> Result<revisionist_simulations::smr::service::ShardResult, String> {
+    use revisionist_simulations::smr::campaign::{
+        run_fault_records, CampaignOptions, FaultCampaignConfig, SchedulerSpec,
+    };
+    use revisionist_simulations::smr::fault::FaultPlan;
+    use revisionist_simulations::smr::service::ShardResult;
+
+    let base =
+        SchedulerSpec::parse(&unit.scheduler).map_err(|e| e.to_string())?;
+    let plan = FaultPlan::parse(&unit.plan).map_err(|e| e.to_string())?;
+    let config = FaultCampaignConfig {
+        base,
+        plans: vec![plan],
+        seed_start: unit.seed_start,
+        runs: unit.runs,
+        budget: unit.budget,
+        threads: 1,
+    };
+    let check = fault_validity_check(protocol, procs);
+    let records =
+        run_fault_records(&config, &CampaignOptions::default(), factory, &check);
+    if records.len() != unit.runs {
+        return Err(format!(
+            "fault unit incomplete: {} of {} runs recorded",
+            records.len(),
+            unit.runs
+        ));
+    }
+    Ok(ShardResult {
+        unit: unit.id,
+        records: Vec::new(),
+        fault_records: records
+            .into_iter()
+            .enumerate()
+            .map(|(local, record)| (unit.index_base + local, record))
+            .collect(),
+        fingerprints: Vec::new(),
+        degraded_runs: 0,
+        cache_truncated: false,
+    })
+}
+
+/// The `campaign-worker` subcommand: a service worker process. Without
+/// `--connect` it reads length-prefixed [`CoordMsg`] frames from stdin
+/// (the spawned-process transport); with `--connect ADDR` it dials the
+/// coordinator over TCP instead ([`campaign_worker_remote`]). Either
+/// way it heartbeats on a background thread while executing a leased
+/// unit and sends the shard result back as a frame. Exits nonzero on
+/// any error — the coordinator's lease machinery treats a dead worker
+/// as a requeue.
+fn cmd_campaign_worker(flags: &HashMap<String, String>) -> ExitCode {
     use revisionist_simulations::smr::service::{
         read_frame, write_frame, CoordMsg, WorkerMsg,
     };
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Mutex};
     use std::time::Duration;
+
+    if let Some(addr) = flags.get("connect") {
+        let tag = flags.get("tag").and_then(|v| v.parse().ok());
+        return campaign_worker_remote(addr, tag);
+    }
 
     let stdin = std::io::stdin();
     let mut reader = stdin.lock();
@@ -1285,6 +1375,8 @@ fn cmd_campaign_worker() -> ExitCode {
             CoordMsg::Lease { unit, state_dir, corpus_dir, heartbeat_ms } => {
                 (unit, state_dir, corpus_dir, heartbeat_ms)
             }
+            // Handshake frames never arrive over stdio; tolerate strays.
+            CoordMsg::Welcome { .. } | CoordMsg::Reject { .. } => continue,
         };
 
         // Heartbeat immediately (the lease is live before the first run
@@ -1337,6 +1429,114 @@ fn cmd_campaign_worker() -> ExitCode {
     }
 }
 
+/// The TCP worker loop: dial and handshake through a self-healing
+/// [`Remote`], then serve leases until the coordinator says shutdown.
+/// Wire hiccups heal transparently — the session token presented on
+/// reconnect keeps the current lease alive — and a coordinator that
+/// stays gone past the bounded reconnect budget ends the worker
+/// cleanly (its lease has been requeued by then anyway).
+fn campaign_worker_remote(addr: &str, tag: Option<u64>) -> ExitCode {
+    use revisionist_simulations::smr::service::{
+        read_frame, CoordMsg, Remote, RemoteError, WorkerMsg,
+    };
+    use std::io::BufReader;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let remote = Arc::new(Remote::new(addr, tag));
+    loop {
+        let (stream, generation) = match remote.ensure() {
+            Ok(pair) => pair,
+            Err(RemoteError::Fatal(e)) => {
+                eprintln!("campaign-worker: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(RemoteError::Unreachable(e)) => {
+                // After a completed handshake, a coordinator gone past
+                // the reconnect budget is a normal end of service (the
+                // lease is requeued by then); before one it's a
+                // startup failure.
+                if remote.session().is_some() {
+                    eprintln!("campaign-worker: coordinator gone ({e}), exiting");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("campaign-worker: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut reader = BufReader::new(stream);
+        loop {
+            let msg = match read_frame(&mut reader) {
+                Ok(Some(frame)) => match CoordMsg::parse(&frame) {
+                    Ok(msg) => msg,
+                    Err(e) => {
+                        // A corrupt coordinator frame: drop the link
+                        // and re-handshake rather than act on garbage.
+                        eprintln!("campaign-worker: bad frame: {e}");
+                        remote.disconnect(generation);
+                        break;
+                    }
+                },
+                // EOF or a read error (including the idle timeout):
+                // this connection is done, reconnect and resume.
+                Ok(None) | Err(_) => {
+                    remote.disconnect(generation);
+                    break;
+                }
+            };
+            let (unit, state_dir, corpus_dir, heartbeat_ms) = match msg {
+                CoordMsg::Shutdown => return ExitCode::SUCCESS,
+                CoordMsg::Lease { unit, state_dir, corpus_dir, heartbeat_ms } => {
+                    (unit, state_dir, corpus_dir, heartbeat_ms)
+                }
+                // Stray handshake frames carry no work.
+                CoordMsg::Welcome { .. } | CoordMsg::Reject { .. } => continue,
+            };
+            let stop = Arc::new(AtomicBool::new(false));
+            let beats = {
+                let remote = Arc::clone(&remote);
+                let stop = Arc::clone(&stop);
+                let unit_id = unit.id;
+                let period = Duration::from_millis(heartbeat_ms.max(1));
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let beat =
+                            WorkerMsg::Heartbeat { unit: unit_id }.to_json();
+                        // `send` reconnects on its own; a hard failure
+                        // means the coordinator is past saving, and the
+                        // result send will surface that.
+                        if remote.send(&beat).is_err() {
+                            break;
+                        }
+                        std::thread::sleep(period);
+                    }
+                })
+            };
+            let result = worker_execute_unit(
+                &unit,
+                std::path::Path::new(&state_dir),
+                std::path::Path::new(&corpus_dir),
+            );
+            stop.store(true, Ordering::Relaxed);
+            let _ = beats.join();
+            match result {
+                Ok(shard) => {
+                    let msg = WorkerMsg::Result { unit: unit.id, shard };
+                    if let Err(e) = remote.send(&msg.to_json()) {
+                        eprintln!("campaign-worker: cannot send result: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("campaign-worker: unit {}: {e}", unit.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+}
+
 /// The `campaign-service` subcommand: the crash-tolerant multi-process
 /// campaign front-end. Builds the service spec from campaign-style
 /// flags, pre-flights the protocol, then hands the matrix to
@@ -1347,7 +1547,8 @@ fn cmd_campaign_worker() -> ExitCode {
 fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
     use revisionist_simulations::smr::campaign::{CampaignConfig, SchedulerSpec};
     use revisionist_simulations::smr::service::{
-        run_service, ChaosPlan, ServiceOptions, ServiceSpec,
+        run_service, run_service_with_transport, ChaosPlan, MergedReport,
+        ServiceOptions, ServiceSpec, Transport,
     };
     use std::path::PathBuf;
     use std::time::Duration;
@@ -1422,6 +1623,19 @@ fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
             threads: 1,
         },
         unit_runs: get(flags, "unit-runs", 8).max(1),
+        // A fault matrix shards across workers exactly like a
+        // scheduler matrix: plans × seeds under the first scheduler.
+        faults: match flags.get("faults") {
+            Some(raw) => match parse_fault_plans(raw, procs) {
+                Ok(plans) => plans.iter().map(|p| p.to_string()).collect(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("{FAULTS_HINT}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Vec::new(),
+        },
     };
 
     let state_dir = PathBuf::from(
@@ -1442,7 +1656,14 @@ fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
         corpus_dir,
         vec![exe.display().to_string(), "campaign-worker".into()],
     );
-    opts.workers = get(flags, "workers", 2).max(1);
+    let listen = flags.get("listen");
+    // `--workers 0` is meaningful only with `--listen`: an externally
+    // managed TCP fleet. Over stdio the service must spawn someone.
+    opts.workers = if listen.is_some() {
+        get(flags, "workers", 2)
+    } else {
+        get(flags, "workers", 2).max(1)
+    };
     opts.max_lease_attempts = get(flags, "max-lease-attempts", 3).max(1);
     if let Some(secs) = flags.get("lease-timeout").and_then(|v| v.parse().ok()) {
         opts.lease_timeout = Duration::from_secs(secs);
@@ -1458,7 +1679,8 @@ fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
             Err(e) => {
                 eprintln!("{e}");
                 eprintln!(
-                    "valid --chaos directives: kill@unit:U | torn@result:U \
+                    "valid --chaos directives: kill@unit:U | torn@result:U | \
+                     drop@N | delay@N | dup@N | corrupt@N | partition@A-B \
                      (comma-separated)"
                 );
                 return ExitCode::FAILURE;
@@ -1466,7 +1688,30 @@ fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
 
-    let outcome = match run_service(&spec, &opts) {
+    let run = if let Some(listen_addr) = listen {
+        let listener = match std::net::TcpListener::bind(listen_addr.as_str()) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("campaign-service: cannot bind {listen_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Resolve port 0 to the actual address before telling workers
+        // where to dial.
+        let addr = match listener.local_addr() {
+            Ok(addr) => addr.to_string(),
+            Err(e) => {
+                eprintln!("campaign-service: cannot resolve listen address: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("campaign-service: listening on {addr}");
+        opts.worker_cmd.extend(["--connect".to_string(), addr]);
+        run_service_with_transport(&spec, &opts, &Transport::Tcp(listener))
+    } else {
+        run_service(&spec, &opts)
+    };
+    let outcome = match run {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("campaign-service: {e}");
@@ -1496,68 +1741,156 @@ fn cmd_campaign_service(flags: &HashMap<String, String>) -> ExitCode {
             stats.dropped_journal_lines,
         );
     }
+    if listen.is_some() {
+        eprintln!(
+            "  tcp: {} sessions ({} resumed), {} corrupt frames rejected",
+            stats.sessions, stats.resumed_sessions, stats.corrupt_frames,
+        );
+    }
+    let net_injected = stats.net_dropped
+        + stats.net_delayed
+        + stats.net_duplicated
+        + stats.net_corrupted
+        + stats.net_severed;
+    if net_injected > 0 {
+        eprintln!(
+            "  net chaos: {} dropped, {} delayed, {} duplicated, \
+             {} corrupted, {} severed",
+            stats.net_dropped,
+            stats.net_delayed,
+            stats.net_duplicated,
+            stats.net_corrupted,
+            stats.net_severed,
+        );
+    }
+    // The summary table goes to stderr: stdout must stay byte-identical
+    // to the single-process `campaign` report under --json.
+    if flags.contains_key("summary") {
+        eprint!("{}", outcome.summary.render());
+    }
 
     let report = &outcome.report;
     if !write_json_out(flags, &report.to_json()) {
         return ExitCode::FAILURE;
     }
+    let certified = match report {
+        MergedReport::Campaign(_) => true,
+        MergedReport::Faults(r) => r.is_certified(),
+    };
     if flags.contains_key("json") {
         print!("{}", report.to_json());
-        return ExitCode::SUCCESS;
+        return if certified { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
-    println!(
-        "campaign-service: protocol={protocol} procs={procs} schedulers=[{}] \
-         seeds={}..{} workers={}",
-        report
-            .config
-            .schedulers
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        report.config.seed_start,
-        report.config.seed_start + report.config.runs as u64,
-        opts.workers,
-    );
-    println!(
-        "  {} runs: {} terminated, {} distinct configs, {} total steps",
-        report.total_runs,
-        report.terminated_runs,
-        report.distinct_configs,
-        report.total_steps,
-    );
-    if let Some(notice) = &report.truncation {
-        println!("  TRUNCATED: {notice} ({} runs skipped)", report.skipped_runs);
-    }
-    if report.degraded_runs > 0 {
-        println!(
-            "  {} runs completed only after retries (degraded)",
-            report.degraded_runs
-        );
-    }
-    for tally in &report.per_scheduler {
-        println!(
-            "  {:<14} {} runs, {} terminated, {} failures",
-            tally.scheduler, tally.runs, tally.terminated, tally.failures
-        );
-    }
-    if report.failures.is_empty() {
-        println!("  no violations or errors");
-    } else {
-        println!("  {} failing runs (each replayable):", report.failures.len());
-        for r in report.failures.iter().take(10) {
+    match report {
+        MergedReport::Campaign(report) => {
             println!(
-                "    --sched {} --seed {}: {}",
-                r.scheduler,
-                r.seed,
-                r.violation.as_deref().or(r.error.as_deref()).unwrap_or("?")
+                "campaign-service: protocol={protocol} procs={procs} schedulers=[{}] \
+                 seeds={}..{} workers={}",
+                report
+                    .config
+                    .schedulers
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                report.config.seed_start,
+                report.config.seed_start + report.config.runs as u64,
+                opts.workers,
             );
+            println!(
+                "  {} runs: {} terminated, {} distinct configs, {} total steps",
+                report.total_runs,
+                report.terminated_runs,
+                report.distinct_configs,
+                report.total_steps,
+            );
+            if let Some(notice) = &report.truncation {
+                println!(
+                    "  TRUNCATED: {notice} ({} runs skipped)",
+                    report.skipped_runs
+                );
+            }
+            if report.degraded_runs > 0 {
+                println!(
+                    "  {} runs completed only after retries (degraded)",
+                    report.degraded_runs
+                );
+            }
+            for tally in &report.per_scheduler {
+                println!(
+                    "  {:<14} {} runs, {} terminated, {} failures",
+                    tally.scheduler, tally.runs, tally.terminated, tally.failures
+                );
+            }
+            if report.failures.is_empty() {
+                println!("  no violations or errors");
+            } else {
+                println!(
+                    "  {} failing runs (each replayable):",
+                    report.failures.len()
+                );
+                for r in report.failures.iter().take(10) {
+                    println!(
+                        "    --sched {} --seed {}: {}",
+                        r.scheduler,
+                        r.seed,
+                        r.violation.as_deref().or(r.error.as_deref()).unwrap_or("?")
+                    );
+                }
+                if report.failures.len() > 10 {
+                    println!("    ... and {} more", report.failures.len() - 10);
+                }
+            }
+            ExitCode::SUCCESS
         }
-        if report.failures.len() > 10 {
-            println!("    ... and {} more", report.failures.len() - 10);
+        MergedReport::Faults(report) => {
+            println!(
+                "campaign-service: protocol={protocol} procs={procs} fault base={} \
+                 plans={} seeds={}..{} workers={}",
+                report.scheduler,
+                report.plans,
+                spec.config.seed_start,
+                spec.config.seed_start + spec.config.runs as u64,
+                opts.workers,
+            );
+            println!(
+                "  {} runs, {} certified, {} total steps",
+                report.total_runs, report.certified_runs, report.total_steps,
+            );
+            if report.missing_runs > 0 {
+                println!(
+                    "  {} runs missing (quarantined units veto certification)",
+                    report.missing_runs
+                );
+            }
+            if report.is_certified() {
+                println!(
+                    "  CERTIFIED: survivors made progress under every fault plan"
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "  {} failing runs (each replayable):",
+                    report.failures.len()
+                );
+                for r in report.failures.iter().take(10) {
+                    let why = r
+                        .violation
+                        .as_deref()
+                        .or(r.error.as_deref())
+                        .unwrap_or("survivors did not terminate");
+                    println!(
+                        "    --faults {} --seed-start {} --runs 1: {}",
+                        r.plan, r.seed, why
+                    );
+                }
+                if report.failures.len() > 10 {
+                    println!("    ... and {} more", report.failures.len() - 10);
+                }
+                ExitCode::FAILURE
+            }
         }
     }
-    ExitCode::SUCCESS
 }
 
 fn cmd_replay(args: &[String], flags: &HashMap<String, String>) -> ExitCode {

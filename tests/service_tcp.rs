@@ -1,0 +1,267 @@
+//! End-to-end tests of the TCP transport: the E17-style determinism
+//! gate over a real socket. A `--listen` service whose workers dial in
+//! over TCP — while frames are dropped, delayed, duplicated, corrupted
+//! and partitioned, and a worker is SIGKILLed mid-unit — must converge
+//! to a merged report byte-identical to a single-process `campaign`,
+//! and a `--faults` matrix must shard across TCP workers with the same
+//! guarantee.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_revisionist-simulations"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("rsim-service-tcp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SPEC: &[&str] = &[
+    "--protocol",
+    "racing",
+    "--procs",
+    "3",
+    "--m",
+    "2",
+    "--sched",
+    "rr,random",
+    "--runs",
+    "40",
+    "--budget",
+    "2000",
+];
+
+/// The full chaos menu at once: a worker SIGKILL plus every network
+/// directive, with a partition window severing both live sessions. The
+/// merged report must still be bit-identical to the single-process
+/// reference, and the summary table must account for the damage.
+#[test]
+fn tcp_service_under_full_chaos_matches_the_reference_byte_for_byte() {
+    let dir = tmp_dir("chaos");
+    let reference = dir.join("reference.json");
+    let merged = dir.join("merged.json");
+    let state = dir.join("state");
+
+    let mut ref_args: Vec<&str> = vec!["campaign"];
+    ref_args.extend_from_slice(SPEC);
+    let ref_out = reference.to_str().unwrap();
+    ref_args.extend_from_slice(&["--threads", "1", "--json-out", ref_out]);
+    let (_, stderr, ok) = run(&ref_args);
+    assert!(ok, "reference campaign failed: {stderr}");
+
+    let mut svc_args: Vec<&str> = vec!["campaign-service"];
+    svc_args.extend_from_slice(SPEC);
+    let state_s = state.to_str().unwrap();
+    let merged_out = merged.to_str().unwrap();
+    svc_args.extend_from_slice(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--unit-runs",
+        "8",
+        "--state",
+        state_s,
+        "--chaos",
+        "kill@unit:2,drop@4,delay@6,dup@9,corrupt@11,partition@14-16",
+        // A short lease turns silent frame drops into fast requeues,
+        // and a deep attempt budget keeps chaos from quarantining.
+        "--lease-timeout",
+        "2",
+        "--max-lease-attempts",
+        "10",
+        "--summary",
+        "--json-out",
+        merged_out,
+    ]);
+    let (_, stderr, ok) = run(&svc_args);
+    assert!(ok, "tcp service failed: {stderr}");
+    assert!(
+        stderr.contains("campaign-service: listening on 127.0.0.1:"),
+        "must announce the bound address: {stderr}"
+    );
+    assert!(
+        stderr.contains("1 worker kills"),
+        "the kill must fire: {stderr}"
+    );
+    assert!(stderr.contains("tcp:"), "tcp stats line missing: {stderr}");
+    assert!(
+        stderr.contains("net chaos:") && stderr.contains("dropped"),
+        "net chaos accounting missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("campaign summary:")
+            && stderr.contains("transport=tcp")
+            && stderr.contains("claim"),
+        "--summary must render the claim table: {stderr}"
+    );
+
+    let ref_bytes = std::fs::read(&reference).unwrap();
+    let svc_bytes = std::fs::read(&merged).unwrap();
+    assert!(
+        ref_bytes == svc_bytes,
+        "merged report differs from the single-process reference:\n--- \
+         reference ---\n{}\n--- service ---\n{}",
+        String::from_utf8_lossy(&ref_bytes),
+        String::from_utf8_lossy(&svc_bytes),
+    );
+
+    // The summary survives on disk next to the journal.
+    let summary =
+        std::fs::read_to_string(state.join("summary.json")).unwrap();
+    assert!(summary.contains("\"transport\": \"tcp\""), "{summary}");
+    assert!(summary.contains("\"claims\""), "{summary}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `--faults` matrix campaign shards across TCP workers — fault
+/// plans become a partition axis — and merges byte-identical to the
+/// single-process `campaign --faults` reference, with one summary row
+/// per plan.
+#[test]
+fn fault_matrix_campaign_shards_across_tcp_workers() {
+    let dir = tmp_dir("faults");
+    let reference = dir.join("reference.json");
+    let merged = dir.join("merged.json");
+    let state = dir.join("state");
+
+    let base: &[&str] = &[
+        "--protocol",
+        "racing",
+        "--procs",
+        "3",
+        "--m",
+        "2",
+        "--sched",
+        "rr",
+        "--runs",
+        "4",
+        "--budget",
+        "2000",
+        "--faults",
+        "sweep:2",
+    ];
+
+    let mut ref_args: Vec<&str> = vec!["campaign"];
+    ref_args.extend_from_slice(base);
+    let ref_out = reference.to_str().unwrap();
+    ref_args.extend_from_slice(&["--threads", "1", "--json-out", ref_out]);
+    let (_, ref_stderr, ref_ok) = run(&ref_args);
+
+    let mut svc_args: Vec<&str> = vec!["campaign-service"];
+    svc_args.extend_from_slice(base);
+    let state_s = state.to_str().unwrap();
+    let merged_out = merged.to_str().unwrap();
+    svc_args.extend_from_slice(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--unit-runs",
+        "2",
+        "--state",
+        state_s,
+        "--summary",
+        "--json-out",
+        merged_out,
+    ]);
+    let (_, svc_stderr, svc_ok) = run(&svc_args);
+    assert_eq!(
+        ref_ok, svc_ok,
+        "certification verdict must agree:\nref: {ref_stderr}\nsvc: {svc_stderr}"
+    );
+    // sweep:2 over 3 processes = 9 plans; each gets a summary row.
+    assert!(
+        svc_stderr.contains("crash@0:0") && svc_stderr.contains("crash@2:2"),
+        "per-plan summary rows missing: {svc_stderr}"
+    );
+
+    let ref_bytes = std::fs::read(&reference).unwrap();
+    let svc_bytes = std::fs::read(&merged).unwrap();
+    assert!(
+        ref_bytes == svc_bytes,
+        "fault matrix merged report differs from the reference:\n--- \
+         reference ---\n{}\n--- service ---\n{}",
+        String::from_utf8_lossy(&ref_bytes),
+        String::from_utf8_lossy(&svc_bytes),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chaos proxy is deterministic *about outcomes*: the same chaos
+/// spec at different worker counts — and no chaos at all — all merge
+/// to the same bytes.
+#[test]
+fn chaos_history_never_changes_the_merged_bytes() {
+    let dir = tmp_dir("det");
+    let base: &[&str] = &[
+        "--protocol",
+        "racing",
+        "--procs",
+        "3",
+        "--m",
+        "2",
+        "--sched",
+        "rr",
+        "--runs",
+        "16",
+        "--budget",
+        "2000",
+    ];
+
+    let mut outputs: Vec<Vec<u8>> = Vec::new();
+    for (tag, workers, chaos) in [
+        ("w2", "2", Some("drop@3,corrupt@7,partition@10-12")),
+        ("w3", "3", Some("drop@3,corrupt@7,partition@10-12")),
+        ("quiet", "2", None),
+    ] {
+        let state = dir.join(format!("state-{tag}"));
+        let merged = dir.join(format!("merged-{tag}.json"));
+        let state_s = state.to_str().unwrap().to_string();
+        let merged_s = merged.to_str().unwrap().to_string();
+        let mut args: Vec<&str> = vec!["campaign-service"];
+        args.extend_from_slice(base);
+        args.extend_from_slice(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            workers,
+            "--unit-runs",
+            "2",
+            "--lease-timeout",
+            "2",
+            "--max-lease-attempts",
+            "10",
+            "--state",
+            &state_s,
+            "--json-out",
+            &merged_s,
+        ]);
+        if let Some(spec) = chaos {
+            args.extend_from_slice(&["--chaos", spec]);
+        }
+        let (_, stderr, ok) = run(&args);
+        assert!(ok, "run {tag} failed: {stderr}");
+        outputs.push(std::fs::read(&merged).unwrap());
+    }
+    assert!(
+        outputs[0] == outputs[1] && outputs[1] == outputs[2],
+        "merged bytes depend on chaos history or worker count"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
