@@ -15,89 +15,60 @@
 //! explain (a tampered or unlinearizable trace).
 
 use super::diag::LintCode;
+use crate::hb::{HbObserved, HbState};
 use crate::process::ProcessId;
 use crate::system::{Event, System};
 use crate::trace::{format_op, format_resp};
 use std::collections::HashMap;
 
-/// A vector clock over `n` processes.
-type Clock = Vec<u64>;
-
-fn concurrent(a: &Clock, b: &Clock) -> bool {
-    !leq(a, b) && !leq(b, a)
-}
-
-fn leq(a: &Clock, b: &Clock) -> bool {
-    a.iter().zip(b).all(|(x, y)| x <= y)
-}
-
-fn join(into: &mut Clock, from: &Clock) {
-    for (x, y) in into.iter_mut().zip(from) {
-        *x = (*x).max(*y);
-    }
-}
-
 /// Runs the vector-clock and replay checks over `events`, which must
 /// describe an execution starting from the configuration of `initial`
 /// (objects in their initial state, processes unstarted). Returns raw
 /// RS-W006 findings.
+///
+/// The causal bookkeeping itself lives in [`crate::hb::HbState`] (one
+/// incremental summary shared with the explorer's partial-order
+/// reduction); this pass feeds it the recorded events, renders its
+/// observations as RS-W006 diagnostics, and layers the sequential
+/// replay check on top.
 pub fn check_execution(initial: &System, events: &[Event]) -> Vec<(LintCode, String)> {
     let mut findings = Vec::new();
     let n = initial.process_count();
-    let mut clocks: Vec<Clock> = vec![vec![0; n]; n];
-    // Per (object, component): vector clock and author of the last
-    // mutation observed.
-    let mut last_write: HashMap<(usize, usize), (Clock, usize)> = HashMap::new();
+    let mut hb = HbState::new(n);
+    let owner_of = |obj, component| initial.owner_of(obj, component);
     let mut objects = initial.objects().to_vec();
 
     for (i, event) in events.iter().enumerate() {
         let p = event.pid.0;
-        if p >= n {
-            findings.push((
-                LintCode::HappensBefore,
-                format!("event {i} names process p{p}, but the system has only {n}"),
-            ));
-            continue;
-        }
-        clocks[p][p] += 1;
         let obj = event.op.object();
-
-        if let Some(component) = super::lint::mutated_component(&event.op) {
-            if let Some(owner) = initial.owner_of(obj, component) {
-                if owner != event.pid {
-                    findings.push((
-                        LintCode::HappensBefore,
-                        format!(
-                            "event {i}: p{p} mutates {obj} component {component} \
-                             owned by p{} (ownership violated in the trace)",
-                            owner.0
-                        ),
-                    ));
-                } else if let Some((write_clock, writer)) = last_write.get(&(obj.0, component)) {
-                    if *writer != p && concurrent(write_clock, &clocks[p]) {
-                        findings.push((
-                            LintCode::HappensBefore,
-                            format!(
-                                "event {i}: p{p} and p{writer} mutate {obj} component \
-                                 {component} without a happens-before edge between them"
-                            ),
-                        ));
-                    }
-                }
+        match hb.observe(event, &owner_of) {
+            HbObserved::Clean => {}
+            HbObserved::BogusPid => {
+                findings.push((
+                    LintCode::HappensBefore,
+                    format!("event {i} names process p{p}, but the system has only {n}"),
+                ));
+                continue;
             }
-            last_write.insert((obj.0, component), (clocks[p].clone(), p));
-        } else {
-            // A read or scan observes the writes it returns: join the
-            // write clocks of every component it covers (reads-from
-            // edges).
-            let components: Vec<usize> = last_write
-                .keys()
-                .filter(|(o, _)| *o == obj.0)
-                .map(|(_, c)| *c)
-                .collect();
-            for c in components {
-                let (write_clock, _) = last_write[&(obj.0, c)].clone();
-                join(&mut clocks[p], &write_clock);
+            HbObserved::ForeignMutation { owner, component } => {
+                findings.push((
+                    LintCode::HappensBefore,
+                    format!(
+                        "event {i}: p{p} mutates {obj} component {component} \
+                         owned by p{} (ownership violated in the trace)",
+                        owner.0
+                    ),
+                ));
+            }
+            HbObserved::RacingMutation { writer, component } => {
+                findings.push((
+                    LintCode::HappensBefore,
+                    format!(
+                        "event {i}: p{p} and p{} mutate {obj} component \
+                         {component} without a happens-before edge between them",
+                        writer.0
+                    ),
+                ));
             }
         }
 

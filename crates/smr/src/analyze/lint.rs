@@ -50,17 +50,9 @@ pub fn contains_yield(value: &Value) -> bool {
 }
 
 /// The component a mutation writes (mirrors the runtime's ownership
-/// check): `Update`/`WriteMax` name their component, every other
-/// mutation acts on component 0.
-pub fn mutated_component(op: &Operation) -> Option<usize> {
-    if !op.is_mutation() {
-        return None;
-    }
-    Some(match op {
-        Operation::Update { component, .. } | Operation::WriteMax { component, .. } => *component,
-        _ => 0,
-    })
-}
+/// check). Re-exported from the happens-before runtime core, which the
+/// linter shares with the explorer's partial-order reduction.
+pub use crate::hb::mutated_component;
 
 /// The value a mutation writes, if it writes one unconditionally.
 fn written_value(op: &Operation) -> Option<&Value> {

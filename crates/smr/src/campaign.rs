@@ -276,7 +276,7 @@ pub(crate) fn record_entry_json(index: usize, r: &RunRecord) -> String {
     format!(
         "{{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
          \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
-         \"error\": {}, \"attempts\": {}}}",
+         \"error\": {}, \"attempts\": {}, \"pruned\": {}}}",
         index,
         json_string(&r.scheduler),
         r.seed,
@@ -285,6 +285,7 @@ pub(crate) fn record_entry_json(index: usize, r: &RunRecord) -> String {
         r.violation.as_deref().map_or("null".into(), json_string),
         r.error.as_deref().map_or("null".into(), json_string),
         r.attempts,
+        r.pruned,
     )
 }
 
@@ -321,6 +322,8 @@ pub(crate) fn parse_record_entry(entry: &Json) -> Result<(usize, RunRecord), Mod
             error: opt_str("error"),
             // Absent in pre-supervisor checkpoints: one attempt.
             attempts: entry.get("attempts").and_then(Json::as_usize).unwrap_or(1),
+            // Absent in pre-DPOR checkpoints: no redundancy recorded.
+            pruned: entry.get("pruned").and_then(Json::as_usize).unwrap_or(0),
         },
     ))
 }
@@ -434,6 +437,13 @@ pub struct RunRecord {
     /// Supervisor attempts this cell took (1 = first try; larger when
     /// transient worker panics were retried).
     pub attempts: usize,
+    /// Happens-before redundancy of this run's schedule: adjacent step
+    /// pairs that commute (per [`crate::hb::independent`]) and are in
+    /// process-id-inverted order — each is an interleaving the
+    /// explorer's partial-order reduction would have merged with its
+    /// swapped twin. The campaign analogue of
+    /// [`crate::explore::ExploreReport::pruned`].
+    pub pruned: usize,
 }
 
 impl RunRecord {
@@ -455,6 +465,9 @@ pub struct SchedulerTally {
     pub failures: usize,
     /// Total steps across the runs.
     pub total_steps: usize,
+    /// Total happens-before redundancy ([`RunRecord::pruned`]) across
+    /// the runs.
+    pub pruned: usize,
 }
 
 /// Aggregated campaign outcome. All fields are deterministic functions
@@ -472,6 +485,11 @@ pub struct CampaignReport {
     pub distinct_configs: usize,
     /// Total steps across all runs.
     pub total_steps: usize,
+    /// Total happens-before redundancy across all runs: schedule steps
+    /// that commute with their inverted-order predecessor. The
+    /// campaign-side reduction metric, summed per run so shard merges
+    /// reproduce it bit-for-bit.
+    pub total_pruned: usize,
     /// Per-scheduler tallies, in scheduler-mix order.
     pub per_scheduler: Vec<SchedulerTally>,
     /// Every failing run, in matrix order; each replays from its seed.
@@ -502,6 +520,17 @@ impl CampaignReport {
             && self.skipped_runs == 0
     }
 
+    /// The campaign-side reduction factor:
+    /// `(total_steps + total_pruned) / total_steps` — how much schedule
+    /// redundancy the executed mix carried. `1.0` for an empty
+    /// campaign.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.total_steps == 0 {
+            return 1.0;
+        }
+        (self.total_steps + self.total_pruned) as f64 / self.total_steps as f64
+    }
+
     /// Renders the report as JSON (hand-rolled: the workspace builds
     /// offline, without serde).
     pub fn to_json(&self) -> String {
@@ -522,6 +551,11 @@ impl CampaignReport {
         out.push_str(&format!("  \"terminated_runs\": {},\n", self.terminated_runs));
         out.push_str(&format!("  \"distinct_configs\": {},\n", self.distinct_configs));
         out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
+        out.push_str(&format!("  \"total_pruned\": {},\n", self.total_pruned));
+        out.push_str(&format!(
+            "  \"reduction_factor\": {:.4},\n",
+            self.reduction_factor()
+        ));
         out.push_str(&format!("  \"skipped_runs\": {},\n", self.skipped_runs));
         out.push_str(&format!(
             "  \"truncation\": {},\n",
@@ -537,12 +571,13 @@ impl CampaignReport {
         for (i, t) in self.per_scheduler.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"scheduler\": {}, \"runs\": {}, \"terminated\": {}, \
-                 \"failures\": {}, \"total_steps\": {}}}{}\n",
+                 \"failures\": {}, \"total_steps\": {}, \"pruned\": {}}}{}\n",
                 json_string(&t.scheduler),
                 t.runs,
                 t.terminated,
                 t.failures,
                 t.total_steps,
+                t.pruned,
                 if i + 1 < self.per_scheduler.len() { "," } else { "" },
             ));
         }
@@ -599,7 +634,9 @@ fn execute_run(
         violation: None,
         error: None,
         attempts: 1,
+        pruned: 0,
     };
+    let trace_start = system.trace().len();
     let mut scheduler = spec.build(seed);
     let deadline = cell_timeout.map(|limit| (Instant::now() + limit, limit));
     if cache.is_some() || deadline.is_some() {
@@ -644,7 +681,29 @@ fn execute_run(
     }
     record.terminated = system.all_terminated();
     record.violation = check(system);
+    record.pruned = commuting_inversions(system, trace_start);
     record
+}
+
+/// Counts the happens-before redundancy of a completed run's schedule:
+/// adjacent event pairs whose operations commute
+/// ([`crate::hb::independent`]) but arrive in process-id-inverted
+/// order. Each such pair is the twin of a canonically ordered schedule
+/// the explorer's partial-order reduction would have kept instead — so
+/// this is the per-run "pruned" tally campaign aggregates and service
+/// shard merges sum deterministically.
+fn commuting_inversions(system: &System, trace_start: usize) -> usize {
+    let mut prev: Option<&crate::system::Event> = None;
+    let mut count = 0;
+    for event in system.trace().events_from(trace_start) {
+        if let Some(p) = prev {
+            if p.pid.0 > event.pid.0 && crate::hb::independent(&p.op, &event.op) {
+                count += 1;
+            }
+        }
+        prev = Some(event);
+    }
+    count
 }
 
 /// Replays one run of a campaign: same `(spec, seed)` → same outcome.
@@ -708,6 +767,7 @@ where
                 .to_string(),
             ),
             attempts: 1,
+            pruned: 0,
         },
     }
 }
@@ -1033,6 +1093,7 @@ pub(crate) fn assemble_report(
         terminated_runs: 0,
         distinct_configs,
         total_steps: 0,
+        total_pruned: 0,
         per_scheduler: config
             .schedulers
             .iter()
@@ -1042,6 +1103,7 @@ pub(crate) fn assemble_report(
                 terminated: 0,
                 failures: 0,
                 total_steps: 0,
+                pruned: 0,
             })
             .collect(),
         failures: Vec::new(),
@@ -1055,7 +1117,9 @@ pub(crate) fn assemble_report(
         let tally = &mut report.per_scheduler[index / config.runs];
         tally.runs += 1;
         tally.total_steps += record.steps;
+        tally.pruned += record.pruned;
         report.total_steps += record.steps;
+        report.total_pruned += record.pruned;
         if record.terminated {
             tally.terminated += 1;
             report.terminated_runs += 1;
@@ -1947,6 +2011,7 @@ mod tests {
                         violation: None,
                         error: None,
                         attempts: 1,
+                        pruned: 4,
                     },
                 ),
                 (
@@ -1959,6 +2024,7 @@ mod tests {
                         violation: Some("p0 output \"x\"".into()),
                         error: None,
                         attempts: 3,
+                        pruned: 0,
                     },
                 ),
             ],

@@ -18,25 +18,55 @@
 //! [`Explorer::explore_parallel`] is a level-synchronised breadth-first
 //! frontier over schedule prefixes: at each depth, worker threads steal
 //! chunks of the frontier, expand and check configurations in parallel,
-//! and pre-filter duplicates through the sharded
-//! [`FingerprintCache`](crate::fingerprint::FingerprintCache). Chunk
+//! and pre-filter duplicates through a shared visited-state map. Chunk
 //! results are merged in frontier order and deduplicated canonically,
 //! which makes every report field — `configs_visited`, `terminals`,
 //! and the first violation — **bit-for-bit identical at every thread
 //! count**. The violation reported is the first in canonical schedule
 //! order (shortest schedule first, then lexicographic by process id),
 //! independent of which thread happened to find it.
+//!
+//! # Partial-order reduction
+//!
+//! Both modes apply **happens-before-guided dynamic partial-order
+//! reduction** (on by default, see [`Explorer::with_dpor`]): sleep sets
+//! over schedule prefixes, driven by the exact step-commutation oracle
+//! in [`crate::hb`]. Processes are deterministic, so every
+//! configuration reveals each process's next operation
+//! ([`System::poised`]); when the next steps of `p` and `q` commute,
+//! only one order of the adjacent pair is forked and the other is put
+//! to sleep. The *source set* of a configuration — the processes worth
+//! branching on — is therefore its enabled set minus the sleep set
+//! carried by the arriving prefix.
+//!
+//! The variant implemented here is sleep sets **with state matching**
+//! (re-arrival at a visited configuration wakes whatever the sleep set
+//! no longer justifies skipping), which prunes redundant *forks* but
+//! never loses a reachable *configuration*: every state a full search
+//! visits is still visited, so checks see the same states, verdicts
+//! are identical with the reduction on or off, and the canonical
+//! (shortest, lexicographically least) violation schedule is preserved
+//! — commuting-swap–equivalent schedules have equal length, so the
+//! lex-least shortest witness always survives pruning. Suppressed
+//! forks are tallied in [`ExploreReport::pruned`]; the headline metric
+//! is [`ExploreReport::reduction_factor`].
 
 use crate::error::ModelError;
-use crate::fingerprint::FingerprintCache;
-use crate::process::ProcessId;
+use crate::hb::independent;
+use crate::object::Operation;
+use crate::process::{Poised, ProcessId};
 use crate::system::System;
 use crate::value::Value;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Sleep and claim sets are process-id bit masks; systems with more
+/// processes than this fall back to unreduced exploration (the report's
+/// `dpor` flag records the fallback).
+const DPOR_MAX_PROCS: usize = 32;
 
 /// Exploration limits.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +90,15 @@ pub struct ExploreReport {
     pub configs_visited: usize,
     /// Terminal (all-terminated) configurations found.
     pub terminals: usize,
+    /// Redundant forks suppressed by partial-order reduction: enabled
+    /// steps left unexplored at some configuration because every
+    /// execution through them is a commuting-swap rearrangement of one
+    /// that was explored. `0` when DPOR is off.
+    pub pruned: usize,
+    /// Whether partial-order reduction was active for this run (the
+    /// configured setting, downgraded to `false` for systems with more
+    /// than 32 processes).
+    pub dpor: bool,
     /// Whether exploration was cut off by [`Limits`] or a wall-clock
     /// watchdog.
     pub truncated: bool,
@@ -79,6 +118,16 @@ impl ExploreReport {
     pub fn is_clean(&self) -> bool {
         self.violation.is_none()
     }
+
+    /// The partial-order reduction factor: how many branch expansions
+    /// an unreduced search pays per expansion this search paid —
+    /// `(visited + pruned) / visited`. `1.0` means no reduction.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.configs_visited == 0 {
+            return 1.0;
+        }
+        (self.configs_visited + self.pruned) as f64 / self.configs_visited as f64
+    }
 }
 
 /// A check evaluated on every visited configuration by the parallel
@@ -93,6 +142,7 @@ pub struct Explorer {
     wall_limit: Option<Duration>,
     soft_wall_limit: Option<Duration>,
     preflight: bool,
+    dpor: bool,
 }
 
 impl Default for Explorer {
@@ -103,6 +153,7 @@ impl Default for Explorer {
             wall_limit: None,
             soft_wall_limit: None,
             preflight: true,
+            dpor: true,
         }
     }
 }
@@ -159,9 +210,27 @@ impl Explorer {
         self
     }
 
+    /// Enables or disables happens-before-guided dynamic partial-order
+    /// reduction (on by default). With the reduction off every enabled
+    /// process is branched on at every configuration — the escape
+    /// hatch for differential testing and for auditing the reduction
+    /// itself. Either way the same configurations are visited and the
+    /// same verdicts reached; DPOR only suppresses redundant forks
+    /// (tallied in [`ExploreReport::pruned`]).
+    #[must_use]
+    pub fn with_dpor(mut self, dpor: bool) -> Self {
+        self.dpor = dpor;
+        self
+    }
+
     /// The configured worker-thread count (`0` = all cores).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether partial-order reduction is configured on.
+    pub fn dpor(&self) -> bool {
+        self.dpor
     }
 
     fn run_preflight(&self, initial: &System) -> Result<(), ModelError> {
@@ -179,6 +248,12 @@ impl Explorer {
         }
     }
 
+    /// Whether DPOR is effective for `initial` (configured on and the
+    /// process count fits the bit-mask representation).
+    fn dpor_for(&self, initial: &System) -> bool {
+        self.dpor && initial.process_count() <= DPOR_MAX_PROCS
+    }
+
     /// Explores all schedules from `initial`, invoking `check` on every
     /// visited configuration (with the schedule so far). `check` returns
     /// a violation description to stop the search.
@@ -192,71 +267,115 @@ impl Explorer {
         check: &mut dyn FnMut(&System) -> Option<String>,
     ) -> Result<ExploreReport, ModelError> {
         self.run_preflight(initial)?;
+        let dpor = self.dpor_for(initial);
         let mut report = ExploreReport {
             configs_visited: 0,
             terminals: 0,
+            pruned: 0,
+            dpor,
             truncated: false,
             truncation: None,
             violation: None,
         };
         let deadline = self.wall_limit.map(|limit| Instant::now() + limit);
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen: HashMap<u64, StateMeta> = HashMap::new();
         // The schedule so far is not stored per stack entry: it is the
         // suffix of each configuration's (copy-on-write, shared) trace
         // past the initial configuration, recovered only when a
-        // violation needs reporting.
+        // violation needs reporting. Each entry carries only its sleep
+        // set — the processes whose next step is a commuting swap of a
+        // branch already taken elsewhere.
         let base_depth = initial.trace().len();
-        let mut stack: Vec<System> = vec![initial.clone()];
-        while let Some(mut sys) = stack.pop() {
+        let mut stack: Vec<(System, u32)> = vec![(initial.clone(), 0)];
+        while let Some((mut sys, sleep)) = stack.pop() {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 report.truncated = true;
                 report.truncation =
                     Some("wall-clock limit reached during DFS".into());
                 break;
             }
-            if !seen.insert(sys.config_fingerprint()) {
-                continue;
+            let fp = sys.config_fingerprint();
+            let first = !seen.contains_key(&fp);
+            if first {
+                seen.insert(fp, StateMeta::default());
+                report.configs_visited += 1;
+                if report.configs_visited > self.limits.max_configs {
+                    report.truncated = true;
+                    break;
+                }
+                if let Some(msg) = check(&sys) {
+                    report.violation = Some((schedule_since(&sys, base_depth), msg));
+                    break;
+                }
+                if sys.all_terminated() {
+                    report.terminals += 1;
+                    continue;
+                }
+                if sys.trace().len() - base_depth >= self.limits.max_depth {
+                    report.truncated = true;
+                    continue;
+                }
+            } else {
+                // Re-arrival. Without DPOR a duplicate has nothing
+                // left to offer (every live process was branched on at
+                // first arrival); with it, state matching may wake
+                // processes the first arrival's sleep set suppressed —
+                // but only from a prefix that can still expand at all.
+                if !dpor {
+                    continue;
+                }
+                if sys.all_terminated() {
+                    continue;
+                }
+                if sys.trace().len() - base_depth >= self.limits.max_depth {
+                    report.truncated = true;
+                    continue;
+                }
             }
-            report.configs_visited += 1;
-            if report.configs_visited > self.limits.max_configs {
-                report.truncated = true;
-                break;
+            let masks = StepMasks::of(&sys, dpor);
+            let meta = seen.get_mut(&fp).expect("visited entry exists");
+            let claim = masks.enabled & !sleep & !meta.expanded;
+            if dpor {
+                let newly_slept = masks.enabled & sleep & !meta.expanded & !meta.slept;
+                meta.slept |= newly_slept;
+                report.pruned += newly_slept.count_ones() as usize;
+                let reclaimed = claim & meta.slept;
+                meta.slept &= !reclaimed;
+                report.pruned -= reclaimed.count_ones() as usize;
             }
-            if let Some(msg) = check(&sys) {
-                report.violation = Some((schedule_since(&sys, base_depth), msg));
-                break;
-            }
-            if sys.all_terminated() {
-                report.terminals += 1;
-                continue;
-            }
-            if sys.trace().len() - base_depth >= self.limits.max_depth {
-                report.truncated = true;
+            meta.expanded |= claim;
+            if claim == 0 {
                 continue;
             }
             // Seal the trace so each fork below copies zero events, and
             // move the parent into its last child instead of cloning it
             // one extra time.
             sys.freeze_trace();
-            let live: Vec<ProcessId> = (0..sys.process_count())
-                .map(ProcessId)
-                .filter(|&pid| !sys.is_terminated(pid))
-                .collect();
-            let (&last, rest) = live.split_last().expect("not all terminated");
-            for &pid in rest {
+            let mut remaining = claim;
+            while remaining != 0 {
+                let q = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                let child_sleep = if dpor {
+                    masks.indep[q] & (sleep | (claim & low_bits(q)))
+                } else {
+                    0
+                };
+                if remaining == 0 {
+                    sys.step(ProcessId(q))?;
+                    stack.push((sys, child_sleep));
+                    break;
+                }
                 let mut fork = sys.clone();
-                fork.step(pid)?;
-                stack.push(fork);
+                fork.step(ProcessId(q))?;
+                stack.push((fork, child_sleep));
             }
-            sys.step(last)?;
-            stack.push(sys);
         }
         Ok(report)
     }
 
     /// Parallel exhaustive exploration: a level-synchronised frontier
     /// over schedule prefixes, with worker threads stealing chunks of
-    /// each level and a sharded fingerprint cache deduplicating
+    /// each level and a shared visited-state map deduplicating
     /// configurations.
     ///
     /// Every field of the returned report is deterministic — identical
@@ -288,10 +407,12 @@ impl Explorer {
     ) -> Result<(ExploreReport, Vec<Vec<Value>>), ModelError> {
         self.run_preflight(initial)?;
         let threads = self.resolved_threads();
-        let cache = FingerprintCache::for_threads(threads);
+        let dpor = self.dpor_for(initial);
         let mut report = ExploreReport {
             configs_visited: 0,
             terminals: 0,
+            pruned: 0,
+            dpor,
             truncated: false,
             truncation: None,
             violation: None,
@@ -309,12 +430,25 @@ impl Explorer {
         let mut terminal_outputs: Vec<Vec<Value>> = Vec::new();
         let mut seen_outputs: HashSet<Vec<Value>> = HashSet::new();
 
-        cache.insert_fingerprint(initial.config_fingerprint());
+        // Workers read the visited map of all *previous* levels as a
+        // duplicate pre-filter; the merge below is the only writer, and
+        // runs strictly between levels.
+        let mut visited: HashMap<u64, StateMeta> = HashMap::new();
+        let root_masks = StepMasks::of(initial, dpor);
+        visited.insert(
+            initial.config_fingerprint(),
+            StateMeta { expanded: root_masks.enabled, slept: 0 },
+        );
         report.configs_visited = 1;
         let base_depth = initial.trace().len();
         let mut root = initial.clone();
         root.freeze_trace();
-        let mut frontier: Vec<System> = vec![root];
+        let mut frontier: Vec<Prefix> = vec![Prefix {
+            sys: root,
+            sleep: 0,
+            claim: root_masks.enabled,
+            first: true,
+        }];
 
         while !frontier.is_empty() {
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -336,8 +470,9 @@ impl Explorer {
                      prefixes ({capped_entries} entries shed so far)"
                 ));
             }
-            let level =
-                self.run_level(&frontier, base_depth, check, &cache, threads);
+            let level = self.run_level(
+                &frontier, base_depth, check, &visited, threads, dpor,
+            );
 
             // Merge chunk results in frontier order: every aggregate
             // below is then independent of worker scheduling.
@@ -367,7 +502,7 @@ impl Explorer {
                     return Err(err.clone());
                 }
             }
-            let mut children: Vec<(System, u64)> = Vec::new();
+            let mut children: Vec<Child> = Vec::new();
             for chunk in chunks {
                 report.terminals += chunk.terminals;
                 report.truncated |= chunk.truncated;
@@ -389,20 +524,48 @@ impl Explorer {
             // frontier index, process id) — exactly the breadth-first
             // lexicographic order — so the first occurrence of each
             // configuration carries its canonical schedule (recoverable
-            // from its trace).
+            // from its trace). Under DPOR, a re-arrival may still wake
+            // processes its sleep set no longer covers (state
+            // matching): it re-enters the frontier as a non-`first`
+            // prefix that is expanded but not re-counted or re-checked.
             let mut next = Vec::new();
-            for (mut sys, fp) in children {
-                if !cache.insert_fingerprint(fp) {
-                    continue;
+            for child in children {
+                let Child { mut sys, fp, sleep, enabled } = child;
+                match visited.get_mut(&fp) {
+                    None => {
+                        if report.configs_visited >= self.limits.max_configs {
+                            report.truncated = true;
+                            break;
+                        }
+                        report.configs_visited += 1;
+                        let claim = enabled & !sleep;
+                        let slept = if dpor { enabled & sleep } else { 0 };
+                        report.pruned += slept.count_ones() as usize;
+                        visited.insert(fp, StateMeta { expanded: claim, slept });
+                        // Seal before the next level forks this
+                        // configuration.
+                        sys.freeze_trace();
+                        next.push(Prefix { sys, sleep, claim, first: true });
+                    }
+                    Some(meta) => {
+                        if !dpor {
+                            continue;
+                        }
+                        let claim = enabled & !sleep & !meta.expanded;
+                        let newly_slept =
+                            enabled & sleep & !meta.expanded & !meta.slept;
+                        meta.slept |= newly_slept;
+                        report.pruned += newly_slept.count_ones() as usize;
+                        let reclaimed = claim & meta.slept;
+                        meta.slept &= !reclaimed;
+                        report.pruned -= reclaimed.count_ones() as usize;
+                        meta.expanded |= claim;
+                        if claim != 0 {
+                            sys.freeze_trace();
+                            next.push(Prefix { sys, sleep, claim, first: false });
+                        }
+                    }
                 }
-                if report.configs_visited >= self.limits.max_configs {
-                    report.truncated = true;
-                    break;
-                }
-                report.configs_visited += 1;
-                // Seal before the next level forks this configuration.
-                sys.freeze_trace();
-                next.push(sys);
             }
             if report.truncated && next.is_empty() {
                 break;
@@ -416,11 +579,12 @@ impl Explorer {
     /// through a shared atomic cursor.
     fn run_level(
         &self,
-        frontier: &[System],
+        frontier: &[Prefix],
         base_depth: usize,
         check: ParallelCheck,
-        cache: &FingerprintCache,
+        visited: &HashMap<u64, StateMeta>,
         threads: usize,
+        dpor: bool,
     ) -> Mutex<Vec<LevelChunk>> {
         let results: Mutex<Vec<LevelChunk>> = Mutex::new(Vec::new());
         let cursor = AtomicUsize::new(0);
@@ -439,8 +603,9 @@ impl Explorer {
                         start,
                         base_depth,
                         check,
-                        cache,
+                        visited,
                         max_depth,
+                        dpor,
                     );
                     results.lock().expect("level results lock").push(chunk);
                 });
@@ -557,6 +722,94 @@ impl Explorer {
     }
 }
 
+/// The set of bits below bit `q`.
+fn low_bits(q: usize) -> u32 {
+    (1u32 << q) - 1
+}
+
+/// Per-configuration bookkeeping for sleep-set pruning with state
+/// matching, keyed by configuration fingerprint.
+#[derive(Clone, Copy, Default)]
+struct StateMeta {
+    /// Processes already branched on from this configuration, over all
+    /// arrivals.
+    expanded: u32,
+    /// Enabled processes a sleep set suppressed here, currently
+    /// counted in `pruned` (a bit moves out again if a later arrival
+    /// wakes and expands it).
+    slept: u32,
+}
+
+/// The poised-step view of one configuration as process-id bit masks:
+/// which processes are live, and which pairs of next operations
+/// commute.
+struct StepMasks {
+    /// Live (non-terminated) processes.
+    enabled: u32,
+    /// Per process `q`: the processes whose next operation commutes
+    /// with `q`'s (empty vector when DPOR is off — never read).
+    indep: Vec<u32>,
+}
+
+impl StepMasks {
+    fn of(sys: &System, dpor: bool) -> StepMasks {
+        let n = sys.process_count();
+        let mut ops: Vec<Option<Operation>> = Vec::with_capacity(n);
+        let mut enabled = 0u32;
+        for i in 0..n {
+            match sys.poised(ProcessId(i)) {
+                Poised::Step(op) => {
+                    if i < DPOR_MAX_PROCS {
+                        enabled |= 1 << i;
+                    }
+                    ops.push(Some(op));
+                }
+                Poised::Output(_) => ops.push(None),
+            }
+        }
+        let mut indep = Vec::new();
+        if dpor {
+            indep = vec![0u32; n];
+            for i in 0..n {
+                let Some(op_i) = &ops[i] else { continue };
+                for j in i + 1..n {
+                    let Some(op_j) = &ops[j] else { continue };
+                    if independent(op_i, op_j) {
+                        indep[i] |= 1 << j;
+                        indep[j] |= 1 << i;
+                    }
+                }
+            }
+        }
+        StepMasks { enabled, indep }
+    }
+}
+
+/// One schedule prefix awaiting expansion in the parallel frontier.
+struct Prefix {
+    sys: System,
+    /// Sleep set this arrival carries (always 0 with DPOR off).
+    sleep: u32,
+    /// Processes to branch on from this entry, claimed canonically at
+    /// merge time (ignored with DPOR off: every live process forks).
+    claim: u32,
+    /// First arrival at this configuration: it is counted, checked,
+    /// and eligible to be a terminal. Re-arrivals only expand newly
+    /// woken claims.
+    first: bool,
+}
+
+/// One freshly forked configuration travelling from a worker to the
+/// canonical merge.
+struct Child {
+    sys: System,
+    fp: u64,
+    /// Sleep set the fork inherited (0 with DPOR off).
+    sleep: u32,
+    /// Live processes of the fork (0 with DPOR off — never read).
+    enabled: u32,
+}
+
 /// One worker chunk's share of a frontier level.
 struct LevelChunk {
     /// Index of the first frontier entry in this chunk.
@@ -566,7 +819,7 @@ struct LevelChunk {
     /// Lowest-index violation within the chunk.
     violation: Option<(usize, Vec<ProcessId>, String)>,
     /// Children in (parent index, process id) order, with fingerprints.
-    children: Vec<(System, u64)>,
+    children: Vec<Child>,
     /// Output vectors of terminal configurations in this chunk.
     terminal_outputs: Vec<Vec<Value>>,
     /// Lowest-index step error within the chunk.
@@ -577,12 +830,13 @@ struct LevelChunk {
 /// the trace length of the initial configuration: the schedule of any
 /// entry is its trace suffix past that point.
 fn expand_chunk(
-    entries: &[System],
+    entries: &[Prefix],
     start: usize,
     base_depth: usize,
     check: ParallelCheck,
-    cache: &FingerprintCache,
+    visited: &HashMap<u64, StateMeta>,
     max_depth: usize,
+    dpor: bool,
 ) -> LevelChunk {
     let mut out = LevelChunk {
         start,
@@ -593,51 +847,92 @@ fn expand_chunk(
         terminal_outputs: Vec::new(),
         error: None,
     };
-    for (offset, sys) in entries.iter().enumerate() {
+    for (offset, entry) in entries.iter().enumerate() {
         let idx = start + offset;
+        let sys = &entry.sys;
         // Panic isolation: a panicking check (or a panic while forking)
         // becomes a structured WorkerPanic at this entry's canonical
         // index instead of tearing down the worker and hanging the
         // level barrier.
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(msg) = check(sys) {
-                out.violation = Some((idx, schedule_since(sys, base_depth), msg));
-                // Later entries in the chunk cannot improve on this
-                // index.
-                return false;
-            }
-            if sys.all_terminated() {
-                out.terminals += 1;
-                out.terminal_outputs.push(
-                    sys.outputs().into_iter().map(Option::unwrap).collect(),
-                );
-                return true;
+            if entry.first {
+                if let Some(msg) = check(sys) {
+                    out.violation = Some((idx, schedule_since(sys, base_depth), msg));
+                    // Later entries in the chunk cannot improve on this
+                    // index.
+                    return false;
+                }
+                if sys.all_terminated() {
+                    out.terminals += 1;
+                    out.terminal_outputs.push(
+                        sys.outputs().into_iter().map(Option::unwrap).collect(),
+                    );
+                    return true;
+                }
             }
             if sys.trace().len() - base_depth >= max_depth {
                 out.truncated = true;
                 return true;
             }
-            for i in 0..sys.process_count() {
-                let pid = ProcessId(i);
-                if sys.is_terminated(pid) {
-                    continue;
-                }
-                let mut fork = sys.clone();
-                if let Err(err) = fork.step(pid) {
-                    if out.error.is_none() {
-                        out.error = Some((idx, err));
+            if dpor {
+                let masks = StepMasks::of(sys, true);
+                let mut remaining = entry.claim;
+                while remaining != 0 {
+                    let q = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let mut fork = sys.clone();
+                    if let Err(err) = fork.step(ProcessId(q)) {
+                        if out.error.is_none() {
+                            out.error = Some((idx, err));
+                        }
+                        continue;
                     }
-                    continue;
+                    let fp = fork.config_fingerprint();
+                    let sleep =
+                        masks.indep[q] & (entry.sleep | (entry.claim & low_bits(q)));
+                    // Only stepping q can change liveness: the fork's
+                    // enabled set is the parent's, minus q if it just
+                    // terminated.
+                    let enabled = if fork.is_terminated(ProcessId(q)) {
+                        masks.enabled & !(1 << q)
+                    } else {
+                        masks.enabled
+                    };
+                    // Concurrent pre-filter against the previous
+                    // levels' visited map: drop the fork only when the
+                    // merge could not possibly claim anything from it.
+                    // (`expanded` can only have grown since the map was
+                    // frozen, so this never drops a live claim.)
+                    if let Some(meta) = visited.get(&fp) {
+                        if enabled & !sleep & !meta.expanded == 0 {
+                            continue;
+                        }
+                    }
+                    out.children.push(Child { sys: fork, fp, sleep, enabled });
                 }
-                let fp = fork.config_fingerprint();
-                // Concurrent pre-filter: configurations deduplicated at
-                // an earlier level never reach the merge. Within-level
-                // duplicates are resolved canonically by the merge
-                // itself.
-                if cache.contains_fingerprint(fp) {
-                    continue;
+            } else {
+                for i in 0..sys.process_count() {
+                    let pid = ProcessId(i);
+                    if sys.is_terminated(pid) {
+                        continue;
+                    }
+                    let mut fork = sys.clone();
+                    if let Err(err) = fork.step(pid) {
+                        if out.error.is_none() {
+                            out.error = Some((idx, err));
+                        }
+                        continue;
+                    }
+                    let fp = fork.config_fingerprint();
+                    // Concurrent pre-filter: configurations
+                    // deduplicated at an earlier level never reach the
+                    // merge. Within-level duplicates are resolved
+                    // canonically by the merge itself.
+                    if visited.contains_key(&fp) {
+                        continue;
+                    }
+                    out.children.push(Child { sys: fork, fp, sleep: 0, enabled: 0 });
                 }
-                out.children.push((fork, fp));
             }
             true
         }));
@@ -768,6 +1063,39 @@ mod tests {
         System::new(vec![Object::snapshot(1)], vec![mk(1), mk(2)])
     }
 
+    /// `n` processes that each write their own snapshot component then
+    /// output: heavy on commuting (different-component) updates, so
+    /// DPOR should prune a lot.
+    fn independent_writers(n: usize) -> System {
+        #[derive(Clone, Debug)]
+        struct OwnSlot {
+            slot: usize,
+            wrote: bool,
+        }
+        impl SnapshotProtocol for OwnSlot {
+            fn on_scan(&mut self, _view: &[Value]) -> ProtocolStep {
+                if self.wrote {
+                    ProtocolStep::Output(Value::Int(self.slot as i64))
+                } else {
+                    self.wrote = true;
+                    ProtocolStep::Update(self.slot, Value::Int(1))
+                }
+            }
+            fn components(&self) -> usize {
+                4
+            }
+        }
+        let processes = (0..n)
+            .map(|slot| {
+                Box::new(SnapshotProcess::new(
+                    OwnSlot { slot, wrote: false },
+                    ObjectId(0),
+                )) as Box<dyn Process>
+            })
+            .collect();
+        System::new(vec![Object::snapshot(4)], processes)
+    }
+
     #[test]
     fn explores_all_terminal_outputs() {
         let explorer = Explorer::default();
@@ -798,6 +1126,71 @@ mod tests {
         assert_eq!(seq_sorted, par_sorted);
         assert_eq!(seq_report.configs_visited, par_report.configs_visited);
         assert_eq!(seq_report.terminals, par_report.terminals);
+    }
+
+    #[test]
+    fn dpor_visits_the_same_states_and_verdicts() {
+        // The cornerstone contract: sleep sets prune forks, never
+        // configurations. On and off must agree on every count except
+        // `pruned`, in both modes.
+        for sys in [two_process_system(), independent_writers(3)] {
+            let on = Explorer::default();
+            let off = Explorer::default().with_dpor(false);
+            let (out_on, rep_on) = on.terminal_outputs(&sys).unwrap();
+            let (out_off, rep_off) = off.terminal_outputs(&sys).unwrap();
+            assert_eq!(rep_on.configs_visited, rep_off.configs_visited);
+            assert_eq!(rep_on.terminals, rep_off.terminals);
+            let sort = |v: &[Vec<Value>]| {
+                let mut s: Vec<String> = v.iter().map(|o| format!("{o:?}")).collect();
+                s.sort();
+                s
+            };
+            assert_eq!(sort(&out_on), sort(&out_off));
+            assert!(rep_on.dpor);
+            assert!(!rep_off.dpor);
+            assert_eq!(rep_off.pruned, 0);
+
+            let par_on = on.with_threads(4).explore_parallel(&sys, &|_| None).unwrap();
+            let par_off =
+                off.with_threads(4).explore_parallel(&sys, &|_| None).unwrap();
+            assert_eq!(par_on.configs_visited, par_off.configs_visited);
+            assert_eq!(par_on.terminals, par_off.terminals);
+            assert_eq!(par_off.pruned, 0);
+        }
+    }
+
+    #[test]
+    fn dpor_prunes_commuting_writers() {
+        // Three writers to three different components: almost every
+        // adjacent pair commutes, so the reduction must actually fire.
+        let sys = independent_writers(3);
+        let report = Explorer::default().explore(&sys, &mut |_| None).unwrap();
+        assert!(report.dpor);
+        assert!(report.pruned > 0, "no forks pruned: {report:?}");
+        assert!(report.reduction_factor() > 1.0);
+        let par = Explorer::default()
+            .with_threads(4)
+            .explore_parallel(&sys, &|_| None)
+            .unwrap();
+        assert!(par.pruned > 0);
+    }
+
+    #[test]
+    fn parallel_dpor_report_is_thread_count_invariant() {
+        let sys = independent_writers(3);
+        let base = Explorer::default()
+            .with_threads(1)
+            .explore_parallel(&sys, &|_| None)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let rep = Explorer::default()
+                .with_threads(threads)
+                .explore_parallel(&sys, &|_| None)
+                .unwrap();
+            assert_eq!(rep.configs_visited, base.configs_visited, "t={threads}");
+            assert_eq!(rep.terminals, base.terminals, "t={threads}");
+            assert_eq!(rep.pruned, base.pruned, "t={threads}");
+        }
     }
 
     #[test]
@@ -869,17 +1262,20 @@ mod tests {
             sys.output(ProcessId(0)).map(|v| format!("p0 output {v}"))
         };
         for threads in [1, 2, 8] {
-            let explorer = Explorer::default().with_threads(threads);
-            let report = explorer
-                .explore_parallel(&two_process_system(), &check)
-                .unwrap();
-            let (schedule, msg) = report.violation.unwrap();
-            assert!(msg.contains("p0 output"));
-            assert_eq!(
-                schedule,
-                vec![ProcessId(0), ProcessId(0), ProcessId(0)],
-                "threads = {threads}"
-            );
+            for dpor in [true, false] {
+                let explorer =
+                    Explorer::default().with_threads(threads).with_dpor(dpor);
+                let report = explorer
+                    .explore_parallel(&two_process_system(), &check)
+                    .unwrap();
+                let (schedule, msg) = report.violation.unwrap();
+                assert!(msg.contains("p0 output"));
+                assert_eq!(
+                    schedule,
+                    vec![ProcessId(0), ProcessId(0), ProcessId(0)],
+                    "threads = {threads}, dpor = {dpor}"
+                );
+            }
         }
     }
 

@@ -49,6 +49,10 @@
 //!   Theorem 21 feasibility, dead steps, yield handling) and a
 //!   happens-before trace checker, with stable `RS-Wxxx` lint codes
 //!   and `--deny`/`--warn`/`--allow` severity configuration.
+//! * [`hb`] — the happens-before runtime core: vector clocks, the
+//!   exact step-commutation (independence) oracle over the object zoo,
+//!   and the incremental per-execution summary shared by the analyzer's
+//!   trace checker and the explorer's partial-order reduction.
 //! * [`gen`] — seeded, byte-deterministic protocol generation over a
 //!   small grammar, paper-aware mutation operators tagged with
 //!   predicted verdicts, and the fuzz harness closing the analyze →
@@ -92,6 +96,7 @@ pub mod explore;
 pub mod fault;
 pub mod fingerprint;
 pub mod gen;
+pub mod hb;
 pub mod json;
 pub mod history;
 pub mod linearizability;

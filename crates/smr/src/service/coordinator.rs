@@ -550,6 +550,8 @@ fn claim_rows(
             retried_units: 0,
             quarantined_units: 0,
             failures: 0,
+            visited: 0,
+            pruned: 0,
         })
         .collect();
     let claim_of = |id: &u64| units.get(id).map(|u| u.index_base / runs);
@@ -590,6 +592,11 @@ fn claim_rows(
             for (i, tally) in r.per_scheduler.iter().enumerate() {
                 if let Some(row) = rows.get_mut(i) {
                     row.failures = tally.failures;
+                    // The reduction tallies come from the merged
+                    // report's per-scheduler sums, which the merge gate
+                    // certifies byte-identical to a single-process run.
+                    row.visited = tally.total_steps;
+                    row.pruned = tally.pruned;
                 }
             }
         }

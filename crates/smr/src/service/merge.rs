@@ -236,6 +236,7 @@ mod tests {
             violation: None,
             error: None,
             attempts: 1,
+            pruned: 0,
         }
     }
 

@@ -465,6 +465,7 @@ mod tests {
                     violation: None,
                     error: None,
                     attempts: 1,
+                    pruned: 0,
                 },
             )],
             fault_records: Vec::new(),

@@ -32,6 +32,13 @@ pub struct ClaimSummary {
     pub quarantined_units: usize,
     /// Failing runs recorded under this claim.
     pub failures: usize,
+    /// Schedule steps executed across this claim's merged runs (the
+    /// "visited" side of the reduction metric).
+    pub visited: usize,
+    /// Happens-before redundancy across this claim's merged runs
+    /// ([`crate::campaign::RunRecord::pruned`] summed) — a per-run sum,
+    /// so the merged tally is byte-identical to a single-process run.
+    pub pruned: usize,
 }
 
 /// The whole-run summary stored in the JSON aggregate and rendered by
@@ -90,13 +97,15 @@ impl ServiceSummary {
             out.push_str(&format!(
                 "    {{\"claim\": {}, \"samples\": {}, \"shards\": {}, \
                  \"retried_units\": {}, \"quarantined_units\": {}, \
-                 \"failures\": {}}}{}\n",
+                 \"failures\": {}, \"visited\": {}, \"pruned\": {}}}{}\n",
                 escape(&c.claim),
                 c.samples,
                 c.shards,
                 c.retried_units,
                 c.quarantined_units,
                 c.failures,
+                c.visited,
+                c.pruned,
                 if i + 1 < self.claims.len() { "," } else { "" },
             ));
         }
@@ -156,6 +165,9 @@ impl ServiceSummary {
                 retried_units: f("retried_units")?,
                 quarantined_units: f("quarantined_units")?,
                 failures: f("failures")?,
+                // Absent in pre-DPOR summaries: no tallies recorded.
+                visited: entry.get("visited").and_then(Json::as_usize).unwrap_or(0),
+                pruned: entry.get("pruned").and_then(Json::as_usize).unwrap_or(0),
             });
         }
         Ok(ServiceSummary {
@@ -208,18 +220,34 @@ impl ServiceSummary {
             .max()
             .unwrap_or(5);
         out.push_str(&format!(
-            "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}\n",
-            "claim", "samples", "shards", "retried", "quarantined", "failures",
+            "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>9}\n",
+            "claim",
+            "samples",
+            "shards",
+            "retried",
+            "quarantined",
+            "failures",
+            "visited",
+            "pruned",
+            "reduction",
         ));
         for c in &self.claims {
+            let reduction = if c.visited == 0 {
+                1.0
+            } else {
+                (c.visited + c.pruned) as f64 / c.visited as f64
+            };
             out.push_str(&format!(
-                "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}\n",
+                "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>8.2}x\n",
                 c.claim,
                 c.samples,
                 c.shards,
                 c.retried_units,
                 c.quarantined_units,
                 c.failures,
+                c.visited,
+                c.pruned,
+                reduction,
             ));
         }
         out
@@ -296,6 +324,8 @@ mod tests {
                     retried_units: 1,
                     quarantined_units: 0,
                     failures: 0,
+                    visited: 800,
+                    pruned: 120,
                 },
                 ClaimSummary {
                     claim: "random".into(),
@@ -304,6 +334,8 @@ mod tests {
                     retried_units: 0,
                     quarantined_units: 0,
                     failures: 2,
+                    visited: 760,
+                    pruned: 95,
                 },
             ],
         }
@@ -324,5 +356,10 @@ mod tests {
         assert!(text.contains("2 resumed"), "{text}");
         assert!(text.contains("1 corrupt frames rejected"), "{text}");
         assert!(text.contains("17 distinct configurations"), "{text}");
+        // The reduction columns: visited/pruned tallies and the factor.
+        assert!(text.contains("visited"), "{text}");
+        assert!(text.contains("pruned"), "{text}");
+        assert!(text.contains("800"), "{text}");
+        assert!(text.contains("1.15x"), "{text}");
     }
 }

@@ -131,6 +131,14 @@ impl System {
         self.objects.iter().map(Object::register_cost).sum()
     }
 
+    /// What process `pid` is poised to do next. Processes are
+    /// deterministic, so this reveals the exact base-object operation
+    /// `pid` would perform if scheduled — the explorer's partial-order
+    /// reduction uses it to compute step commutation per configuration.
+    pub fn poised(&self, pid: ProcessId) -> Poised {
+        self.processes[pid.0].poised()
+    }
+
     /// Has process `pid` terminated (is it poised to output)?
     pub fn is_terminated(&self, pid: ProcessId) -> bool {
         matches!(self.processes[pid.0].poised(), Poised::Output(_))

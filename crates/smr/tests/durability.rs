@@ -25,6 +25,7 @@ fn checkpoint() -> CampaignCheckpoint {
         violation: violation.map(str::to_string),
         error: None,
         attempts: 1,
+        pruned: 0,
     };
     CampaignCheckpoint {
         spec: Some("protocol=racing sched=random seeds=0+40 budget=500".into()),

@@ -101,6 +101,7 @@ fn retry_exhaustion_surfaces_in_the_merged_report() {
                 violation: None,
                 error: None,
                 attempts: 1,
+                pruned: 0,
             },
         ));
     }

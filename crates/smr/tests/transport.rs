@@ -126,6 +126,7 @@ fn shard_for(unit: &WorkUnit) -> ShardResult {
                         violation: None,
                         error: None,
                         attempts: 1,
+                        pruned: 0,
                     },
                 )
             })

@@ -112,9 +112,16 @@ bench:
 # Quick hot-path benchmark: one sample per arm, machine-readable
 # summary (with baked-in pre-optimisation baselines and speedups) to
 # BENCH_e14.json at the repo root (mirrors CI's bench-smoke job).
-bench-smoke:
+bench-smoke: bench-e16
     CRITERION_SAMPLES=1 BENCH_E14_OUT={{justfile_directory()}}/BENCH_e14.json \
         cargo bench -p rsim-bench --bench e14_hotpath
+
+# Quick DPOR benchmark: reduction factor + on/off wall-clock over the
+# phased-racing family, with report-equality asserts baked in. Writes
+# BENCH_e16.json at the repo root (mirrors CI's bench-smoke job).
+bench-e16:
+    CRITERION_SAMPLES=1 BENCH_E16_OUT={{justfile_directory()}}/BENCH_e16.json \
+        cargo bench -p rsim-bench --bench e16_dpor
 
 # Regenerate the numbers in EXPERIMENTS.md.
 report:

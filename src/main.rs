@@ -20,6 +20,16 @@
 //!   `--checkpoint PATH [--checkpoint-every N]` / `--resume PATH` for
 //!   interruptible campaigns whose resumed aggregates are bit-for-bit
 //!   those of an uninterrupted run.
+//! * `explore --protocol P [--procs N] [--m M] [--depth D]
+//!   [--max-configs C] [--threads T] [--no-dpor] [--seed S] [--json]` —
+//!   bounded exhaustive model checking of one protocol fixture with the
+//!   happens-before-guided partial-order reduction on by default:
+//!   every interleaving up to the limits is covered, commuting-step
+//!   twins cost one exploration, and the report carries the reduction
+//!   metric (configs visited, forks pruned, reduction factor).
+//!   `--no-dpor` is the escape hatch that branches on every enabled
+//!   process (same verdicts, no pruning) — the flag is recorded in the
+//!   report either way. Reports are bit-identical at any `--threads`.
 //! * `campaign --faults PLANS|sweep[:MAXSTEP]` — fault-injection mode:
 //!   fan the base `--sched` scheduler over a space of deterministic
 //!   fault plans (`sweep` enumerates every single-crash placement) and
@@ -98,6 +108,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
+        "explore" => cmd_explore(&flags),
         "campaign-service" => cmd_campaign_service(&flags),
         "campaign-worker" => cmd_campaign_worker(&flags),
         "analyze" => cmd_analyze(&flags),
@@ -139,6 +150,10 @@ fn print_usage() {
          \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
          \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
          \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
+         \x20 revisionist-simulations explore [--protocol racing|contrarian|ladder|gen:SEED[:MUT]]\n\
+         \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--depth D] [--max-configs C]\n\
+         \x20\x20\x20\x20 [--threads T] [--seed S] [--json] [--no-preflight]\n\
+         \x20\x20\x20\x20 [--no-dpor]  (disable partial-order reduction; same verdicts, no pruning)\n\
          \x20 revisionist-simulations campaign-service [--protocol P] [--procs N] [--m M]\n\
          \x20\x20\x20\x20 [--sched S1,S2,...] [--runs R] [--budget B] [--seed-start S]\n\
          \x20\x20\x20\x20 [--faults PLANS|sweep[:MAXSTEP]]  (shard a fault matrix across workers)\n\
@@ -559,6 +574,120 @@ fn write_json_out(flags: &HashMap<String, String>, json: &str) -> bool {
             eprintln!("cannot write --json-out {path}: {e}");
             false
         }
+    }
+}
+
+/// The `explore` subcommand: bounded exhaustive model checking of one
+/// protocol fixture through the deterministic parallel frontier, with
+/// happens-before-guided partial-order reduction on by default
+/// (`--no-dpor` disables it; the active setting is recorded in the
+/// report so artifacts stay self-describing). Exits nonzero on a
+/// violation or an exploration error.
+fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
+    use revisionist_simulations::smr::explore::{Explorer, Limits};
+
+    let protocol = flags.get("protocol").map_or("racing", String::as_str);
+    let procs = get(flags, "procs", 3);
+    let m = get(flags, "m", 2);
+    let rounds = get(flags, "rounds", 3);
+    let depth = get(flags, "depth", 64);
+    let max_configs = get(flags, "max-configs", 200_000);
+    let threads = get(flags, "threads", 1).max(1);
+    let dpor = !flags.contains_key("no-dpor");
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
+        eprintln!("unknown protocol: {protocol}");
+        return ExitCode::FAILURE;
+    };
+    let system = factory(seed);
+    let check = protocol_check(protocol, procs);
+    let explorer = Explorer::new(Limits { max_depth: depth, max_configs })
+        .with_threads(threads)
+        .with_dpor(dpor)
+        .with_preflight(!flags.contains_key("no-preflight"));
+    let start = std::time::Instant::now();
+    let report = match explorer.explore_parallel(&system, &*check) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+    let states_per_sec = report.configs_visited as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    if flags.contains_key("json") {
+        let violation = report.violation.as_ref().map_or("null".to_string(), |(sched, msg)| {
+            format!(
+                "{{\"schedule\": [{}], \"message\": {}}}",
+                sched.iter().map(|p| p.0.to_string()).collect::<Vec<_>>().join(", "),
+                revisionist_simulations::smr::json::escape(msg),
+            )
+        });
+        println!(
+            "{{\n  \"protocol\": {},\n  \"procs\": {},\n  \"threads\": {},\n  \
+             \"dpor\": {},\n  \"configs_visited\": {},\n  \"terminals\": {},\n  \
+             \"pruned\": {},\n  \"reduction_factor\": {:.4},\n  \
+             \"truncated\": {},\n  \"truncation\": {},\n  \"violation\": {},\n  \
+             \"elapsed_ms\": {},\n  \"states_per_sec\": {:.0}\n}}",
+            revisionist_simulations::smr::json::escape(protocol),
+            system.process_count(),
+            threads,
+            report.dpor,
+            report.configs_visited,
+            report.terminals,
+            report.pruned,
+            report.reduction_factor(),
+            report.truncated,
+            report
+                .truncation
+                .as_deref()
+                .map_or("null".into(), revisionist_simulations::smr::json::escape),
+            violation,
+            elapsed.as_millis(),
+            states_per_sec,
+        );
+    } else {
+        println!(
+            "explore {protocol}: {} processes, depth ≤ {depth}, threads {threads}, \
+             dpor {}",
+            system.process_count(),
+            if report.dpor { "on" } else { "off" },
+        );
+        println!(
+            "  visited {} configurations ({} terminals) in {:.1}ms ({:.0} states/s)",
+            report.configs_visited,
+            report.terminals,
+            elapsed.as_secs_f64() * 1e3,
+            states_per_sec,
+        );
+        println!(
+            "  reduction: {} forks pruned, factor {:.2}x",
+            report.pruned,
+            report.reduction_factor(),
+        );
+        if report.truncated {
+            println!(
+                "  TRUNCATED: {}",
+                report.truncation.as_deref().unwrap_or("limits reached")
+            );
+        }
+        match &report.violation {
+            None => println!("  no violations"),
+            Some((sched, msg)) => {
+                println!("  VIOLATION: {msg}");
+                println!(
+                    "  schedule: {}",
+                    sched.iter().map(|p| format!("p{}", p.0)).collect::<Vec<_>>().join(" ")
+                );
+            }
+        }
+    }
+    if report.violation.is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

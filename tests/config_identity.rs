@@ -93,7 +93,14 @@ fn streamed_hash_matches_string_path_over_explored_corpus() {
 fn explorer_fingerprint_count_matches_string_keyed_exploration() {
     let initial = racing_system(2, &ints(&[1, 2]));
     let limits = Limits { max_depth: 12, max_configs: 50_000 };
+    // Partial-order reduction off: this walk is depth-truncated, and
+    // under truncation the reduced search's first-arrival depths differ
+    // from the reference walk's, so visited counts only match the
+    // string-keyed reference for the unreduced search. (On
+    // non-truncated searches DPOR on/off counts are identical — see
+    // tests/dpor.rs.)
     let report = Explorer::new(limits)
+        .with_dpor(false)
         .explore(&initial, &mut |_| None)
         .unwrap();
 

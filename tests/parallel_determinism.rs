@@ -21,6 +21,8 @@ fn assert_same_report(a: &ExploreReport, b: &ExploreReport, label: &str) {
     assert_eq!(a.terminals, b.terminals, "{label}: terminals");
     assert_eq!(a.truncated, b.truncated, "{label}: truncated");
     assert_eq!(a.violation, b.violation, "{label}: violation");
+    assert_eq!(a.pruned, b.pruned, "{label}: pruned");
+    assert_eq!(a.dpor, b.dpor, "{label}: dpor");
 }
 
 #[test]
@@ -120,6 +122,52 @@ fn violation_outcomes_identical_across_thread_counts_for_many_checks() {
 }
 
 #[test]
+fn dpor_on_off_reports_identical_over_protocol_families() {
+    // The parallel differential gate over the named protocol families:
+    // with a depth bound and no config cap, the frontier advances one
+    // schedule step per level on both sides, so partial-order reduction
+    // must not change any observable report field — it only changes how
+    // many redundant forks were paid for (the `pruned` tally).
+    use revisionist_simulations::protocols::ladder::ladder_system;
+    let limits = Limits { max_depth: 10, max_configs: 5_000_000 };
+    let systems: Vec<(&str, System)> = vec![
+        ("racing", racing3()),
+        ("contrarian", contrarian_system(&[true, false, true])),
+        ("ladder", ladder_system(&[Value::Int(1), Value::Int(2)], 2)),
+    ];
+    let mut total_pruned = 0usize;
+    for (name, sys) in &systems {
+        let base = Explorer::new(limits)
+            .with_threads(1)
+            .explore_parallel(sys, &|_| None)
+            .unwrap();
+        for threads in [1usize, 4] {
+            let on = Explorer::new(limits)
+                .with_threads(threads)
+                .explore_parallel(sys, &|_| None)
+                .unwrap();
+            let off = Explorer::new(limits)
+                .with_threads(threads)
+                .with_dpor(false)
+                .explore_parallel(sys, &|_| None)
+                .unwrap();
+            assert!(on.dpor, "{name}: reduction should be on by default");
+            assert!(!off.dpor, "{name}: escape hatch not recorded");
+            assert_eq!(off.pruned, 0, "{name}: unreduced run reported pruning");
+            assert_eq!(on.configs_visited, off.configs_visited, "{name} threads={threads}");
+            assert_eq!(on.terminals, off.terminals, "{name} threads={threads}");
+            assert_eq!(on.truncated, off.truncated, "{name} threads={threads}");
+            assert_eq!(on.violation, off.violation, "{name} threads={threads}");
+            // DPOR-on runs are bit-identical across thread counts,
+            // pruned tally included.
+            assert_same_report(&base, &on, &format!("{name} threads={threads}"));
+        }
+        total_pruned += base.pruned;
+    }
+    assert!(total_pruned > 0, "no pruning across the protocol families");
+}
+
+#[test]
 fn solo_termination_check_identical_across_thread_counts() {
     let limits = Limits { max_depth: 8, max_configs: 5_000 };
     let base = Explorer::new(limits)
@@ -162,6 +210,7 @@ fn fixed_seed_campaign_identical_across_thread_counts() {
         assert_eq!(report.terminated_runs, base.terminated_runs);
         assert_eq!(report.distinct_configs, base.distinct_configs);
         assert_eq!(report.total_steps, base.total_steps);
+        assert_eq!(report.total_pruned, base.total_pruned, "threads={threads}");
         assert_eq!(report.failures.len(), base.failures.len());
         for (a, b) in report.failures.iter().zip(&base.failures) {
             assert_eq!(a.scheduler, b.scheduler);
@@ -174,6 +223,7 @@ fn fixed_seed_campaign_identical_across_thread_counts() {
             assert_eq!(a.terminated, b.terminated);
             assert_eq!(a.failures, b.failures);
             assert_eq!(a.total_steps, b.total_steps);
+            assert_eq!(a.pruned, b.pruned);
         }
     }
 }

@@ -21,6 +21,33 @@ fn run(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Value of the first `"key": <digits>` occurrence in a JSON blob.
+fn first_field(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle).expect("field present") + needle.len();
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Sum of every `"key": <digits>` occurrence in a JSON blob.
+fn sum_fields(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    json.match_indices(&needle)
+        .map(|(i, _)| {
+            json[i + needle.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse::<u64>()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir()
         .join(format!("rsim-service-tcp-{tag}-{}", std::process::id()));
@@ -124,6 +151,22 @@ fn tcp_service_under_full_chaos_matches_the_reference_byte_for_byte() {
         std::fs::read_to_string(state.join("summary.json")).unwrap();
     assert!(summary.contains("\"transport\": \"tcp\""), "{summary}");
     assert!(summary.contains("\"claims\""), "{summary}");
+
+    // The reduction tallies survive the merge: every claim row carries
+    // the per-scheduler visited/pruned sums, which must match the
+    // byte-identical merged report exactly — chaos, kills, and retries
+    // notwithstanding.
+    let merged_text = String::from_utf8_lossy(&svc_bytes).into_owned();
+    assert_eq!(
+        sum_fields(&summary, "pruned"),
+        first_field(&merged_text, "total_pruned"),
+        "summary pruned tallies must sum to the merged total:\n{summary}"
+    );
+    assert_eq!(
+        sum_fields(&summary, "visited"),
+        first_field(&merged_text, "total_steps"),
+        "summary visited tallies must sum to the merged total:\n{summary}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
