@@ -24,6 +24,9 @@
 //! * [`illformed`] — a deliberately ill-formed fixture whose four
 //!   processes each violate a different paper precondition; the
 //!   `rsim-smr::analyze` pre-flight must report every lint code on it.
+//! * [`serializable`] — n blind max-writers whose interference graph
+//!   is edge-free: the positive fixture for the static interference
+//!   analyzer (RS-W010) and the explorer's static seeding.
 //!
 //! # Example
 //!
@@ -47,9 +50,11 @@ pub mod generated;
 pub mod illformed;
 pub mod ladder;
 pub mod racing;
+pub mod serializable;
 
 pub use approx::{approx_system, compressed_approx_system, MidpointApprox};
 pub use contrarian::{contrarian_system, Contrarian};
 pub use generated::{generated_mutant_system, generated_system};
 pub use ladder::{ladder_system, LadderConsensus};
 pub use racing::{racing_system, PhasedRacing};
+pub use serializable::{serializable_system, MaxStamp};

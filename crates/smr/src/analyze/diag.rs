@@ -41,6 +41,21 @@ pub enum LintCode {
     /// Block-Update's component updates do not form a contiguous
     /// window in the linearization.
     BlockUpdateWindow,
+    /// RS-W008 — static write-write interference: the number of
+    /// single-writer components contended by plain (non-monotone)
+    /// writes of two or more processes exceeds the Theorem 21 covering
+    /// budget, so a block-write by the covering simulators can always
+    /// be obliterated.
+    StaticInterference,
+    /// RS-W009 — unvalidated read-after-write hazard: a process reads a
+    /// component another process writes, but its solo run reads it only
+    /// once — it can never observe the foreign write being installed
+    /// over its view (the static shadow of RS-W006).
+    UnvalidatedRead,
+    /// RS-W010 — statically-serializable protocol: the interference
+    /// graph has no edges, so every interleaving is equivalent to the
+    /// solo runs and schedule exploration is pointless.
+    StaticSerializable,
 }
 
 impl LintCode {
@@ -54,6 +69,9 @@ impl LintCode {
             LintCode::YieldSymbol,
             LintCode::HappensBefore,
             LintCode::BlockUpdateWindow,
+            LintCode::StaticInterference,
+            LintCode::UnvalidatedRead,
+            LintCode::StaticSerializable,
         ]
     }
 
@@ -67,6 +85,9 @@ impl LintCode {
             LintCode::YieldSymbol => "RS-W005",
             LintCode::HappensBefore => "RS-W006",
             LintCode::BlockUpdateWindow => "RS-W007",
+            LintCode::StaticInterference => "RS-W008",
+            LintCode::UnvalidatedRead => "RS-W009",
+            LintCode::StaticSerializable => "RS-W010",
         }
     }
 
@@ -80,6 +101,92 @@ impl LintCode {
             LintCode::YieldSymbol => "yield-symbol handling completeness",
             LintCode::HappensBefore => "happens-before conflicts in the trace",
             LintCode::BlockUpdateWindow => "contiguous Block-Update linearization windows",
+            LintCode::StaticInterference => {
+                "static write-write interference vs. the Theorem 21 covering budget"
+            }
+            LintCode::UnvalidatedRead => "unvalidated read-after-write hazards",
+            LintCode::StaticSerializable => "statically-serializable interference graph",
+        }
+    }
+
+    /// The paper-clause rationale behind the check: why the paper's
+    /// argument needs the property, in a few sentences. Surfaced by
+    /// `analyze --explain RS-W0NN` so the DESIGN.md mapping table is
+    /// reachable from the terminal.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintCode::SingleWriter => {
+                "§3 restricts protocols to single-writer snapshots: component j \
+                 of the snapshot object is written only by process j. The \
+                 revisionist simulation relies on this to revise the past — a \
+                 covering simulator can only locally re-run p's solo execution \
+                 because nobody else can have written p's components."
+            }
+            LintCode::AbaFreedom => {
+                "Corollary 36 extends the lower bound to ABA-free objects: if a \
+                 process's solo stream of written values revisits an earlier \
+                 value, a simulator that missed the intermediate writes cannot \
+                 distinguish the configurations, and the covering argument's \
+                 observable contradiction dissolves."
+            }
+            LintCode::Footprint => {
+                "Theorem 21 needs some split n = f + (n - f) with d direct \
+                 simulators such that (f - d)·m + d ≤ n: the f covering \
+                 simulators must be able to cover all m components while d \
+                 direct simulators run the protocol. If no (f, d) is feasible \
+                 for this (n, m), the reduction cannot even be set up."
+            }
+            LintCode::DeadStep => {
+                "§2 defines protocols by what each process is poised to do; a \
+                 process whose solo run never reaches an output (budget \
+                 exhaustion or a runtime error) violates obstruction-freedom's \
+                 solo-termination requirement and makes every covering \
+                 simulator's local simulation diverge."
+            }
+            LintCode::YieldSymbol => {
+                "The simulation reserves a yield symbol Y that covering \
+                 simulators write to hand a component back; a protocol that \
+                 itself writes Y (or outputs it) is indistinguishable from the \
+                 simulation machinery and breaks the revision bookkeeping."
+            }
+            LintCode::HappensBefore => {
+                "§2's atomicity model linearizes every base-object step; a \
+                 trace whose responses no sequential replay can explain, or an \
+                 unsynchronized conflicting access to an owned component, is \
+                 outside the model the lower bound reasons about."
+            }
+            LintCode::BlockUpdateWindow => {
+                "Lemma 9's block-update must appear atomic: all component \
+                 updates of one block must form a contiguous window in the \
+                 linearization, otherwise a scan can observe a half-installed \
+                 block and the augmented snapshot's views are not snapshots."
+            }
+            LintCode::StaticInterference => {
+                "Theorem 21's covering argument block-writes the contended \
+                 components; the budget of components the covering simulators \
+                 can keep covered is the largest feasible d in \
+                 (f - d)·m + d ≤ n. If more components are contended by plain \
+                 writes of distinct processes than the budget covers, every \
+                 block-write can be obliterated before it is observed and the \
+                 observable-contradiction step of the proof has no witness."
+            }
+            LintCode::UnvalidatedRead => {
+                "§4.1's revision step re-runs a reader locally assuming memory \
+                 contents V; that is only sound if the reader re-validates any \
+                 component a concurrent writer may install over its view. A \
+                 reader whose solo run reads a foreign-written component \
+                 exactly once can carry a stale view to its output without any \
+                 later scan catching it — the static shadow of the dynamic \
+                 happens-before check (RS-W006)."
+            }
+            LintCode::StaticSerializable => {
+                "If no two processes statically interfere (disjoint write \
+                 sets, nobody reads a foreign write set), every interleaving \
+                 is Mazurkiewicz-equivalent to the sequence of solo runs: the \
+                 schedule space collapses to one trace and exploration adds \
+                 nothing over the solo verdicts (the degenerate case of the \
+                 §2 indistinguishability machinery)."
+            }
         }
     }
 
@@ -93,24 +200,37 @@ impl LintCode {
             LintCode::YieldSymbol => Severity::Warn,
             LintCode::HappensBefore => Severity::Deny,
             LintCode::BlockUpdateWindow => Severity::Deny,
+            LintCode::StaticInterference => Severity::Warn,
+            LintCode::UnvalidatedRead => Severity::Warn,
+            LintCode::StaticSerializable => Severity::Warn,
         }
     }
 
-    /// Parses a stable id. Unknown ids fail closed, listing every
-    /// known code (same ergonomics as `SchedulerSpec::parse`).
+    /// Parses a stable id. Unknown ids fail closed, suggesting the
+    /// nearest valid code by edit distance and listing every known
+    /// code (same ergonomics as `SchedulerSpec::parse`).
     ///
     /// # Errors
     ///
-    /// [`ModelError::BadSpec`] naming the bad id and all known codes.
+    /// [`ModelError::BadSpec`] naming the bad id, the nearest known
+    /// code, and all known codes.
     pub fn parse(spec: &str) -> Result<LintCode, ModelError> {
         let wanted = spec.trim();
         LintCode::all()
             .iter()
             .copied()
             .find(|c| c.id().eq_ignore_ascii_case(wanted))
-            .ok_or_else(|| ModelError::BadSpec {
-                spec: wanted.to_string(),
-                reason: format!("unknown lint code; known codes: {}", known_codes()),
+            .ok_or_else(|| {
+                let suggestion = nearest_code(wanted)
+                    .map(|c| format!("did you mean {}? ", c.id()))
+                    .unwrap_or_default();
+                ModelError::BadSpec {
+                    spec: wanted.to_string(),
+                    reason: format!(
+                        "unknown lint code; {suggestion}known codes: {}",
+                        known_codes()
+                    ),
+                }
             })
     }
 
@@ -123,6 +243,9 @@ impl LintCode {
             LintCode::YieldSymbol => 4,
             LintCode::HappensBefore => 5,
             LintCode::BlockUpdateWindow => 6,
+            LintCode::StaticInterference => 7,
+            LintCode::UnvalidatedRead => 8,
+            LintCode::StaticSerializable => 9,
         }
     }
 }
@@ -138,6 +261,36 @@ impl fmt::Display for LintCode {
 pub fn known_codes() -> String {
     let ids: Vec<&str> = LintCode::all().iter().map(|c| c.id()).collect();
     ids.join(", ")
+}
+
+/// The known code nearest to `wanted` by case-insensitive Levenshtein
+/// distance, when that distance is small enough (≤ 2) for the
+/// suggestion to be plausible rather than noise.
+fn nearest_code(wanted: &str) -> Option<LintCode> {
+    let wanted = wanted.to_ascii_uppercase();
+    LintCode::all()
+        .iter()
+        .copied()
+        .map(|c| (edit_distance(&wanted, c.id()), c))
+        .min_by_key(|&(d, c)| (d, c.index()))
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, c)| c)
+}
+
+/// Levenshtein distance over bytes (lint ids are ASCII), one-row DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
 }
 
 /// How a lint code is treated when it fires.
@@ -165,12 +318,12 @@ impl fmt::Display for Severity {
 /// Per-code severity configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LintConfig {
-    severities: [Severity; 7],
+    severities: [Severity; 10],
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
-        let mut severities = [Severity::Warn; 7];
+        let mut severities = [Severity::Warn; 10];
         for &code in LintCode::all() {
             severities[code.index()] = code.default_severity();
         }
@@ -321,7 +474,10 @@ mod tests {
         let ids: Vec<&str> = LintCode::all().iter().map(|c| c.id()).collect();
         assert_eq!(
             ids,
-            ["RS-W001", "RS-W002", "RS-W003", "RS-W004", "RS-W005", "RS-W006", "RS-W007"]
+            [
+                "RS-W001", "RS-W002", "RS-W003", "RS-W004", "RS-W005", "RS-W006",
+                "RS-W007", "RS-W008", "RS-W009", "RS-W010"
+            ]
         );
     }
 
@@ -344,6 +500,64 @@ mod tests {
         for &code in LintCode::all() {
             assert!(text.contains(code.id()), "missing {} in {text}", code.id());
         }
+    }
+
+    #[test]
+    fn parse_unknown_code_suggests_nearest() {
+        let err = LintCode::parse("RS-W099").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean RS-W009?"),
+            "{err}"
+        );
+        // A typo one edit from RS-W001.
+        let err = LintCode::parse("RS-V001").unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean RS-W001?"),
+            "{err}"
+        );
+        // Garbage far from every code gets no suggestion.
+        let err = LintCode::parse("bananas").unwrap_err();
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("RS-W099", "RS-W009"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn new_codes_have_rationales_and_warn_defaults() {
+        for code in [
+            LintCode::StaticInterference,
+            LintCode::UnvalidatedRead,
+            LintCode::StaticSerializable,
+        ] {
+            assert_eq!(code.default_severity(), Severity::Warn);
+            assert!(!code.rationale().is_empty());
+        }
+        // Every code has a nonempty rationale for `analyze --explain`.
+        for &code in LintCode::all() {
+            assert!(!code.rationale().is_empty(), "{} lacks a rationale", code.id());
+        }
+    }
+
+    #[test]
+    fn overrides_accept_new_codes_and_conflicts_fail_closed() {
+        let mut config = LintConfig::default();
+        config
+            .apply_overrides("RS-W010", "RS-W008", "RS-W009")
+            .unwrap();
+        assert_eq!(config.severity(LintCode::StaticSerializable), Severity::Deny);
+        assert_eq!(config.severity(LintCode::StaticInterference), Severity::Warn);
+        assert_eq!(config.severity(LintCode::UnvalidatedRead), Severity::Allow);
+
+        let err = LintConfig::default()
+            .apply_overrides("RS-W009", "", "RS-W009")
+            .unwrap_err();
+        assert!(err.to_string().contains("two severities"), "{err}");
     }
 
     #[test]

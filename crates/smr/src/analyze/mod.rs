@@ -14,6 +14,10 @@
 //! * [`hb`] — Pass 2, a happens-before checker: vector clocks over a
 //!   recorded trace plus sequential replay (RS-W006), and contiguous
 //!   Block-Update linearization windows (RS-W007).
+//! * [`interfere`] — Pass 3, the static interference analyzer: solo
+//!   footprints condensed into an N×N independence matrix that seeds
+//!   the explorer's partial-order reduction, plus the
+//!   RS-W008/009/010 diagnostics.
 //! * [`diag`] — the diagnostics framework: stable lint codes,
 //!   severities, `--deny`/`--warn`/`--allow` configuration.
 //!
@@ -24,18 +28,26 @@
 
 pub mod diag;
 pub mod hb;
+pub mod interfere;
 pub mod lint;
 
 pub use diag::{known_codes, AnalysisReport, Diagnostic, LintCode, LintConfig, Severity};
 pub use hb::{check_block_update_windows, check_execution, LinEvent};
+pub use interfere::{
+    covering_budget, interfere_findings, interfere_system, InterferenceMatrix,
+    ProcessFootprint,
+};
 pub use lint::{check_aba_events, contains_yield, lint_system, yield_symbol, DEFAULT_BUDGET};
 
 use crate::error::ModelError;
 use crate::system::{Event, System};
 
-/// Runs Pass 1 over `sys` and builds a report under `config`.
+/// Runs Pass 1 (static lint) and Pass 3 (static interference) over
+/// `sys` and builds a report under `config`.
 pub fn analyze_system(sys: &System, config: &LintConfig, budget: usize) -> AnalysisReport {
-    AnalysisReport::from_findings(lint::lint_system(sys, budget), config)
+    let mut findings = lint::lint_system(sys, budget);
+    findings.extend(interfere::interfere_system(sys, budget));
+    AnalysisReport::from_findings(findings, config)
 }
 
 /// Runs Pass 2 over `events` (an execution from `initial`) and builds

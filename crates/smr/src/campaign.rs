@@ -276,7 +276,8 @@ pub(crate) fn record_entry_json(index: usize, r: &RunRecord) -> String {
     format!(
         "{{\"index\": {}, \"scheduler\": {}, \"seed\": {}, \
          \"steps\": {}, \"terminated\": {}, \"violation\": {}, \
-         \"error\": {}, \"attempts\": {}, \"pruned\": {}}}",
+         \"error\": {}, \"attempts\": {}, \"pruned\": {}, \
+         \"prefilter_hits\": {}, \"static_indep_pairs\": {}}}",
         index,
         json_string(&r.scheduler),
         r.seed,
@@ -286,6 +287,8 @@ pub(crate) fn record_entry_json(index: usize, r: &RunRecord) -> String {
         r.error.as_deref().map_or("null".into(), json_string),
         r.attempts,
         r.pruned,
+        r.prefilter_hits,
+        r.static_indep_pairs,
     )
 }
 
@@ -324,6 +327,16 @@ pub(crate) fn parse_record_entry(entry: &Json) -> Result<(usize, RunRecord), Mod
             attempts: entry.get("attempts").and_then(Json::as_usize).unwrap_or(1),
             // Absent in pre-DPOR checkpoints: no redundancy recorded.
             pruned: entry.get("pruned").and_then(Json::as_usize).unwrap_or(0),
+            // Absent in pre-interference checkpoints: no static
+            // analysis recorded.
+            prefilter_hits: entry
+                .get("prefilter_hits")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            static_indep_pairs: entry
+                .get("static_indep_pairs")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
         },
     ))
 }
@@ -444,6 +457,15 @@ pub struct RunRecord {
     /// swapped twin. The campaign analogue of
     /// [`crate::explore::ExploreReport::pruned`].
     pub pruned: usize,
+    /// Adjacent schedule pairs the run's static interference matrix
+    /// answered "independent", each audited against the dynamic
+    /// oracle after the run (a contradiction fails the run closed
+    /// with [`ModelError::StaticUnsound`]). The campaign analogue of
+    /// [`crate::explore::ExploreReport::prefilter_hits`].
+    pub prefilter_hits: usize,
+    /// Unordered process pairs the run's static interference matrix
+    /// proved independent before the first step.
+    pub static_indep_pairs: usize,
 }
 
 impl RunRecord {
@@ -468,6 +490,9 @@ pub struct SchedulerTally {
     /// Total happens-before redundancy ([`RunRecord::pruned`]) across
     /// the runs.
     pub pruned: usize,
+    /// Total static-prefilter confirmations
+    /// ([`RunRecord::prefilter_hits`]) across the runs.
+    pub prefilter_hits: usize,
 }
 
 /// Aggregated campaign outcome. All fields are deterministic functions
@@ -490,6 +515,13 @@ pub struct CampaignReport {
     /// campaign-side reduction metric, summed per run so shard merges
     /// reproduce it bit-for-bit.
     pub total_pruned: usize,
+    /// Total static-prefilter confirmations across all runs (see
+    /// [`RunRecord::prefilter_hits`]), summed per run.
+    pub prefilter_hits: usize,
+    /// Unordered process pairs the static interference matrix proved
+    /// independent (the maximum across records — every run of one
+    /// campaign analyzes the same protocol shape).
+    pub static_indep_pairs: usize,
     /// Per-scheduler tallies, in scheduler-mix order.
     pub per_scheduler: Vec<SchedulerTally>,
     /// Every failing run, in matrix order; each replays from its seed.
@@ -552,6 +584,11 @@ impl CampaignReport {
         out.push_str(&format!("  \"distinct_configs\": {},\n", self.distinct_configs));
         out.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
         out.push_str(&format!("  \"total_pruned\": {},\n", self.total_pruned));
+        out.push_str(&format!("  \"prefilter_hits\": {},\n", self.prefilter_hits));
+        out.push_str(&format!(
+            "  \"static_indep_pairs\": {},\n",
+            self.static_indep_pairs
+        ));
         out.push_str(&format!(
             "  \"reduction_factor\": {:.4},\n",
             self.reduction_factor()
@@ -571,13 +608,15 @@ impl CampaignReport {
         for (i, t) in self.per_scheduler.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"scheduler\": {}, \"runs\": {}, \"terminated\": {}, \
-                 \"failures\": {}, \"total_steps\": {}, \"pruned\": {}}}{}\n",
+                 \"failures\": {}, \"total_steps\": {}, \"pruned\": {}, \
+                 \"prefilter_hits\": {}}}{}\n",
                 json_string(&t.scheduler),
                 t.runs,
                 t.terminated,
                 t.failures,
                 t.total_steps,
                 t.pruned,
+                t.prefilter_hits,
                 if i + 1 < self.per_scheduler.len() { "," } else { "" },
             ));
         }
@@ -635,7 +674,18 @@ fn execute_run(
         error: None,
         attempts: 1,
         pruned: 0,
+        prefilter_hits: 0,
+        static_indep_pairs: 0,
     };
+    // The static interference matrix of the pristine entry system: it
+    // never mutates `system`, and every schedule pair it proves
+    // independent is audited against the dynamic oracle once the run's
+    // trace is complete.
+    let matrix = crate::analyze::InterferenceMatrix::build(
+        system,
+        crate::analyze::DEFAULT_BUDGET,
+    );
+    record.static_indep_pairs = matrix.indep_pairs();
     let trace_start = system.trace().len();
     let mut scheduler = spec.build(seed);
     let deadline = cell_timeout.map(|limit| (Instant::now() + limit, limit));
@@ -682,7 +732,47 @@ fn execute_run(
     record.terminated = system.all_terminated();
     record.violation = check(system);
     record.pruned = commuting_inversions(system, trace_start);
+    match static_audit(system, &matrix, trace_start) {
+        Ok(hits) => record.prefilter_hits = hits,
+        Err(err) => record.error = Some(err.to_string()),
+    }
     record
+}
+
+/// Audits the run's schedule against its static interference matrix:
+/// every adjacent event pair the matrix calls independent must also be
+/// dynamically independent per [`crate::hb::independent`]. Confirmed
+/// answers are the run's prefilter hits; a contradiction means the
+/// static analyzer under-approximated dependence — an analyzer bug —
+/// and fails the run closed.
+///
+/// # Errors
+///
+/// [`ModelError::StaticUnsound`] naming the pair and its operations.
+fn static_audit(
+    system: &System,
+    matrix: &crate::analyze::InterferenceMatrix,
+    trace_start: usize,
+) -> Result<usize, ModelError> {
+    let mut prev: Option<&crate::system::Event> = None;
+    let mut hits = 0;
+    for event in system.trace().events_from(trace_start) {
+        if let Some(p) = prev {
+            if p.pid != event.pid && matrix.independent(p.pid.0, event.pid.0) {
+                if crate::hb::independent(&p.op, &event.op) {
+                    hits += 1;
+                } else {
+                    return Err(ModelError::StaticUnsound {
+                        p: p.pid.0.min(event.pid.0),
+                        q: p.pid.0.max(event.pid.0),
+                        ops: format!("{:?} vs {:?}", p.op, event.op),
+                    });
+                }
+            }
+        }
+        prev = Some(event);
+    }
+    Ok(hits)
 }
 
 /// Counts the happens-before redundancy of a completed run's schedule:
@@ -768,6 +858,8 @@ where
             ),
             attempts: 1,
             pruned: 0,
+            prefilter_hits: 0,
+            static_indep_pairs: 0,
         },
     }
 }
@@ -1094,6 +1186,8 @@ pub(crate) fn assemble_report(
         distinct_configs,
         total_steps: 0,
         total_pruned: 0,
+        prefilter_hits: 0,
+        static_indep_pairs: 0,
         per_scheduler: config
             .schedulers
             .iter()
@@ -1104,6 +1198,7 @@ pub(crate) fn assemble_report(
                 failures: 0,
                 total_steps: 0,
                 pruned: 0,
+                prefilter_hits: 0,
             })
             .collect(),
         failures: Vec::new(),
@@ -1118,8 +1213,15 @@ pub(crate) fn assemble_report(
         tally.runs += 1;
         tally.total_steps += record.steps;
         tally.pruned += record.pruned;
+        tally.prefilter_hits += record.prefilter_hits;
         report.total_steps += record.steps;
         report.total_pruned += record.pruned;
+        report.prefilter_hits += record.prefilter_hits;
+        // Every run of a campaign analyzes the same protocol shape, so
+        // the max is the one matrix's pair count (0-filled legacy
+        // records aside).
+        report.static_indep_pairs =
+            report.static_indep_pairs.max(record.static_indep_pairs);
         if record.terminated {
             tally.terminated += 1;
             report.terminated_runs += 1;
@@ -2012,6 +2114,8 @@ mod tests {
                         error: None,
                         attempts: 1,
                         pruned: 4,
+                        prefilter_hits: 2,
+                        static_indep_pairs: 1,
                     },
                 ),
                 (
@@ -2025,6 +2129,8 @@ mod tests {
                         error: None,
                         attempts: 3,
                         pruned: 0,
+                        prefilter_hits: 0,
+                        static_indep_pairs: 0,
                     },
                 ),
             ],
@@ -2039,6 +2145,9 @@ mod tests {
         assert_eq!(parsed.completed[1].1.seed, 8);
         assert_eq!(parsed.completed[0].1.attempts, 1);
         assert_eq!(parsed.completed[1].1.attempts, 3);
+        assert_eq!(parsed.completed[0].1.prefilter_hits, 2);
+        assert_eq!(parsed.completed[0].1.static_indep_pairs, 1);
+        assert_eq!(parsed.completed[1].1.prefilter_hits, 0);
     }
 
     #[test]

@@ -82,6 +82,19 @@ pub enum ModelError {
         /// Why it failed.
         reason: String,
     },
+    /// The static interference matrix claimed two processes
+    /// independent, but the dynamic happens-before oracle observed a
+    /// dependent pair of their steps. The static pass may
+    /// over-approximate dependence but never independence, so this is
+    /// an analyzer bug and the run fails closed.
+    StaticUnsound {
+        /// The first process of the pair.
+        p: usize,
+        /// The second process of the pair.
+        q: usize,
+        /// The conflicting operations, rendered for the report.
+        ops: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -126,6 +139,11 @@ impl fmt::Display for ModelError {
             ModelError::Service { context, reason } => {
                 write!(f, "campaign service failure during {context}: {reason}")
             }
+            ModelError::StaticUnsound { p, q, ops } => write!(
+                f,
+                "static interference matrix unsound: p{p} and p{q} claimed \
+                 independent but observed dependent at {ops}"
+            ),
         }
     }
 }
@@ -168,6 +186,11 @@ mod tests {
             ModelError::Service {
                 context: "journal recovery".into(),
                 reason: "state dir is not writable".into(),
+            },
+            ModelError::StaticUnsound {
+                p: 0,
+                q: 2,
+                ops: "Update(obj0.1) vs Scan(obj0)".into(),
             },
         ];
         for e in errs {

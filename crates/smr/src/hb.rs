@@ -108,6 +108,71 @@ pub fn independent(a: &Operation, b: &Operation) -> bool {
     }
 }
 
+/// A set of unordered process pairs observed *dependent* by the
+/// dynamic oracle: the explorer's soundness gate collects every
+/// enabled pair whose poised operations fail [`independent`], and the
+/// differential tests assert the set is a subset of the static
+/// interference matrix's dependent pairs
+/// ([`crate::analyze::InterferenceMatrix`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DependentPairs {
+    pairs: std::collections::BTreeSet<(usize, usize)>,
+}
+
+impl DependentPairs {
+    /// An empty set.
+    pub fn new() -> Self {
+        DependentPairs::default()
+    }
+
+    /// Records `{p, q}` (order-insensitive; self-pairs are ignored —
+    /// dependence is only meaningful for distinct processes).
+    pub fn record(&mut self, p: usize, q: usize) {
+        if p != q {
+            self.pairs.insert((p.min(q), p.max(q)));
+        }
+    }
+
+    /// Is `{p, q}` recorded?
+    pub fn contains(&self, p: usize, q: usize) -> bool {
+        p != q && self.pairs.contains(&(p.min(q), p.max(q)))
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the pairs in `(min, max)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Observes one recorded trace: records every pair of *adjacent*
+    /// distinct-process events whose operations are dependent (the
+    /// trace's own order already witnesses these as truly concurrent
+    /// neighbours).
+    pub fn observe_trace<'a, I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        let mut prev: Option<&Event> = None;
+        for event in events {
+            if let Some(p) = prev {
+                if p.pid != event.pid && !independent(&p.op, &event.op) {
+                    self.record(p.pid.0, event.pid.0);
+                }
+            }
+            prev = Some(event);
+        }
+    }
+}
+
 /// What one observed event revealed about the execution's causal order.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum HbObserved {
@@ -320,6 +385,35 @@ mod tests {
         let w = |v: i64| Operation::Write { obj: ObjectId(2), value: Value::Int(v) };
         assert!(!independent(&w(1), &w(2)));
         assert!(independent(&w(1), &w(1)));
+    }
+
+    #[test]
+    fn dependent_pairs_normalize_and_deduplicate() {
+        let mut pairs = DependentPairs::new();
+        pairs.record(2, 0);
+        pairs.record(0, 2);
+        pairs.record(1, 1); // self-pair ignored
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(0, 2));
+        assert!(pairs.contains(2, 0));
+        assert!(!pairs.contains(0, 1));
+        assert_eq!(pairs.iter().collect::<Vec<_>>(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn observe_trace_records_adjacent_dependent_neighbours() {
+        // p0 updates slot 0, p1 updates slot 0 with a different value
+        // (dependent), then p1 updates slot 1 and p0 updates slot 0
+        // (independent: distinct components).
+        let mut pairs = DependentPairs::new();
+        pairs.observe_trace(&[upd(0, 0, 1), upd(1, 0, 2), upd(1, 1, 3), upd(0, 0, 4)]);
+        assert!(pairs.contains(0, 1));
+        assert_eq!(pairs.len(), 1);
+
+        // Independent neighbours record nothing.
+        let mut clean = DependentPairs::new();
+        clean.observe_trace(&[upd(0, 0, 1), upd(1, 1, 2)]);
+        assert!(clean.is_empty());
     }
 
     #[test]

@@ -552,6 +552,7 @@ fn claim_rows(
             failures: 0,
             visited: 0,
             pruned: 0,
+            prefilter_hits: 0,
         })
         .collect();
     let claim_of = |id: &u64| units.get(id).map(|u| u.index_base / runs);
@@ -597,6 +598,7 @@ fn claim_rows(
                     // certifies byte-identical to a single-process run.
                     row.visited = tally.total_steps;
                     row.pruned = tally.pruned;
+                    row.prefilter_hits = tally.prefilter_hits;
                 }
             }
         }

@@ -237,6 +237,8 @@ mod tests {
             error: None,
             attempts: 1,
             pruned: 0,
+            prefilter_hits: 0,
+            static_indep_pairs: 0,
         }
     }
 

@@ -39,6 +39,9 @@ pub struct ClaimSummary {
     /// ([`crate::campaign::RunRecord::pruned`] summed) — a per-run sum,
     /// so the merged tally is byte-identical to a single-process run.
     pub pruned: usize,
+    /// Static-prefilter confirmations across this claim's merged runs
+    /// ([`crate::campaign::RunRecord::prefilter_hits`] summed).
+    pub prefilter_hits: usize,
 }
 
 /// The whole-run summary stored in the JSON aggregate and rendered by
@@ -97,7 +100,8 @@ impl ServiceSummary {
             out.push_str(&format!(
                 "    {{\"claim\": {}, \"samples\": {}, \"shards\": {}, \
                  \"retried_units\": {}, \"quarantined_units\": {}, \
-                 \"failures\": {}, \"visited\": {}, \"pruned\": {}}}{}\n",
+                 \"failures\": {}, \"visited\": {}, \"pruned\": {}, \
+                 \"prefilter_hits\": {}}}{}\n",
                 escape(&c.claim),
                 c.samples,
                 c.shards,
@@ -106,6 +110,7 @@ impl ServiceSummary {
                 c.failures,
                 c.visited,
                 c.pruned,
+                c.prefilter_hits,
                 if i + 1 < self.claims.len() { "," } else { "" },
             ));
         }
@@ -168,6 +173,11 @@ impl ServiceSummary {
                 // Absent in pre-DPOR summaries: no tallies recorded.
                 visited: entry.get("visited").and_then(Json::as_usize).unwrap_or(0),
                 pruned: entry.get("pruned").and_then(Json::as_usize).unwrap_or(0),
+                // Absent in pre-interference summaries.
+                prefilter_hits: entry
+                    .get("prefilter_hits")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0),
             });
         }
         Ok(ServiceSummary {
@@ -220,7 +230,7 @@ impl ServiceSummary {
             .max()
             .unwrap_or(5);
         out.push_str(&format!(
-            "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>9}\n",
+            "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>9}  {:>9}\n",
             "claim",
             "samples",
             "shards",
@@ -229,6 +239,7 @@ impl ServiceSummary {
             "failures",
             "visited",
             "pruned",
+            "prefilter",
             "reduction",
         ));
         for c in &self.claims {
@@ -238,7 +249,7 @@ impl ServiceSummary {
                 (c.visited + c.pruned) as f64 / c.visited as f64
             };
             out.push_str(&format!(
-                "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>8.2}x\n",
+                "  {:<claim_width$}  {:>8}  {:>6}  {:>7}  {:>11}  {:>8}  {:>8}  {:>8}  {:>9}  {:>8.2}x\n",
                 c.claim,
                 c.samples,
                 c.shards,
@@ -247,6 +258,7 @@ impl ServiceSummary {
                 c.failures,
                 c.visited,
                 c.pruned,
+                c.prefilter_hits,
                 reduction,
             ));
         }
@@ -326,6 +338,7 @@ mod tests {
                     failures: 0,
                     visited: 800,
                     pruned: 120,
+                    prefilter_hits: 30,
                 },
                 ClaimSummary {
                     claim: "random".into(),
@@ -336,6 +349,7 @@ mod tests {
                     failures: 2,
                     visited: 760,
                     pruned: 95,
+                    prefilter_hits: 0,
                 },
             ],
         }
@@ -356,10 +370,13 @@ mod tests {
         assert!(text.contains("2 resumed"), "{text}");
         assert!(text.contains("1 corrupt frames rejected"), "{text}");
         assert!(text.contains("17 distinct configurations"), "{text}");
-        // The reduction columns: visited/pruned tallies and the factor.
+        // The reduction columns: visited/pruned tallies, the static
+        // prefilter tally, and the factor.
         assert!(text.contains("visited"), "{text}");
         assert!(text.contains("pruned"), "{text}");
+        assert!(text.contains("prefilter"), "{text}");
         assert!(text.contains("800"), "{text}");
+        assert!(text.contains("30"), "{text}");
         assert!(text.contains("1.15x"), "{text}");
     }
 }

@@ -26,6 +26,8 @@ fn checkpoint() -> CampaignCheckpoint {
         error: None,
         attempts: 1,
         pruned: 0,
+        prefilter_hits: 0,
+        static_indep_pairs: 0,
     };
     CampaignCheckpoint {
         spec: Some("protocol=racing sched=random seeds=0+40 budget=500".into()),

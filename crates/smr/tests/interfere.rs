@@ -1,0 +1,254 @@
+//! The static-interference soundness gate.
+//!
+//! The static independence matrix may only ever *agree with or
+//! over-approximate* the dynamic happens-before oracle: a pair the
+//! matrix calls independent must be dynamically independent on every
+//! reachable co-enabled operation pair. The explorer enforces this
+//! fail-closed (`ModelError::StaticUnsound`), so the strongest gate is
+//! simply running the seeded explorer over a large generated corpus —
+//! any unsound matrix entry aborts the exploration. On top of that,
+//! static seeding must be invisible in the report: byte-identical
+//! observables with seeding on or off, at 1 and 4 threads.
+
+use rsim_smr::analyze::{InterferenceMatrix, DEFAULT_BUDGET};
+use rsim_smr::explore::{Explorer, ExploreReport, Limits};
+use rsim_smr::gen::{fuzz::consensus_check, GenSpec};
+use rsim_smr::hb::DependentPairs;
+use rsim_smr::object::{Object, ObjectId, Operation, Response};
+use rsim_smr::process::{Poised, Process, ProcessId};
+use rsim_smr::system::System;
+use rsim_smr::value::Value;
+
+/// Depth-bounded, effectively config-unbounded: the sound regime for
+/// on/off report comparison (see `tests/dpor.rs` for the argument).
+/// Pre-flight is off: the corpus deliberately includes mutants that
+/// violate the lint discipline — the subject here is matrix soundness,
+/// which must hold on ill-formed systems too.
+const LIMITS: Limits = Limits { max_depth: 9, max_configs: 5_000_000 };
+
+fn explore(sys: &System, statics: bool, threads: usize, check: &(dyn Fn(&System) -> Option<String> + Sync)) -> ExploreReport {
+    Explorer::new(LIMITS)
+        .with_threads(threads)
+        .with_static(statics)
+        .with_preflight(false)
+        .explore_parallel(sys, check)
+        .unwrap_or_else(|e| panic!("static seeding must be sound: {e}"))
+}
+
+/// Writes its own snapshot slot once — never reads — then outputs.
+/// Pairs of these are statically independent (disjoint write slots,
+/// empty read sets), so the matrix actually answers pair queries.
+#[derive(Clone, Debug)]
+struct Blind {
+    slot: usize,
+    wrote: bool,
+}
+
+impl Process for Blind {
+    fn poised(&self) -> Poised {
+        if self.wrote {
+            Poised::Output(Value::Int(self.slot as i64))
+        } else {
+            Poised::Step(Operation::Update {
+                obj: ObjectId(0),
+                component: self.slot,
+                value: Value::Int(1),
+            })
+        }
+    }
+    fn receive(&mut self, _resp: Response) {
+        self.wrote = true;
+    }
+    fn boxed_clone(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+/// Scans the shared snapshot `remaining` times, then outputs — a
+/// reader the matrix must keep dependent on every same-object writer.
+#[derive(Clone, Debug)]
+struct Scanner {
+    remaining: usize,
+}
+
+impl Process for Scanner {
+    fn poised(&self) -> Poised {
+        if self.remaining == 0 {
+            Poised::Output(Value::Int(-1))
+        } else {
+            Poised::Step(Operation::Scan { obj: ObjectId(0) })
+        }
+    }
+    fn receive(&mut self, _resp: Response) {
+        self.remaining -= 1;
+    }
+    fn boxed_clone(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+/// `writers` blind writers plus `scanners` scanning readers over one
+/// shared snapshot: writer-writer pairs are statically independent,
+/// every writer-scanner pair is dependent — both matrix answers and
+/// the explorer's per-pair audit get exercised in one system.
+fn mixed_system(writers: usize, scanners: usize) -> System {
+    let mut processes: Vec<Box<dyn Process>> = (0..writers)
+        .map(|slot| Box::new(Blind { slot, wrote: false }) as Box<dyn Process>)
+        .collect();
+    processes.extend(
+        (0..scanners).map(|_| Box::new(Scanner { remaining: 2 }) as Box<dyn Process>),
+    );
+    System::new(vec![Object::snapshot(writers.max(1))], processes)
+}
+
+fn assert_equivalent(on: &ExploreReport, off: &ExploreReport, label: &str) {
+    assert!(on.static_seed, "{label}: seeding not active");
+    assert!(!off.static_seed, "{label}: escape hatch not recorded");
+    assert_eq!(off.prefilter_hits, 0, "{label}: unseeded run counted hits");
+    assert_eq!(off.static_indep_pairs, 0, "{label}: unseeded run built a matrix");
+    assert_eq!(on.configs_visited, off.configs_visited, "{label}: configs_visited");
+    assert_eq!(on.terminals, off.terminals, "{label}: terminals");
+    assert_eq!(on.pruned, off.pruned, "{label}: pruned");
+    assert_eq!(on.truncated, off.truncated, "{label}: truncated");
+    assert_eq!(on.violation, off.violation, "{label}: violation");
+}
+
+/// The headline soundness gate: 256 generated protocols explored with
+/// the static matrix armed. Every matrix-independent claim is audited
+/// against the dynamic oracle on every co-enabled pair — an unsound
+/// entry fails the exploration (and this test). Reports must be
+/// byte-identical to unseeded runs at 1 and 4 threads.
+#[test]
+fn soundness_gate_over_generated_protocols() {
+    for seed in 0..256u64 {
+        let spec = GenSpec::from_seed(seed);
+        let sys = spec.build_system();
+        let check = consensus_check(spec.inputs());
+        let matrix = InterferenceMatrix::build(&sys, DEFAULT_BUDGET);
+        let baseline = explore(&sys, true, 1, &check);
+        assert_eq!(
+            baseline.static_indep_pairs,
+            matrix.indep_pairs(),
+            "gen:{seed}: report disagrees with the matrix it was seeded from"
+        );
+        for threads in [1usize, 4] {
+            let on = explore(&sys, true, threads, &check);
+            let off = explore(&sys, false, threads, &check);
+            assert_equivalent(&on, &off, &format!("gen:{seed} threads={threads}"));
+            // Seeded reports are additionally bit-identical across
+            // thread counts, prefilter tally included.
+            assert_eq!(on.configs_visited, baseline.configs_visited, "gen:{seed}");
+            assert_eq!(on.prefilter_hits, baseline.prefilter_hits, "gen:{seed} threads={threads}");
+            assert_eq!(on.violation, baseline.violation, "gen:{seed}");
+        }
+    }
+}
+
+/// The generated corpus is all-scanning (object-granularity reads make
+/// every pair dependent), so the prefilter is vacuous there. Mixed
+/// blind-writer/scanner fixtures exercise the other half: matrices
+/// with real independent pairs, audited against the dynamic oracle on
+/// every co-enabled pair, at 1 and 4 threads, with hits observed.
+#[test]
+fn soundness_gate_over_mixed_fixture_families() {
+    let mut total_hits = 0usize;
+    for (writers, scanners) in
+        [(2usize, 1usize), (2, 2), (3, 1), (3, 2), (4, 1), (4, 2)]
+    {
+        let sys = mixed_system(writers, scanners);
+        let label = format!("mixed {writers}w+{scanners}s");
+        let matrix = InterferenceMatrix::build(&sys, DEFAULT_BUDGET);
+        assert_eq!(
+            matrix.indep_pairs(),
+            writers * (writers - 1) / 2 + scanners * (scanners - 1) / 2,
+            "{label}: writer-writer and scanner-scanner pairs are the \
+             independent ones"
+        );
+        let baseline = explore(&sys, true, 1, &|_| None);
+        assert!(baseline.prefilter_hits > 0, "{label}: prefilter never fired");
+        for threads in [1usize, 4] {
+            let on = explore(&sys, true, threads, &|_| None);
+            let off = explore(&sys, false, threads, &|_| None);
+            assert_equivalent(&on, &off, &format!("{label} threads={threads}"));
+            assert_eq!(on.prefilter_hits, baseline.prefilter_hits, "{label} t={threads}");
+        }
+        total_hits += baseline.prefilter_hits;
+    }
+    assert!(total_hits > 0);
+}
+
+/// The direct differential check, without the explorer in the loop:
+/// dynamic dependences observed on driven round-robin runs must be a
+/// subset of the matrix's dependent pairs — equivalently, no pair the
+/// matrix calls independent ever shows up dynamically dependent.
+#[test]
+fn dynamic_dependences_are_a_subset_of_static_dependences() {
+    let mut observed_pairs = 0usize;
+    for seed in 0..256u64 {
+        let spec = GenSpec::from_seed(seed);
+        let initial = spec.build_system();
+        let n = initial.process_count();
+        let matrix = InterferenceMatrix::build(&initial, DEFAULT_BUDGET);
+
+        let mut sys = initial.clone();
+        for slot in 0..2_000usize {
+            let pid = ProcessId(slot % n);
+            if sys.is_terminated(pid) {
+                if (0..n).all(|i| sys.is_terminated(ProcessId(i))) {
+                    break;
+                }
+                continue;
+            }
+            if sys.step(pid).is_err() {
+                break;
+            }
+        }
+        let mut dynamic = DependentPairs::new();
+        dynamic.observe_trace(sys.trace().to_vec().iter());
+        for (p, q) in dynamic.iter() {
+            assert!(
+                !matrix.independent(p, q),
+                "gen:{seed}: matrix calls (p{p}, p{q}) independent but the \
+                 round-robin trace witnessed a dependence"
+            );
+        }
+        observed_pairs += dynamic.len();
+    }
+    assert!(observed_pairs > 0, "no dynamic dependences observed at all");
+}
+
+/// Mutated generated protocols go through the same gate: mutations
+/// change process *behaviour*, and the matrix is rebuilt from the
+/// mutated system, so soundness must survive every mutation kind.
+/// Some mutants violate the runtime's ownership discipline and error
+/// out mid-exploration — then seeding on and off must fail with the
+/// *same* error, and never with a static-soundness one.
+#[test]
+fn soundness_gate_survives_mutations() {
+    for seed in [0u64, 7, 33, 90, 151, 200] {
+        for mutation in rsim_smr::gen::mutate::ALL_MUTATIONS {
+            let spec = mutation.apply(&GenSpec::from_seed(seed));
+            let sys = spec.build_system();
+            let check = consensus_check(spec.inputs());
+            let label = format!("gen:{seed}:{mutation:?}");
+            let run = |statics: bool| {
+                Explorer::new(LIMITS)
+                    .with_static(statics)
+                    .with_preflight(false)
+                    .explore_parallel(&sys, &check)
+            };
+            match (run(true), run(false)) {
+                (Ok(on), Ok(off)) => assert_equivalent(&on, &off, &label),
+                (Err(on), Err(off)) => {
+                    assert_eq!(on.to_string(), off.to_string(), "{label}");
+                    assert!(
+                        !on.to_string().contains("static interference matrix unsound"),
+                        "{label}: the matrix itself was unsound: {on}"
+                    );
+                }
+                (Ok(_), Err(e)) => panic!("{label}: only the unseeded run failed: {e}"),
+                (Err(e), Ok(_)) => panic!("{label}: only the seeded run failed: {e}"),
+            }
+        }
+    }
+}

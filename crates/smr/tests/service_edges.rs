@@ -102,6 +102,8 @@ fn retry_exhaustion_surfaces_in_the_merged_report() {
                 error: None,
                 attempts: 1,
                 pruned: 0,
+                prefilter_hits: 0,
+                static_indep_pairs: 0,
             },
         ));
     }

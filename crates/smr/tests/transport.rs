@@ -127,6 +127,8 @@ fn shard_for(unit: &WorkUnit) -> ShardResult {
                         error: None,
                         attempts: 1,
                         pruned: 0,
+                        prefilter_hits: 0,
+                        static_indep_pairs: 0,
                     },
                 )
             })

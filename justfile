@@ -85,15 +85,33 @@ smoke-service-tcp:
 
 # Pre-flight analyzer smoke: every shipped protocol must analyze clean
 # (deny-level), the ill-formed fixture must be rejected with its stable
-# lint codes, and the analyzer module must be clippy-clean (mirrors
-# CI's analyze-smoke job).
+# lint codes, the static-interference pass must warn (and gate under
+# --deny) on the serializable fixture, and the analyzer module must be
+# clippy-clean (mirrors CI's analyze-smoke job).
 analyze-smoke:
     cargo run --release -- analyze --protocol racing
     cargo run --release -- analyze --protocol contrarian
     cargo run --release -- analyze --protocol ladder
+    cargo run --release -- analyze --protocol serializable --matrix
+    ! cargo run --release -- analyze --protocol serializable --deny RS-W010
+    cargo run --release -- analyze --explain RS-W008
     ! cargo run --release -- analyze --protocol illformed
     ! cargo run --release -- campaign --protocol illformed --runs 1
     cargo clippy -p rsim-smr --all-targets -- -D warnings
+
+# Miri smoke over the pointer-heavy suites (trace arena, fingerprint
+# cache, journaled work queue). Needs a nightly toolchain with the
+# miri component (`rustup +nightly component add miri`); isolation is
+# off because the queue tests touch the real filesystem. Non-blocking
+# in CI — run locally before touching unsafe or aliasing-sensitive
+# code.
+miri-smoke:
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p rsim-smr --lib trace::
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p rsim-smr --lib fingerprint::
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p rsim-smr --lib service::queue::
 
 # Generated-protocol mutation-kill fuzzing: every base must pass
 # pre-flight, every predicted-fatal mutant must be killed + shrunk +

@@ -150,10 +150,11 @@ fn print_usage() {
          \x20\x20\x20\x20 [--bundle PATH]  (shrink the first failure into a replay bundle)\n\
          \x20\x20\x20\x20 [--json-out PATH]  (atomic JSON report)\n\
          \x20\x20\x20\x20 [--no-preflight]  (skip the mandatory pre-flight analysis)\n\
-         \x20 revisionist-simulations explore [--protocol racing|contrarian|ladder|gen:SEED[:MUT]]\n\
+         \x20 revisionist-simulations explore [--protocol racing|contrarian|ladder|serializable|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--depth D] [--max-configs C]\n\
          \x20\x20\x20\x20 [--threads T] [--seed S] [--json] [--no-preflight]\n\
          \x20\x20\x20\x20 [--no-dpor]  (disable partial-order reduction; same verdicts, no pruning)\n\
+         \x20\x20\x20\x20 [--no-static]  (skip the static independence matrix; same verdicts)\n\
          \x20 revisionist-simulations campaign-service [--protocol P] [--procs N] [--m M]\n\
          \x20\x20\x20\x20 [--sched S1,S2,...] [--runs R] [--budget B] [--seed-start S]\n\
          \x20\x20\x20\x20 [--faults PLANS|sweep[:MAXSTEP]]  (shard a fault matrix across workers)\n\
@@ -165,9 +166,11 @@ fn print_usage() {
          \x20\x20\x20\x20 (crash-tolerant multi-process campaign; resumes from --state)\n\
          \x20 revisionist-simulations campaign-worker [--connect ADDR [--tag K]]\n\
          \x20\x20\x20\x20 (service worker: spawned over stdio pipes, or TCP via --connect)\n\
-         \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed|gen:SEED[:MUT]]\n\
+         \x20 revisionist-simulations analyze [--protocol racing|contrarian|ladder|illformed|serializable|gen:SEED[:MUT]]\n\
          \x20\x20\x20\x20 [--procs N] [--m M] [--rounds R] [--seed S] [--budget B] [--steps K]\n\
          \x20\x20\x20\x20 [--deny CODES] [--warn CODES] [--allow CODES]  (RS-Wxxx, comma-separated)\n\
+         \x20\x20\x20\x20 [--matrix]  (print the static independence matrix and footprints)\n\
+         \x20\x20\x20\x20 [--explain RS-W0NN]  (print the paper rationale for one lint code)\n\
          \x20 revisionist-simulations fuzz [--seeds A..B] [--mutants] [--corpus DIR]\n\
          \x20\x20\x20\x20 [--kill-runs R] [--clean-runs R] [--budget B] [--threads T]\n\
          \x20\x20\x20\x20 [--json] [--json-out PATH]  (generated-protocol mutation-kill fuzzing)\n\
@@ -421,6 +424,7 @@ fn protocol_factory(
     use revisionist_simulations::protocols::illformed::illformed_system;
     use revisionist_simulations::protocols::ladder::ladder_system;
     use revisionist_simulations::protocols::racing::racing_system;
+    use revisionist_simulations::protocols::serializable::serializable_system;
     let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
     // Generated protocols carry their whole configuration in the name
     // (`gen:SEED[:MUTATION]`); --procs/--m/--rounds are ignored.
@@ -446,6 +450,12 @@ fn protocol_factory(
         // one 8-component single-writer snapshot). A campaign over it
         // is rejected by the pre-flight unless --no-preflight is given.
         "illformed" => Some(Box::new(move |_seed| illformed_system())),
+        // The statically serializable fixture: n blind max-register
+        // writers whose independence matrix is edge-free (RS-W010).
+        "serializable" => Some(Box::new(move |_seed| {
+            let stamps: Vec<i64> = (1..=procs as i64).collect();
+            serializable_system(&stamps)
+        })),
         _ => None,
     }
 }
@@ -472,7 +482,9 @@ fn protocol_check(protocol: &str, procs: usize) -> ProtocolCheck {
             ));
         }
     }
-    let validate_consensus = protocol != "contrarian";
+    // The contrarian family has no output task; the serializable
+    // writers each output their own stamp, so consensus does not apply.
+    let validate_consensus = protocol != "contrarian" && protocol != "serializable";
     let inputs: Vec<Value> = (1..=procs as i64).map(Value::Int).collect();
     Box::new(move |sys| {
         if !validate_consensus || !sys.all_terminated() {
@@ -594,6 +606,7 @@ fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
     let max_configs = get(flags, "max-configs", 200_000);
     let threads = get(flags, "threads", 1).max(1);
     let dpor = !flags.contains_key("no-dpor");
+    let statics = !flags.contains_key("no-static");
     let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
@@ -605,6 +618,7 @@ fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
     let explorer = Explorer::new(Limits { max_depth: depth, max_configs })
         .with_threads(threads)
         .with_dpor(dpor)
+        .with_static(statics)
         .with_preflight(!flags.contains_key("no-preflight"));
     let start = std::time::Instant::now();
     let report = match explorer.explore_parallel(&system, &*check) {
@@ -627,7 +641,9 @@ fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
         });
         println!(
             "{{\n  \"protocol\": {},\n  \"procs\": {},\n  \"threads\": {},\n  \
-             \"dpor\": {},\n  \"configs_visited\": {},\n  \"terminals\": {},\n  \
+             \"dpor\": {},\n  \"static_seed\": {},\n  \"static_indep_pairs\": {},\n  \
+             \"prefilter_hits\": {},\n  \
+             \"configs_visited\": {},\n  \"terminals\": {},\n  \
              \"pruned\": {},\n  \"reduction_factor\": {:.4},\n  \
              \"truncated\": {},\n  \"truncation\": {},\n  \"violation\": {},\n  \
              \"elapsed_ms\": {},\n  \"states_per_sec\": {:.0}\n}}",
@@ -635,6 +651,9 @@ fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
             system.process_count(),
             threads,
             report.dpor,
+            report.static_seed,
+            report.static_indep_pairs,
+            report.prefilter_hits,
             report.configs_visited,
             report.terminals,
             report.pruned,
@@ -651,10 +670,17 @@ fn cmd_explore(flags: &HashMap<String, String>) -> ExitCode {
     } else {
         println!(
             "explore {protocol}: {} processes, depth ≤ {depth}, threads {threads}, \
-             dpor {}",
+             dpor {}, static seeding {}",
             system.process_count(),
             if report.dpor { "on" } else { "off" },
+            if report.static_seed { "on" } else { "off" },
         );
+        if report.static_seed {
+            println!(
+                "  static matrix: {} independent pairs, {} prefilter hits",
+                report.static_indep_pairs, report.prefilter_hits,
+            );
+        }
         println!(
             "  visited {} configurations ({} terminals) in {:.1}ms ({:.0} states/s)",
             report.configs_visited,
@@ -729,7 +755,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
         eprintln!(
             "unknown --protocol {protocol} (racing, contrarian, ladder, illformed, \
-             gen:SEED[:MUTATION])"
+             serializable, gen:SEED[:MUTATION])"
         );
         return ExitCode::FAILURE;
     };
@@ -949,6 +975,25 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
     use revisionist_simulations::smr::error::ModelError;
     use revisionist_simulations::smr::process::ProcessId;
 
+    // `--explain RS-W0NN` needs no protocol: print the code's summary
+    // and paper rationale, exit 1 on an unknown code (with the parser's
+    // did-you-mean suggestion on stderr).
+    if let Some(spec) = flags.get("explain") {
+        return match LintCode::parse(spec) {
+            Ok(code) => {
+                println!("{}: {}", code.id(), code.summary());
+                println!();
+                println!("{}", code.rationale());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("known lint codes: {}", analyze::known_codes());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let protocol = flags.get("protocol").map_or("racing", String::as_str);
     let procs = get(flags, "procs", 3);
     let m = get(flags, "m", 2);
@@ -970,7 +1015,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
     let Some(factory) = protocol_factory(protocol, procs, m, rounds) else {
         eprintln!(
             "unknown --protocol {protocol} (racing, contrarian, ladder, illformed, \
-             gen:SEED[:MUTATION])"
+             serializable, gen:SEED[:MUTATION])"
         );
         return ExitCode::FAILURE;
     };
@@ -983,6 +1028,14 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
 
     // Pass 1: static lint — no schedule executes.
     let mut findings = analyze::lint_system(&initial, budget);
+
+    // Pass 3: static interference over the same covering budget.
+    // `--matrix` prints the exact matrix the findings derive from.
+    let matrix = analyze::InterferenceMatrix::build(&initial, budget);
+    if flags.contains_key("matrix") {
+        println!("{}", matrix.render());
+    }
+    findings.extend(analyze::interfere_findings(&initial, &matrix));
 
     // Pass 2: happens-before check over a seeded bounded round-robin
     // run. Ownership violations the runtime rejects become RS-W006

@@ -49,9 +49,13 @@ fn golden_fixture_diagnostics_per_lint_code() {
         "warning[RS-W005]: process p3 writes the reserved yield symbol Y via U[3]=() \
          at solo step 1",
         "warning[RS-W005]: process p3 outputs the reserved yield symbol Y",
+        "warning[RS-W008]: 1 single-writer component slot(s) [obj0.1] are \
+         plain-written by two or more processes, exceeding the Theorem 21 \
+         covering budget d = 0 for (n = 4, m = 8): every block-write can be \
+         obliterated",
         "error[RS-W006]: run (seed 0): runtime rejected p0's write to single-writer \
          component 1; process marked stuck",
-        "analysis: 5 deny-level, 4 warn-level diagnostics",
+        "analysis: 5 deny-level, 5 warn-level diagnostics",
     ];
     for line in golden {
         assert!(stdout.contains(line), "missing golden line {line:?} in:\n{stdout}");
@@ -71,6 +75,9 @@ fn golden_severity_prefixes_for_every_code() {
         (LintCode::YieldSymbol, "warning[RS-W005]: x"),
         (LintCode::HappensBefore, "error[RS-W006]: x"),
         (LintCode::BlockUpdateWindow, "error[RS-W007]: x"),
+        (LintCode::StaticInterference, "warning[RS-W008]: x"),
+        (LintCode::UnvalidatedRead, "warning[RS-W009]: x"),
+        (LintCode::StaticSerializable, "warning[RS-W010]: x"),
     ];
     for (code, want) in expected {
         let d = Diagnostic {
@@ -107,7 +114,9 @@ fn allow_severity_drops_diagnostics_from_reports() {
 fn analyze_reports_every_static_code_on_the_fixture() {
     let (stdout, _, ok) = run(&["analyze", "--protocol", "illformed"]);
     assert!(!ok);
-    for code in ["RS-W001", "RS-W002", "RS-W003", "RS-W004", "RS-W005", "RS-W006"] {
+    for code in [
+        "RS-W001", "RS-W002", "RS-W003", "RS-W004", "RS-W005", "RS-W006", "RS-W008",
+    ] {
         assert!(stdout.contains(code), "expected {code} in:\n{stdout}");
     }
 }
@@ -134,9 +143,21 @@ fn analyze_unknown_lint_code_fails_closed_with_known_list() {
     assert!(stderr.contains("unknown lint code"), "stderr:\n{stderr}");
     assert!(
         stderr.contains(
-            "RS-W001, RS-W002, RS-W003, RS-W004, RS-W005, RS-W006, RS-W007"
+            "RS-W001, RS-W002, RS-W003, RS-W004, RS-W005, RS-W006, RS-W007, \
+             RS-W008, RS-W009, RS-W010"
         ),
         "stderr must list every known code:\n{stderr}"
+    );
+}
+
+#[test]
+fn analyze_near_miss_lint_code_gets_a_suggestion() {
+    let (_, stderr, ok) =
+        run(&["analyze", "--protocol", "racing", "--deny", "RS-W09"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("did you mean RS-W009?"),
+        "stderr must suggest the nearest code:\n{stderr}"
     );
 }
 
@@ -159,7 +180,32 @@ fn analyze_allow_overrides_downgrade_fixture_denials() {
         "RS-W001,RS-W002,RS-W006",
     ]);
     assert!(ok, "with every deny-level code allowed the fixture passes");
-    assert!(stdout.contains("analysis: clean (4 warnings)"), "stdout:\n{stdout}");
+    assert!(stdout.contains("analysis: clean (5 warnings)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn analyze_deny_escalates_static_interference_on_the_fixture() {
+    // RS-W008 defaults to warn; --deny escalates it to a gating error
+    // alongside the fixture's native denials.
+    let (stdout, _, ok) =
+        run(&["analyze", "--protocol", "illformed", "--deny", "RS-W008"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[RS-W008]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("analysis: 6 deny-level, 4 warn-level diagnostics"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn analyze_allow_drops_static_interference_on_the_fixture() {
+    let (stdout, _, _) =
+        run(&["analyze", "--protocol", "illformed", "--allow", "RS-W008"]);
+    assert!(!stdout.contains("RS-W008"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("analysis: 5 deny-level, 4 warn-level diagnostics"),
+        "stdout:\n{stdout}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -313,4 +359,134 @@ fn gen_bases_analyze_clean() {
             "gen:{seed} not clean:\n{stdout}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3 (static interference): --explain, --matrix, and the RS-W009 /
+// RS-W010 fixtures.
+// ---------------------------------------------------------------------
+
+#[test]
+fn analyze_explain_prints_the_paper_rationale() {
+    for code in ["RS-W001", "RS-W008", "RS-W009", "RS-W010"] {
+        let (stdout, _, ok) = run(&["analyze", "--explain", code]);
+        assert!(ok, "--explain {code} must succeed");
+        assert!(stdout.starts_with(&format!("{code}: ")), "stdout:\n{stdout}");
+        // Every rationale cites the paper clause it descends from.
+        assert!(
+            stdout.contains('§') || stdout.contains("Theorem") || stdout.contains("Corollary"),
+            "--explain {code} cites no paper clause:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn analyze_explain_unknown_code_exits_nonzero_with_suggestion() {
+    let (stdout, stderr, ok) = run(&["analyze", "--explain", "RS-W09"]);
+    assert!(!ok, "unknown --explain code must exit 1");
+    assert!(stdout.is_empty(), "no partial rationale on stdout:\n{stdout}");
+    assert!(stderr.contains("did you mean RS-W009?"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn analyze_matrix_prints_the_independence_grid() {
+    let (stdout, _, ok) =
+        run(&["analyze", "--protocol", "serializable", "--procs", "3", "--matrix"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("static independence matrix (n = 3)"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("3 statically independent pair(s) of 3"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn analyze_serializable_fixture_warns_w010() {
+    let (stdout, _, ok) = run(&["analyze", "--protocol", "serializable"]);
+    assert!(ok, "RS-W010 is warn-level by default");
+    let line = "warning[RS-W010]: interference graph is edge-free: every \
+                schedule is equivalent to the solo runs, exploration adds \
+                nothing; solo verdicts: p0 → 1, p1 → 2, p2 → 3";
+    assert!(stdout.contains(line), "missing golden line {line:?} in:\n{stdout}");
+    assert!(stdout.contains("analysis: clean (1 warnings)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn analyze_deny_w010_gates_the_serializable_fixture() {
+    let (stdout, _, ok) =
+        run(&["analyze", "--protocol", "serializable", "--deny", "RS-W010"]);
+    assert!(!ok, "--deny RS-W010 must gate the edge-free fixture");
+    assert!(stdout.contains("error[RS-W010]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("analysis: 1 deny-level, 0 warn-level diagnostics"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn unvalidated_single_read_trips_w009() {
+    use rsim_smr::object::ObjectId;
+    use rsim_smr::process::{
+        Process, ProtocolStep, SnapshotProcess, SnapshotProtocol,
+    };
+    use rsim_smr::system::System;
+
+    // p0 writes its slot (scanning on the way, twice overall); p1 scans
+    // exactly once and decides on whatever it saw — the unvalidated
+    // read-after-write shape RS-W009 is about.
+    #[derive(Clone, Debug)]
+    struct WriteThenOut {
+        wrote: bool,
+    }
+    impl SnapshotProtocol for WriteThenOut {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            if self.wrote {
+                ProtocolStep::Output(view[0].clone())
+            } else {
+                self.wrote = true;
+                ProtocolStep::Update(0, Value::Int(5))
+            }
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+    #[derive(Clone, Debug)]
+    struct ReadOnce;
+    impl SnapshotProtocol for ReadOnce {
+        fn on_scan(&mut self, view: &[Value]) -> ProtocolStep {
+            ProtocolStep::Output(view[0].clone())
+        }
+        fn components(&self) -> usize {
+            1
+        }
+    }
+    let sys = System::new(
+        vec![Object::snapshot(1)],
+        vec![
+            Box::new(SnapshotProcess::new(WriteThenOut { wrote: false }, ObjectId(0)))
+                as Box<dyn Process>,
+            Box::new(SnapshotProcess::new(ReadOnce, ObjectId(0))),
+        ],
+    );
+    let findings = analyze::interfere_system(&sys, analyze::DEFAULT_BUDGET);
+    let (code, message) = findings
+        .iter()
+        .find(|(code, _)| *code == LintCode::UnvalidatedRead)
+        .expect("RS-W009 must fire on the single-scan reader");
+    let rendered = Diagnostic {
+        code: *code,
+        severity: code.default_severity(),
+        message: message.clone(),
+    }
+    .to_string();
+    assert_eq!(
+        rendered,
+        "warning[RS-W009]: process p1 reads obj0 component 0 (written by p0) \
+         exactly once in its solo run and never validates it against a \
+         concurrent install"
+    );
 }
